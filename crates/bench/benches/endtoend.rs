@@ -1,0 +1,50 @@
+//! End-to-end simulator throughput: cycles of simulated machine per second
+//! of host time, over a small kernel, for the main RENO configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use reno_core::RenoConfig;
+use reno_isa::{Asm, Program, Reg};
+use reno_sim::{MachineConfig, Simulator};
+
+fn kernel() -> Program {
+    let mut a = Asm::named("bench-kernel");
+    let buf = a.zeros("buf", 1024);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, 2_000);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.andi(Reg::T1, Reg::T0, 127);
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S0);
+    a.ld(Reg::T2, Reg::T1, 0);
+    a.add(Reg::V0, Reg::V0, Reg::T2);
+    a.st(Reg::V0, Reg::T1, 0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().expect("kernel assembles")
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let prog = kernel();
+    let mut g = c.benchmark_group("simulate_16k_insts");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("baseline", RenoConfig::baseline()),
+        ("cf_me", RenoConfig::cf_me()),
+        ("reno", RenoConfig::reno()),
+        ("full_integ", RenoConfig::full_integration_only()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = Simulator::new(&prog, MachineConfig::four_wide(*cfg)).run(1 << 24);
+                black_box(r.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Component microbenchmarks: throughput of the structures on the rename
+//! critical path (host-side performance of the simulator's building blocks).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use reno_core::{IntegrationTable, ItConfig, ItKey, ItOperand, Mapping, PhysReg, RefCountFreeList, Reno, RenoConfig};
+use reno_isa::{Inst, Opcode, Reg};
+use reno_mem::{Cache, CacheConfig};
+use reno_uarch::{HybridPredictor, StoreSets};
+
+fn bench_rename(c: &mut Criterion) {
+    // A representative 4-instruction group: load, addi, add, branch-feeding
+    // compare — renamed and rolled back so state stays bounded.
+    let insts = [
+        Inst::load(Opcode::Ld, Reg::T0, Reg::S0, 8),
+        Inst::alu_ri(Opcode::Addi, Reg::S0, Reg::S0, 8),
+        Inst::alu_rr(Opcode::Add, Reg::V0, Reg::V0, Reg::T0),
+        Inst::alu_ri(Opcode::Slti, Reg::T1, Reg::S0, 100),
+    ];
+    for (name, cfg) in [("baseline", RenoConfig::baseline()), ("reno", RenoConfig::reno())] {
+        c.bench_function(&format!("rename_group_{name}"), |b| {
+            let mut reno = Reno::new(cfg);
+            b.iter(|| {
+                reno.begin_group();
+                let mut renamed = Vec::with_capacity(4);
+                for (pc, i) in insts.iter().enumerate() {
+                    renamed.push(reno.rename(pc as u64, *i).expect("registers available"));
+                }
+                for r in renamed.iter().rev() {
+                    reno.rollback(r);
+                }
+                black_box(renamed.len())
+            })
+        });
+    }
+}
+
+fn bench_it(c: &mut Criterion) {
+    c.bench_function("integration_table_lookup_hit", |b| {
+        let mut it = IntegrationTable::new(ItConfig::default());
+        let fl = RefCountFreeList::new(160, 33);
+        let key = ItKey {
+            op: Opcode::Ld,
+            imm: 8,
+            in1: ItOperand::of(Mapping::direct(PhysReg(5)), &fl),
+            in2: None,
+        };
+        it.insert(key, Mapping::direct(PhysReg(40)), &fl);
+        b.iter(|| black_box(it.lookup(&key, &fl)))
+    });
+}
+
+fn bench_refcount(c: &mut Criterion) {
+    c.bench_function("refcount_alloc_share_free", |b| {
+        let mut fl = RefCountFreeList::new(160, 32);
+        b.iter(|| {
+            let p = fl.alloc().expect("free registers");
+            fl.incref(p);
+            fl.decref(p);
+            fl.decref(p);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("dcache_probe_hit", |b| {
+        let mut dc =
+            Cache::new(CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 32, hit_latency: 2 });
+        dc.probe_and_fill(0x1000, false);
+        b.iter(|| black_box(dc.probe_and_fill(0x1000, false)))
+    });
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("hybrid_predict_update", |b| {
+        let mut p = HybridPredictor::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(p.predict_and_update(i & 0xffff, i & 3 != 0))
+        })
+    });
+}
+
+fn bench_storesets(c: &mut Criterion) {
+    c.bench_function("storesets_rename_cycle", |b| {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            ss.rename_store(0x20, seq);
+            let d = ss.load_dependence(0x10);
+            ss.store_executed(0x20, seq);
+            black_box(d)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rename,
+    bench_it,
+    bench_refcount,
+    bench_cache,
+    bench_bpred,
+    bench_storesets
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 10: dividing labor between RENO_CF and RENO_CSE+RA.
+//!
+//! Four configurations, as in the paper:
+//! * `RENO` — CF handles register-immediate adds, the IT handles loads only;
+//! * `RENO+FI` — CF plus full-blown integration (all ALU ops + loads);
+//! * `FullInteg` — full-blown register integration alone (no CF/ME);
+//! * `LoadsInteg` — loads-only integration alone.
+//!
+//! Paper shape: RENO+FI gains <0.5% over RENO (with slowdowns on some
+//! programs from IT conflicts) while needing ~70% more IT accesses; RENO
+//! beats full integration by ~3% (SPEC) / ~6% (media).
+
+use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_core::RenoConfig;
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Workload};
+
+type ConfigMaker = fn() -> RenoConfig;
+
+const CONFIGS: [(&str, ConfigMaker); 4] = [
+    ("RENO", RenoConfig::reno),
+    ("RENO+FI", RenoConfig::reno_full_integration),
+    ("FullInteg", RenoConfig::full_integration_only),
+    ("LoadsInteg", RenoConfig::loads_integration_only),
+];
+
+fn panel(suite_name: &str, workloads: &[Workload]) {
+    println!("\n== Fig 10 [{suite_name}]: % speedup over BASE ==");
+    header("bench", &["RENO", "RENO+FI", "FullInteg", "LoadsInteg"]);
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    let mut accesses: [f64; 4] = [0.0; 4];
+    for w in workloads {
+        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let mut vals = Vec::new();
+        for (i, (_, mk)) in CONFIGS.iter().enumerate() {
+            let r = run(w, MachineConfig::four_wide(mk()));
+            vals.push(r.speedup_pct_vs(&base));
+            cols[i].push(r.speedup_pct_vs(&base));
+            accesses[i] += r.it.accesses() as f64;
+        }
+        row(w.name, &vals);
+    }
+    row("avg", &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2]), amean(&cols[3])]);
+    println!(
+        "\nIT port accesses relative to RENO: RENO+FI {:+.0}%  FullInteg {:+.0}%  LoadsInteg {:+.0}%",
+        (accesses[1] / accesses[0] - 1.0) * 100.0,
+        (accesses[2] / accesses[0] - 1.0) * 100.0,
+        (accesses[3] / accesses[0] - 1.0) * 100.0,
+    );
+}
+
+fn main() {
+    let scale = scale_from_env();
+    panel("SPECint", &spec_suite(scale));
+    panel("MediaBench", &media_suite(scale));
+}

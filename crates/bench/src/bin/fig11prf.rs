@@ -1,0 +1,48 @@
+//! Figure 11 (top): RENO compensating for a smaller physical register file.
+//!
+//! Sweeps the PRF over {96, 112, 128, 160} for BASE, CF+ME, and full RENO;
+//! results are normalized to BASE with 160 registers (=100%).
+//!
+//! Paper shape: CF+ME alone compensates for a 30% reduction (160 -> 112);
+//! adding RENO_CSE+RA tolerates 96 registers.
+
+use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_core::RenoConfig;
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Workload};
+
+const PREGS: [usize; 4] = [96, 112, 128, 160];
+
+fn panel(suite_name: &str, workloads: &[Workload]) {
+    println!("\n== Fig 11 top [{suite_name}]: % of 160-preg BASE performance ==");
+    let cols: Vec<String> = PREGS
+        .iter()
+        .flat_map(|p| ["B", "CF", "RN"].iter().map(move |c| format!("{c}{p}")))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    header("bench", &col_refs);
+    let mut sums = vec![Vec::new(); cols.len()];
+    for w in workloads {
+        let base160 = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let mut vals = Vec::new();
+        for &p in &PREGS {
+            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
+                let r = run(w, MachineConfig::four_wide(cfg).with_pregs(p));
+                let rel = base160.cycles as f64 * 100.0 / r.cycles as f64;
+                vals.push(rel);
+            }
+        }
+        for (i, v) in vals.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        row(w.name, &vals);
+    }
+    let means: Vec<f64> = sums.iter().map(|v| amean(v)).collect();
+    row("avg", &means);
+}
+
+fn main() {
+    let scale = scale_from_env();
+    panel("SPECint", &spec_suite(scale));
+    panel("MediaBench", &media_suite(scale));
+}

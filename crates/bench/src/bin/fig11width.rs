@@ -1,0 +1,58 @@
+//! Figure 11 (bottom): RENO compensating for reduced issue width.
+//!
+//! Configurations: i2t2 (2 ALUs, total issue 2), i2t3 (2 ALUs, total 3),
+//! i3t4 (3 ALUs, total 4 — the baseline machine), each with BASE, CF+ME,
+//! and full RENO. Normalized to BASE at i3t4.
+//!
+//! Paper shape: on SPEC, CF+ME compensates for the lost issue slot and ALU
+//! (i2t3); full RENO at i2t3 beats the 4-wide baseline by ~5%. MediaBench
+//! at i2t3 with CF+ME runs ~2% faster than the RENO-less 4-wide machine;
+//! at i2t2 RENO recoups only part of the loss.
+
+use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_core::RenoConfig;
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Workload};
+
+type Shrinker = fn(MachineConfig) -> MachineConfig;
+
+fn widths() -> [(&'static str, Shrinker); 3] {
+    [
+        ("i2t2", |m: MachineConfig| m.with_issue_i2t2()),
+        ("i2t3", |m: MachineConfig| m.with_issue_i2t3()),
+        ("i3t4", |m: MachineConfig| m),
+    ]
+}
+
+fn panel(suite_name: &str, workloads: &[Workload]) {
+    println!("\n== Fig 11 bottom [{suite_name}]: % of i3t4 BASE performance ==");
+    let cols: Vec<String> = widths()
+        .iter()
+        .flat_map(|(w, _)| ["B", "CF", "RN"].iter().map(move |c| format!("{c}.{w}")))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    header("bench", &col_refs);
+    let mut sums = vec![Vec::new(); cols.len()];
+    for w in workloads {
+        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let mut vals = Vec::new();
+        for (_, shrink) in widths() {
+            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
+                let r = run(w, shrink(MachineConfig::four_wide(cfg)));
+                vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
+            }
+        }
+        for (i, v) in vals.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        row(w.name, &vals);
+    }
+    let means: Vec<f64> = sums.iter().map(|v| amean(v)).collect();
+    row("avg", &means);
+}
+
+fn main() {
+    let scale = scale_from_env();
+    panel("SPECint", &spec_suite(scale));
+    panel("MediaBench", &media_suite(scale));
+}

@@ -1,0 +1,44 @@
+//! Figure 12: RENO with a 2-cycle wakeup-select loop.
+//!
+//! A pipelined scheduler makes every single-cycle operation look like a
+//! two-cycle operation. RENO tolerates this not by fusing (as macro-op
+//! scheduling does) but by simply removing many single-cycle operations
+//! from the dataflow graph.
+//!
+//! Paper shape: the 2-cycle loop costs ~7% (SPEC) / ~11% (media) on the
+//! baseline; RENO compensates on SPEC and gains ~2.5% over the 1-cycle
+//! baseline on MediaBench.
+
+use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_core::RenoConfig;
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Workload};
+
+fn panel(suite_name: &str, workloads: &[Workload]) {
+    println!("\n== Fig 12 [{suite_name}]: % of 1-cycle-loop BASE performance ==");
+    let cols = ["B.1c", "CF.1c", "RN.1c", "B.2c", "CF.2c", "RN.2c"];
+    header("bench", &cols);
+    let mut sums = vec![Vec::new(); cols.len()];
+    for w in workloads {
+        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let mut vals = Vec::new();
+        for loop_cycles in [1u64, 2] {
+            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
+                let r = run(w, MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles));
+                vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
+            }
+        }
+        for (i, v) in vals.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        row(w.name, &vals);
+    }
+    let means: Vec<f64> = sums.iter().map(|v| amean(v)).collect();
+    row("avg", &means);
+}
+
+fn main() {
+    let scale = scale_from_env();
+    panel("SPECint", &spec_suite(scale));
+    panel("MediaBench", &media_suite(scale));
+}

@@ -1,0 +1,48 @@
+//! Figure 9: critical-path breakdowns (fetch / alu exec / load exec /
+//! load mem / commit) for the baseline, RENO_ME+CF, and full RENO.
+//!
+//! Paper shape: MediaBench is ALU-critical (so RENO_CF helps most there);
+//! SPECint is load- and memory-critical (so RENO_CSE+RA matters more);
+//! RENO shifts criticality toward fetch on MediaBench ("ALU criticality
+//! decays into fetch criticality").
+
+use reno_bench::{run, scale_from_env};
+use reno_core::RenoConfig;
+use reno_cpa::{analyze, Bucket};
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Workload};
+
+fn panel(suite_name: &str, workloads: &[Workload]) {
+    println!("\n== Fig 9 [{suite_name}]: critical-path breakdown (% of path) ==");
+    println!(
+        "{:<10} {:<6} {:>7} {:>9} {:>10} {:>9} {:>7}",
+        "bench", "config", "fetch", "alu exec", "load exec", "load mem", "commit"
+    );
+    println!("{}", "-".repeat(64));
+    for w in workloads {
+        for (cname, cfg) in [
+            ("BASE", RenoConfig::baseline()),
+            ("ME+CF", RenoConfig::cf_me()),
+            ("RENO", RenoConfig::reno()),
+        ] {
+            let r = run(w, MachineConfig::four_wide(cfg).with_cpa());
+            let b = analyze(&r.cpa, 128);
+            println!(
+                "{:<10} {:<6} {:>7.1} {:>9.1} {:>10.1} {:>9.1} {:>7.1}",
+                w.name,
+                cname,
+                b.pct(Bucket::Fetch),
+                b.pct(Bucket::AluExec),
+                b.pct(Bucket::LoadExec),
+                b.pct(Bucket::LoadMem),
+                b.pct(Bucket::Commit),
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    panel("SPECint", &spec_suite(scale));
+    panel("MediaBench", &media_suite(scale));
+}

@@ -1,0 +1,104 @@
+//! # reno-bench — the experiment harness
+//!
+//! One binary per table/figure in the paper's evaluation (see DESIGN.md §3
+//! and EXPERIMENTS.md for the index):
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `fig8` | Fig 8 — elimination rates + speedups, 4- and 6-wide |
+//! | `fig9` | Fig 9 — critical-path breakdowns |
+//! | `fig10` | Fig 10 — RENO_CF / RENO_CSE+RA division of labor |
+//! | `fig11prf` | Fig 11 top — physical register file sweep |
+//! | `fig11width` | Fig 11 bottom — issue width sweep |
+//! | `fig12` | Fig 12 — 2-cycle scheduling loop |
+//! | `table_mix` | §1/§4.2 — dynamic instruction mix |
+//! | `table_it` | §2.4/§4.4 — IT size/bandwidth division of labor |
+//! | `table_fusion` | §3.3 — fusion-latency sensitivity |
+//! | `table_e1` | §3.2 — dependent-elimination rule ablation |
+//!
+//! Each binary prints a plain-text table whose rows correspond to the
+//! paper's bars/series. `RENO_SCALE=tiny|small|default` selects workload
+//! size (default: `default`).
+
+use reno_core::RenoConfig;
+use reno_sim::{MachineConfig, SimResult, Simulator};
+use reno_workloads::{Scale, Workload};
+
+/// Dynamic-instruction cap per simulation (bounds harness runtime while
+/// leaving every kernel's steady state well represented).
+pub const FUEL: u64 = 400_000;
+
+/// Cycle cap per simulation (safety net only).
+pub const MAX_CYCLES: u64 = 1 << 28;
+
+/// Reads the workload scale from `RENO_SCALE` (default `default`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("RENO_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("small") => Scale::Small,
+        _ => Scale::Default,
+    }
+}
+
+/// Runs one workload under one machine configuration.
+pub fn run(w: &Workload, cfg: MachineConfig) -> SimResult {
+    Simulator::with_fuel(&w.program, cfg, FUEL).run(MAX_CYCLES)
+}
+
+/// The standard config ladder used by most figures:
+/// baseline, ME-only, CF+ME, full RENO.
+pub fn ladder() -> [(&'static str, RenoConfig); 4] {
+    [
+        ("BASE", RenoConfig::baseline()),
+        ("ME", RenoConfig::me_only()),
+        ("CF+ME", RenoConfig::cf_me()),
+        ("RENO", RenoConfig::reno()),
+    ]
+}
+
+/// Prints a table header row.
+pub fn header(first: &str, cols: &[&str]) {
+    print!("{first:<10}");
+    for c in cols {
+        print!(" {c:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 11 * cols.len()));
+}
+
+/// Prints one data row of percentages.
+pub fn row(name: &str, vals: &[f64]) {
+    print!("{name:<10}");
+    for v in vals {
+        print!(" {v:>10.1}");
+    }
+    println!();
+}
+
+/// Arithmetic mean.
+pub fn amean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_is_cumulative() {
+        let l = ladder();
+        assert_eq!(l[0].0, "BASE");
+        assert!(!l[0].1.any_enabled());
+        assert!(l[3].1.const_fold && l[3].1.move_elim);
+    }
+
+    #[test]
+    fn amean_basics() {
+        assert_eq!(amean(&[]), 0.0);
+        assert!((amean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

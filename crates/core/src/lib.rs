@@ -1,0 +1,58 @@
+//! # reno-core — the RENO rename-based instruction optimizer
+//!
+//! This crate is the paper's primary contribution: a modified MIPS
+//! R10000-style register renamer, augmented with physical register reference
+//! counting, that uses map-table "short-circuiting" to implement dynamic
+//! versions of four classic static optimizations:
+//!
+//! * **RENO_ME — move elimination.** A register move (`addi rd, rs, 0`) is
+//!   collapsed by mapping `rd` to `rs`'s physical register.
+//! * **RENO_CF — constant folding.** The map table is extended from
+//!   `logical -> [physical]` to `logical -> [physical : displacement]`
+//!   ([`Mapping`]); register-immediate additions are collapsed by accumulating
+//!   their immediate into the displacement, to be fused into consumers by
+//!   3-input adders. RENO_CF subsumes RENO_ME (a move is an `addi` with
+//!   immediate zero).
+//! * **RENO_CSE — common-subexpression elimination** and
+//! * **RENO_RA — register allocation (speculative memory bypassing)**,
+//!   both via the [`IntegrationTable`]: instructions whose dataflow signature
+//!   matches an existing physical register share it instead of executing.
+//!   Stores create *reverse* load entries so later stack reloads collapse.
+//!
+//! The optimizer works **solely with physical register names and immediates**
+//! — it never reads or writes register values — which is what lets it sit
+//! inside a two-stage renaming pipeline.
+//!
+//! The timing simulator (`reno-sim`) drives [`Reno`] one instruction at a
+//! time within explicit rename groups (cycles), retires and rolls back
+//! renamed instructions through [`Reno::retire`] / [`Reno::rollback`], and
+//! charges pipeline costs for the decisions reported in [`Renamed`].
+//!
+//! ```
+//! use reno_core::{Reno, RenoConfig, RenamedKind, ElimClass};
+//! use reno_isa::{Inst, Opcode, Reg};
+//!
+//! let mut reno = Reno::new(RenoConfig::reno());
+//! reno.begin_group();
+//! // addi t1, t0, 4 — collapsed by RENO_CF, no physical register consumed.
+//! let r = reno
+//!     .rename(0, Inst::alu_ri(Opcode::Addi, Reg::T1, Reg::T0, 4))
+//!     .expect("free registers available");
+//! assert_eq!(r.kind, RenamedKind::Eliminated(ElimClass::ConstFold));
+//! let d = r.dst.unwrap();
+//! assert_eq!(d.new.disp, 4);
+//! ```
+
+mod it;
+mod maptable;
+mod preg;
+mod refcount;
+mod rename;
+
+pub use it::{IntegrationTable, ItConfig, ItKey, ItOperand, ItStats};
+pub use maptable::MapTable;
+pub use preg::{Mapping, PhysReg};
+pub use refcount::{OutOfPregs, RefCountFreeList};
+pub use rename::{
+    DstInfo, ElimClass, IntegrationMode, Renamed, RenamedKind, Reno, RenoConfig, RenoStats, SrcOp,
+};

@@ -1,0 +1,112 @@
+use crate::{Mapping, PhysReg};
+use reno_isa::Reg;
+
+/// The extended map table: `logical register -> [physical : displacement]`.
+///
+/// Initially logical register `i` maps to physical register `i` with zero
+/// displacement (the architectural state lives in the first 32 physical
+/// registers). The zero register's mapping is never overwritten: its physical
+/// register permanently holds zero, and RENO_CF turns `addi rd, zero, imm`
+/// into the shared mapping `[p_zero : imm]` for free.
+///
+/// ```
+/// use reno_core::{MapTable, Mapping, PhysReg};
+/// use reno_isa::Reg;
+/// let mut mt = MapTable::new();
+/// assert_eq!(mt.get(Reg::T0).preg, PhysReg(Reg::T0.index() as u16));
+/// mt.set(Reg::T0, Mapping { preg: PhysReg(40), disp: 8 });
+/// assert_eq!(mt.get(Reg::T0).disp, 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapTable {
+    entries: [Mapping; Reg::COUNT],
+}
+
+impl Default for MapTable {
+    fn default() -> MapTable {
+        MapTable::new()
+    }
+}
+
+impl MapTable {
+    /// The identity map (logical `i` -> physical `i`, displacement 0).
+    pub fn new() -> MapTable {
+        let mut entries = [Mapping::direct(PhysReg(0)); Reg::COUNT];
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = Mapping::direct(PhysReg(i as u16));
+        }
+        MapTable { entries }
+    }
+
+    /// Current mapping of `r`.
+    #[inline]
+    pub fn get(&self, r: Reg) -> Mapping {
+        self.entries[r.index()]
+    }
+
+    /// Installs a new mapping for `r`, returning the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on attempts to remap the zero register (the renamer filters
+    /// zero-destination instructions before this point).
+    #[inline]
+    pub fn set(&mut self, r: Reg, m: Mapping) -> Mapping {
+        assert!(!r.is_zero(), "the zero register is never remapped");
+        std::mem::replace(&mut self.entries[r.index()], m)
+    }
+
+    /// A full copy of the table (checkpoint).
+    pub fn snapshot(&self) -> [Mapping; Reg::COUNT] {
+        self.entries
+    }
+
+    /// Restores a checkpoint taken with [`MapTable::snapshot`].
+    pub fn restore(&mut self, snap: [Mapping; Reg::COUNT]) {
+        self.entries = snap;
+    }
+
+    /// Iterates `(logical, mapping)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Reg, Mapping)> + '_ {
+        Reg::all().map(move |r| (r, self.entries[r.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_initialization() {
+        let mt = MapTable::new();
+        for (r, m) in mt.iter() {
+            assert_eq!(m.preg.index(), r.index());
+            assert_eq!(m.disp, 0);
+        }
+    }
+
+    #[test]
+    fn set_returns_old_mapping() {
+        let mut mt = MapTable::new();
+        let old = mt.set(Reg::T3, Mapping { preg: PhysReg(99), disp: -4 });
+        assert_eq!(old.preg, PhysReg(Reg::T3.index() as u16));
+        assert_eq!(mt.get(Reg::T3).preg, PhysReg(99));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut mt = MapTable::new();
+        let snap = mt.snapshot();
+        mt.set(Reg::S0, Mapping { preg: PhysReg(50), disp: 12 });
+        assert_ne!(mt.snapshot(), snap);
+        mt.restore(snap);
+        assert_eq!(mt.snapshot(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "never remapped")]
+    fn zero_register_is_protected() {
+        let mut mt = MapTable::new();
+        mt.set(Reg::ZERO, Mapping::direct(PhysReg(1)));
+    }
+}

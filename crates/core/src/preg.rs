@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// A physical register name.
+///
+/// RENO manipulates these names (never values); the whole physical register
+/// file is its optimization namespace — one of the paper's key advantages
+/// over static compilers limited to 32 architectural names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// The register's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An extended map-table entry `[p : d]`: the named value is
+/// `value(p) + d`.
+///
+/// A conventional renamer is the special case `d == 0`. RENO_CF collapses
+/// `addi rd, rs, imm` by setting `rd -> [p_rs : d_rs + imm]`; the deferred
+/// addition is fused into whichever instruction eventually consumes `rd`.
+/// Displacements are architecturally 16 bits (the ISA's immediate width); the
+/// renamer cancels foldings that could overflow that field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// The physical register holding (or about to hold) the base value.
+    pub preg: PhysReg,
+    /// The displacement to add when the value is consumed.
+    pub disp: i32,
+}
+
+impl Mapping {
+    /// A plain mapping with zero displacement.
+    pub fn direct(preg: PhysReg) -> Mapping {
+        Mapping { preg, disp: 0 }
+    }
+
+    /// Whether the mapping carries a deferred addition.
+    pub fn is_displaced(&self) -> bool {
+        self.disp != 0
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}:{}]", self.preg, self.disp)
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}:{}]", self.preg, self.disp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapping_has_no_displacement() {
+        let m = Mapping::direct(PhysReg(5));
+        assert!(!m.is_displaced());
+        assert_eq!(m.to_string(), "[p5:0]");
+    }
+
+    #[test]
+    fn displaced_mapping_display() {
+        let m = Mapping { preg: PhysReg(3), disp: -16 };
+        assert!(m.is_displaced());
+        assert_eq!(format!("{m:?}"), "[p3:-16]");
+    }
+}

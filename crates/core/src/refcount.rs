@@ -1,0 +1,208 @@
+use crate::PhysReg;
+use std::fmt;
+
+/// Error: the free list is empty (rename must stall).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfPregs;
+
+impl fmt::Display for OutOfPregs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("no free physical registers")
+    }
+}
+
+impl std::error::Error for OutOfPregs {}
+
+/// Reference-counted physical register management (paper §3.1).
+///
+/// The design eliminates the explicit free list as a separate structure: a
+/// register is free exactly when its reference count is zero. Counts track
+/// *output* uses — how many architectural mappings and in-flight instructions
+/// name the register as their output:
+///
+/// * allocation and RENO **sharing operations** increment,
+/// * retirement of an overwriting instruction and squash undo decrement.
+///
+/// Counters are sized so overflow is impossible (the maximum sharing degree
+/// is every architectural register plus every in-flight instruction naming
+/// one register, which fits comfortably in a `u32`) — mirroring the paper's
+/// "make counters wide enough, avoid instant overflow feedback" design.
+///
+/// Each register also carries a **generation** number, bumped when it is
+/// freed; the integration table validates its entries lazily against
+/// generations instead of being searched on every free.
+///
+/// ```
+/// use reno_core::RefCountFreeList;
+/// let mut fl = RefCountFreeList::new(8, 4); // 8 pregs, p0..p3 initially live
+/// let p = fl.alloc().unwrap();
+/// fl.incref(p);            // a RENO sharing operation
+/// assert_eq!(fl.count(p), 2);
+/// fl.decref(p);
+/// fl.decref(p);            // count hits zero: p is free again
+/// assert_eq!(fl.free_count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RefCountFreeList {
+    counts: Vec<u32>,
+    generations: Vec<u32>,
+    free: Vec<PhysReg>,
+}
+
+impl RefCountFreeList {
+    /// Creates a file of `total` registers; registers `0..initially_live`
+    /// start with count 1 (holding architectural state), the rest are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initially_live > total` or `total` exceeds `u16` range.
+    pub fn new(total: usize, initially_live: usize) -> RefCountFreeList {
+        assert!(initially_live <= total);
+        assert!(total <= u16::MAX as usize);
+        let mut counts = vec![0u32; total];
+        for c in counts.iter_mut().take(initially_live) {
+            *c = 1;
+        }
+        // Free stack: highest index on top so low registers allocate last —
+        // purely cosmetic, makes traces easier to read.
+        let free = (initially_live..total).rev().map(|i| PhysReg(i as u16)).collect();
+        RefCountFreeList { counts, generations: vec![0; total], free }
+    }
+
+    /// Total number of physical registers.
+    pub fn total(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of free registers (count zero).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current reference count of `p`.
+    pub fn count(&self, p: PhysReg) -> u32 {
+        self.counts[p.index()]
+    }
+
+    /// Current generation of `p` (bumped each time `p` is freed).
+    pub fn generation(&self, p: PhysReg) -> u32 {
+        self.generations[p.index()]
+    }
+
+    /// Allocates a free register with count 1.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfPregs`] when every register is live (rename stalls).
+    pub fn alloc(&mut self) -> Result<PhysReg, OutOfPregs> {
+        let p = self.free.pop().ok_or(OutOfPregs)?;
+        debug_assert_eq!(self.counts[p.index()], 0);
+        self.counts[p.index()] = 1;
+        Ok(p)
+    }
+
+    /// Increments `p`'s count (a RENO sharing operation or map-table install).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is currently free — sharing a dead register would be a
+    /// renamer bug.
+    pub fn incref(&mut self, p: PhysReg) {
+        let c = &mut self.counts[p.index()];
+        assert!(*c > 0, "incref of free register {p}");
+        *c = c.checked_add(1).expect("reference count overflow is impossible by sizing");
+    }
+
+    /// Decrements `p`'s count; when it reaches zero the register returns to
+    /// the free list and its generation is bumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on decrement of a free register.
+    pub fn decref(&mut self, p: PhysReg) {
+        let c = &mut self.counts[p.index()];
+        assert!(*c > 0, "decref of free register {p}");
+        *c -= 1;
+        if *c == 0 {
+            self.generations[p.index()] = self.generations[p.index()].wrapping_add(1);
+            self.free.push(p);
+        }
+    }
+
+    /// Sum of all reference counts (for conservation checks in tests).
+    pub fn total_refs(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_partition() {
+        let fl = RefCountFreeList::new(10, 4);
+        assert_eq!(fl.free_count(), 6);
+        assert_eq!(fl.count(PhysReg(0)), 1);
+        assert_eq!(fl.count(PhysReg(4)), 0);
+    }
+
+    #[test]
+    fn alloc_free_cycle_bumps_generation() {
+        let mut fl = RefCountFreeList::new(4, 2);
+        let p = fl.alloc().unwrap();
+        let g0 = fl.generation(p);
+        fl.decref(p);
+        assert_eq!(fl.generation(p), g0 + 1);
+        let q = fl.alloc().unwrap();
+        // LIFO free list: the register is immediately reusable.
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_pregs() {
+        let mut fl = RefCountFreeList::new(3, 2);
+        assert!(fl.alloc().is_ok());
+        assert_eq!(fl.alloc(), Err(OutOfPregs));
+    }
+
+    #[test]
+    fn sharing_keeps_register_live() {
+        let mut fl = RefCountFreeList::new(4, 1);
+        let p = PhysReg(0);
+        fl.incref(p); // shared once
+        fl.decref(p);
+        assert_eq!(fl.count(p), 1, "still live");
+        assert_eq!(fl.free_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decref of free register")]
+    fn double_free_panics() {
+        let mut fl = RefCountFreeList::new(2, 1);
+        let p = fl.alloc().unwrap();
+        fl.decref(p);
+        fl.decref(p);
+    }
+
+    #[test]
+    #[should_panic(expected = "incref of free register")]
+    fn incref_of_free_register_panics() {
+        let mut fl = RefCountFreeList::new(2, 1);
+        fl.incref(PhysReg(1));
+    }
+
+    #[test]
+    fn conservation() {
+        let mut fl = RefCountFreeList::new(8, 3);
+        let a = fl.alloc().unwrap();
+        let b = fl.alloc().unwrap();
+        fl.incref(a);
+        assert_eq!(fl.total_refs(), 3 + 2 + 1);
+        fl.decref(b);
+        fl.decref(a);
+        fl.decref(a);
+        assert_eq!(fl.total_refs(), 3);
+        assert_eq!(fl.free_count(), 5);
+    }
+}

@@ -1,0 +1,402 @@
+//! # reno-cpa — critical-path analysis of retired instruction streams
+//!
+//! A simplified Fields-style dependence-graph critical-path model (the
+//! paper's §4.3 methodology, after Fields et al. \[11\] with edges similar to
+//! \[10\]). Each retired instruction contributes three nodes:
+//!
+//! * **D** — dispatch into the window (constrained by fetch bandwidth,
+//!   I-cache misses, branch mispredictions, and finite window resources),
+//! * **E** — execution complete (constrained by D and by the last-arriving
+//!   register input),
+//! * **C** — commit (constrained by E and by in-order commit bandwidth).
+//!
+//! The analyzer walks the *observed* last-arrival chain backward from the
+//! final commit and attributes each traversed edge's latency to one of the
+//! paper's five buckets: `fetch`, `alu exec`, `load exec` (D$/L2 dataflow),
+//! `load mem` (main-memory dataflow), and `commit`. Comparing breakdowns of
+//! RENO and RENO-less runs shows where RENO makes its impact (paper Fig 9).
+//!
+//! ```
+//! use reno_cpa::{analyze, Bucket, InstRecord};
+//! // Two instructions: a 100-cycle load feeding an ALU op.
+//! let recs = vec![
+//!     InstRecord { seq: 0, dispatch: 0, complete: 100, commit: 101,
+//!                  dep: None, bucket: Bucket::LoadMem, redirect: false },
+//!     InstRecord { seq: 1, dispatch: 1, complete: 101, commit: 102,
+//!                  dep: Some(0), bucket: Bucket::AluExec, redirect: false },
+//! ];
+//! let b = analyze(&recs, 128);
+//! assert!(b.cycles[Bucket::LoadMem as usize] >= 99);
+//! ```
+
+use std::fmt;
+
+/// Critical-path bucket, following the paper's Figure 9 legend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Bucket {
+    /// Fetch bandwidth, I$ misses, branch mispredictions, finite window.
+    Fetch = 0,
+    /// Integer dataflow latency.
+    AluExec = 1,
+    /// Load dataflow served by the D$ or L2.
+    LoadExec = 2,
+    /// Load dataflow served by main memory.
+    LoadMem = 3,
+    /// Commit bandwidth.
+    Commit = 4,
+}
+
+impl Bucket {
+    /// All buckets in display order.
+    pub const ALL: [Bucket; 5] =
+        [Bucket::Fetch, Bucket::AluExec, Bucket::LoadExec, Bucket::LoadMem, Bucket::Commit];
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Bucket::Fetch => "fetch",
+            Bucket::AluExec => "alu exec",
+            Bucket::LoadExec => "load exec",
+            Bucket::LoadMem => "load mem",
+            Bucket::Commit => "commit",
+        }
+    }
+}
+
+/// One retired instruction's timing, as recorded by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstRecord {
+    /// Retirement order (must be contiguous and ascending within a batch).
+    pub seq: u64,
+    /// Cycle the instruction entered the out-of-order window.
+    pub dispatch: u64,
+    /// Cycle its result became available (= dispatch for non-executing or
+    /// RENO-eliminated instructions, whose latency collapsed to zero).
+    pub complete: u64,
+    /// Cycle it retired.
+    pub commit: u64,
+    /// Sequence number of the last-arriving register input's producer, if it
+    /// retired within this batch.
+    pub dep: Option<u64>,
+    /// Bucket charged for this instruction's E-side latency.
+    pub bucket: Bucket,
+    /// Whether this instruction redirected fetch (mispredicted branch).
+    pub redirect: bool,
+}
+
+/// A critical-path breakdown: cycles attributed to each bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Cycles per bucket, indexed by `Bucket as usize`.
+    pub cycles: [u64; 5],
+}
+
+impl Breakdown {
+    /// Total critical-path length.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Percentage share of a bucket.
+    pub fn pct(&self, b: Bucket) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.cycles[b as usize] as f64 * 100.0 / t as f64
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..5 {
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in Bucket::ALL {
+            write!(f, "{}: {:.1}%  ", b.label(), self.pct(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Node {
+    D(usize),
+    E(usize),
+    C(usize),
+}
+
+/// Analyzes one batch of retired instructions (ascending `seq`, contiguous)
+/// with the default issue-queue depth (50, the paper's machine).
+///
+/// See [`analyze_with`].
+///
+/// # Panics
+///
+/// Panics if records are not sorted by `seq`.
+pub fn analyze(records: &[InstRecord], window: usize) -> Breakdown {
+    analyze_with(records, window, 50)
+}
+
+/// Analyzes one batch of retired instructions (ascending `seq`, contiguous).
+///
+/// `rob_window` is the ROB size: `C[i - rob] -> D[i]` models reorder-buffer
+/// stalls; `iq_window` is the issue-queue size: `E[i - iq] -> D[i]` models
+/// scheduler-capacity stalls (an instruction cannot dispatch until an older
+/// one vacates its issue-queue entry by issuing/completing). Both are
+/// "finite window resources" and charge the fetch bucket, following the
+/// paper's taxonomy.
+///
+/// # Panics
+///
+/// Panics if records are not sorted by `seq`.
+pub fn analyze_with(records: &[InstRecord], rob_window: usize, iq_window: usize) -> Breakdown {
+    let window = rob_window;
+    let mut out = Breakdown::default();
+    if records.is_empty() {
+        return out;
+    }
+    assert!(
+        records.windows(2).all(|w| w[0].seq < w[1].seq),
+        "records must be sorted by retirement order"
+    );
+    let base = records[0].seq;
+    let index_of = |seq: u64| -> Option<usize> {
+        seq.checked_sub(base).map(|d| d as usize).filter(|&i| i < records.len())
+    };
+
+    // Nearest older redirecting instruction, per index.
+    let mut last_redirect: Vec<Option<usize>> = Vec::with_capacity(records.len());
+    let mut cur: Option<usize> = None;
+    for (i, r) in records.iter().enumerate() {
+        last_redirect.push(cur);
+        if r.redirect {
+            cur = Some(i);
+        }
+    }
+
+    let mut node = Node::C(records.len() - 1);
+    // Walk the last-arrival chain backward, attributing each edge.
+    loop {
+        match node {
+            Node::C(i) => {
+                // Commit wait beyond the intrinsic complete->retire latency is
+                // in-order commit serialization (bandwidth); the rest of the
+                // path continues through this instruction's execution.
+                let r = &records[i];
+                out.cycles[Bucket::Commit as usize] += r.commit - r.complete;
+                node = Node::E(i);
+            }
+            Node::E(i) => {
+                let r = &records[i];
+                let dep = r.dep.and_then(index_of).filter(|&j| j < i);
+                let dep_time = dep.map(|j| records[j].complete);
+                match (dep, dep_time) {
+                    (Some(j), Some(dt)) if dt >= r.dispatch => {
+                        out.cycles[r.bucket as usize] += r.complete - dt;
+                        node = Node::E(j);
+                    }
+                    _ => {
+                        out.cycles[r.bucket as usize] += r.complete - r.dispatch;
+                        node = Node::D(i);
+                    }
+                }
+            }
+            Node::D(i) => {
+                if i == 0 {
+                    out.cycles[Bucket::Fetch as usize] += records[0].dispatch;
+                    break;
+                }
+                let r = &records[i];
+                // Candidate constraints, all charged to the fetch bucket:
+                // in-order fetch, finite window, mispredict redirect.
+                let mut best = Node::D(i - 1);
+                let mut best_t = records[i - 1].dispatch;
+                if i >= window {
+                    let j = i - window;
+                    if records[j].commit > best_t {
+                        best = Node::C(j);
+                        best_t = records[j].commit;
+                    }
+                }
+                if i >= iq_window {
+                    let j = i - iq_window;
+                    if records[j].complete > best_t {
+                        best = Node::E(j);
+                        best_t = records[j].complete;
+                    }
+                }
+                if let Some(j) = last_redirect[i] {
+                    if records[j].complete > best_t {
+                        best = Node::E(j);
+                        best_t = records[j].complete;
+                    }
+                }
+                out.cycles[Bucket::Fetch as usize] += r.dispatch.saturating_sub(best_t);
+                node = best;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, dispatch: u64, complete: u64, commit: u64) -> InstRecord {
+        InstRecord { seq, dispatch, complete, commit, dep: None, bucket: Bucket::AluExec, redirect: false }
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        assert_eq!(analyze(&[], 128).total(), 0);
+    }
+
+    #[test]
+    fn serial_alu_chain_is_alu_critical() {
+        // Each op depends on the previous, 1 cycle each, fetched together.
+        let recs: Vec<InstRecord> = (0..50)
+            .map(|i| InstRecord {
+                seq: i,
+                dispatch: 0,
+                complete: 10 + i,
+                commit: 12 + i,
+                dep: i.checked_sub(1),
+                bucket: Bucket::AluExec,
+                redirect: false,
+            })
+            .collect();
+        let b = analyze(&recs, 128);
+        assert!(b.pct(Bucket::AluExec) > 60.0, "{b}");
+    }
+
+    #[test]
+    fn memory_chain_is_load_mem_critical() {
+        let recs: Vec<InstRecord> = (0..10)
+            .map(|i| InstRecord {
+                seq: i,
+                dispatch: i,
+                complete: 10 + 100 * (i + 1),
+                commit: 11 + 100 * (i + 1),
+                dep: i.checked_sub(1),
+                bucket: Bucket::LoadMem,
+                redirect: false,
+            })
+            .collect();
+        let b = analyze(&recs, 128);
+        assert!(b.pct(Bucket::LoadMem) > 85.0, "{b}");
+    }
+
+    #[test]
+    fn independent_stream_is_fetch_limited() {
+        // 4-wide fetch, everything executes instantly.
+        let recs: Vec<InstRecord> = (0..100)
+            .map(|i| rec(i, i / 4, i / 4 + 1, i / 4 + 3))
+            .collect();
+        let b = analyze(&recs, 128);
+        assert!(b.pct(Bucket::Fetch) > 60.0, "{b}");
+    }
+
+    #[test]
+    fn commit_bound_stream() {
+        // Everything ready immediately but commits one per cycle.
+        let recs: Vec<InstRecord> = (0..100).map(|i| rec(i, 0, 1, 5 + i)).collect();
+        let b = analyze(&recs, 128);
+        assert!(b.pct(Bucket::Commit) > 80.0, "{b}");
+    }
+
+    #[test]
+    fn mispredict_shows_up_as_fetch() {
+        // A branch fed by a memory load redirects fetch; followers dispatch
+        // only after the redirect plus a front-end refill.
+        let mut recs = vec![
+            InstRecord {
+                seq: 0,
+                dispatch: 0,
+                complete: 100,
+                commit: 102,
+                dep: None,
+                bucket: Bucket::LoadMem,
+                redirect: false,
+            },
+            InstRecord {
+                seq: 1,
+                dispatch: 1,
+                complete: 101,
+                commit: 103,
+                dep: Some(0),
+                bucket: Bucket::AluExec,
+                redirect: true,
+            },
+        ];
+        for i in 2..20 {
+            recs.push(InstRecord {
+                seq: i,
+                dispatch: 112 + i / 4, // redirect at 101 + ~11-cycle refill
+                complete: 113 + i / 4,
+                commit: 115 + i / 4,
+                dep: None,
+                bucket: Bucket::AluExec,
+                redirect: false,
+            });
+        }
+        let b = analyze(&recs, 128);
+        assert!(b.pct(Bucket::Fetch) > 8.0, "{b}");
+        assert!(b.pct(Bucket::LoadMem) > 50.0, "{b}");
+    }
+
+    #[test]
+    fn window_stall_attributed_to_fetch() {
+        // Tiny window of 2: dispatch of i gated by commit of i-2.
+        let recs: Vec<InstRecord> = (0..20)
+            .map(|i| InstRecord {
+                seq: i,
+                dispatch: 10 * i,
+                complete: 10 * i + 5,
+                commit: 10 * (i + 1),
+                dep: None,
+                bucket: Bucket::AluExec,
+                redirect: false,
+            })
+            .collect();
+        let b = analyze(&recs, 2);
+        assert!(b.cycles[Bucket::Fetch as usize] > 0);
+    }
+
+    #[test]
+    fn dep_outside_batch_is_ignored() {
+        let recs = vec![InstRecord {
+            seq: 100,
+            dispatch: 5,
+            complete: 8,
+            commit: 9,
+            dep: Some(7), // retired before this batch
+            bucket: Bucket::AluExec,
+            redirect: false,
+        }];
+        let b = analyze(&recs, 128);
+        assert_eq!(b.total(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_batch_panics() {
+        let recs = vec![rec(5, 0, 1, 2), rec(3, 0, 1, 2)];
+        let _ = analyze(&recs, 128);
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let recs: Vec<InstRecord> = (0..30).map(|i| rec(i, i, i + 3, i + 6)).collect();
+        let b = analyze(&recs, 16);
+        let sum: f64 = Bucket::ALL.iter().map(|&x| b.pct(x)).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! # reno-func — architectural (functional) simulator and oracle trace
+//!
+//! Executes [`reno_isa::Program`]s at architectural level: a register file, a
+//! sparse byte-addressed memory, and precise sequential semantics. It serves
+//! two roles:
+//!
+//! 1. **Reference semantics.** Workload kernels are validated against golden
+//!    checksums produced here, and the timing simulator's retired state is
+//!    cross-checked against it.
+//! 2. **Oracle trace feed.** The cycle-level simulator in `reno-sim` is
+//!    trace-driven: [`Oracle`] streams [`DynInst`] records (one per dynamic
+//!    instruction on the correct path, with resolved values, effective
+//!    addresses and branch outcomes) that the timing model consumes.
+//!
+//! ```
+//! use reno_isa::{Asm, Reg};
+//! use reno_func::Cpu;
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::T0, 5);
+//! a.li(Reg::V0, 0);
+//! a.label("loop");
+//! a.add(Reg::V0, Reg::V0, Reg::T0);
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, "loop");
+//! a.out(Reg::V0);
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! let mut cpu = Cpu::new(&prog);
+//! let result = cpu.run_program(&prog, 1_000_000)?;
+//! assert!(result.halted);
+//! assert_eq!(cpu.reg(Reg::V0), 15); // 5+4+3+2+1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cpu;
+mod memory;
+mod mix;
+mod trace;
+
+pub use cpu::{run_to_completion, Cpu, ExecError, RunResult};
+pub use memory::Memory;
+pub use mix::MixStats;
+pub use trace::{DynInst, Oracle};

@@ -1,0 +1,142 @@
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse, byte-addressed, little-endian memory.
+///
+/// Pages are allocated on first touch; reads of untouched memory return zero.
+/// Unaligned accesses are permitted (they are assembled a byte at a time).
+///
+/// ```
+/// use reno_func::Memory;
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x2000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads `n <= 8` bytes little-endian into a `u64`.
+    #[inline]
+    pub fn read_le(&self, addr: u64, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `val` little-endian.
+    #[inline]
+    pub fn write_le(&mut self, addr: u64, n: u64, val: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr + i, (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit little-endian word.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_le(addr, 8, val)
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xffff_ffff_0000), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = Memory::new();
+        m.write_le(100, 4, 0x0403_0201);
+        assert_eq!(m.read_u8(100), 1);
+        assert_eq!(m.read_u8(103), 4);
+        assert_eq!(m.read_le(100, 4), 0x0403_0201);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u64 - 3; // straddles the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_write_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.write_u64(0, u64::MAX);
+        m.write_le(2, 2, 0);
+        assert_eq!(m.read_u64(0), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut m = Memory::new();
+        m.write_bytes(5000, &[9, 8, 7]);
+        assert_eq!(m.read_bytes(5000, 3), vec![9, 8, 7]);
+    }
+}

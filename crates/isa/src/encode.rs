@@ -1,0 +1,177 @@
+//! A compact 32-bit binary encoding, Alpha-style.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! ```text
+//! I-format: | op[31:26] | rA[25:21] | rB[20:16] | imm[15:0]          |
+//! R-format: | op[31:26] | rA[25:21] | rB[20:16] | 0[15:5] | rC[4:0] |
+//! ```
+//!
+//! The timing simulator operates on decoded [`Inst`] values; the encoding
+//! exists so programs have a definite binary size (for instruction-cache
+//! modelling: one instruction = 4 bytes) and to demonstrate a lossless
+//! round-trip, which is property-tested.
+
+use crate::{Inst, OpClass, Opcode, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] for an invalid instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn pack(op: Opcode, ra: Reg, rb: Reg, low16: u16) -> u32 {
+    ((op as u32) << 26) | ((ra.index() as u32) << 21) | ((rb.index() as u32) << 16) | low16 as u32
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// Fields unused by the opcode are encoded as zero, so `decode(encode(i))`
+/// returns the *canonical* form of `i` (identical to `i` whenever `i` was
+/// built through the [`Inst`] constructors).
+pub fn encode(inst: &Inst) -> u32 {
+    use OpClass::*;
+    match inst.op.class() {
+        AluRR | Mul => pack(inst.op, inst.rd, inst.rs1, inst.rs2.index() as u16),
+        AluRI => {
+            let rs1 = if inst.op == Opcode::Lui { Reg::ZERO } else { inst.rs1 };
+            pack(inst.op, inst.rd, rs1, inst.imm as u16)
+        }
+        Load => pack(inst.op, inst.rd, inst.rs1, inst.imm as u16),
+        Store => pack(inst.op, inst.rs2, inst.rs1, inst.imm as u16),
+        CondBranch => pack(inst.op, inst.rs1, Reg::ZERO, inst.imm as u16),
+        Jump => {
+            let rd = if inst.op == Opcode::Jal { inst.rd } else { Reg::ZERO };
+            pack(inst.op, rd, Reg::ZERO, inst.imm as u16)
+        }
+        JumpReg => {
+            let rd = if inst.op == Opcode::Jalr { inst.rd } else { Reg::ZERO };
+            pack(inst.op, rd, inst.rs1, 0)
+        }
+        Misc => {
+            let rs1 = if inst.op == Opcode::Out { inst.rs1 } else { Reg::ZERO };
+            pack(inst.op, Reg::ZERO, rs1, 0)
+        }
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode field does not name a valid opcode or
+/// if bits that must be zero for the opcode's format are set.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opno = (word >> 26) as usize;
+    let op = *Opcode::ALL.get(opno).ok_or(DecodeError { word })?;
+    let ra = Reg::new(((word >> 21) & 0x1f) as u8);
+    let rb = Reg::new(((word >> 16) & 0x1f) as u8);
+    let imm = word as u16 as i16;
+    let rc = Reg::new((word & 0x1f) as u8);
+    let r_format_pad_ok = (word & 0xffe0) == 0;
+
+    // Strictness: fields an opcode does not use must hold the canonical
+    // value (`Reg::ZERO` / 0), so the encoding is a bijection on its image.
+    let require = |ok: bool| if ok { Ok(()) } else { Err(DecodeError { word }) };
+
+    use OpClass::*;
+    let inst = match op.class() {
+        AluRR | Mul => {
+            require(r_format_pad_ok)?;
+            Inst { op, rd: ra, rs1: rb, rs2: rc, imm: 0 }
+        }
+        AluRI => {
+            if op == Opcode::Lui {
+                require(rb == Reg::ZERO)?;
+            }
+            Inst { op, rd: ra, rs1: rb, rs2: Reg::ZERO, imm }
+        }
+        Load => Inst { op, rd: ra, rs1: rb, rs2: Reg::ZERO, imm },
+        Store => Inst { op, rd: Reg::ZERO, rs1: rb, rs2: ra, imm },
+        CondBranch => {
+            require(rb == Reg::ZERO)?;
+            Inst { op, rd: Reg::ZERO, rs1: ra, rs2: Reg::ZERO, imm }
+        }
+        Jump => {
+            require(rb == Reg::ZERO)?;
+            if op != Opcode::Jal {
+                require(ra == Reg::ZERO)?;
+            }
+            let rd = if op == Opcode::Jal { ra } else { Reg::ZERO };
+            Inst { op, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+        }
+        JumpReg => {
+            require(r_format_pad_ok && rc == Reg::new(0))?;
+            if op != Opcode::Jalr {
+                require(ra == Reg::ZERO)?;
+            }
+            let rd = if op == Opcode::Jalr { ra } else { Reg::ZERO };
+            Inst { op, rd, rs1: rb, rs2: Reg::ZERO, imm: 0 }
+        }
+        Misc => {
+            require(r_format_pad_ok && rc == Reg::new(0) && ra == Reg::ZERO)?;
+            if op != Opcode::Out {
+                require(rb == Reg::ZERO)?;
+            }
+            let rs1 = if op == Opcode::Out { rb } else { Reg::ZERO };
+            Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 }
+        }
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i);
+        let d = decode(w).expect("canonical instruction decodes");
+        assert_eq!(i, d, "roundtrip mismatch for {i} (word {w:#010x})");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        roundtrip(Inst::alu_rr(Opcode::Add, Reg::T0, Reg::T1, Reg::T2));
+        roundtrip(Inst::alu_rr(Opcode::Mul, Reg::S0, Reg::A0, Reg::A1));
+        roundtrip(Inst::alu_ri(Opcode::Addi, Reg::SP, Reg::SP, -16));
+        roundtrip(Inst::alu_ri(Opcode::Lui, Reg::T0, Reg::ZERO, 0x1234));
+        roundtrip(Inst::load(Opcode::Ldbu, Reg::T3, Reg::A2, 255));
+        roundtrip(Inst::store(Opcode::St, Reg::RA, Reg::SP, 8));
+        roundtrip(Inst::branch(Opcode::Bltz, Reg::V0, -100));
+        roundtrip(Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 42 });
+        roundtrip(Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 });
+        roundtrip(Inst { op: Opcode::Jalr, rd: Reg::RA, rs1: Reg::T12, rs2: Reg::ZERO, imm: 0 });
+        roundtrip(Inst { op: Opcode::Halt, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+        roundtrip(Inst { op: Opcode::Out, rd: Reg::ZERO, rs1: Reg::V0, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 63u32 << 26;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn bad_r_format_padding_rejected() {
+        let good = encode(&Inst::alu_rr(Opcode::Add, Reg::T0, Reg::T1, Reg::T2));
+        assert!(decode(good | 0x20).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T0, -32768);
+        let d = decode(encode(&i)).unwrap();
+        assert_eq!(d.imm, -32768);
+    }
+}

@@ -1,0 +1,278 @@
+use crate::{OpClass, Opcode, Reg};
+use std::fmt;
+
+/// A single machine instruction.
+///
+/// All formats share one structure; fields an opcode does not use are required
+/// to be `Reg::ZERO` / `0` (the encoder canonicalizes and the decoder restores
+/// this invariant).
+///
+/// * `AluRR`: `rd <- rs1 op rs2`
+/// * `AluRI`: `rd <- rs1 op imm` (`Lui` ignores `rs1`)
+/// * `Load`:  `rd <- mem[rs1 + imm]`
+/// * `Store`: `mem[rs1 + imm] <- rs2`
+/// * `CondBranch`: `if cond(rs1): pc <- pc + 1 + imm`
+/// * `Jump`: `pc <- pc + 1 + imm`, `Jal` writes `rd`
+/// * `JumpReg`: `pc <- rs1` (in instruction-index units), `Jalr` writes `rd`
+///
+/// ```
+/// use reno_isa::{Inst, Opcode, Reg};
+/// let mv = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T1, 0);
+/// assert!(mv.is_move());
+/// let inc = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T1, 8);
+/// assert!(!inc.is_move() && inc.op.is_reg_imm_add());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register (`Reg::ZERO` when unused).
+    pub rd: Reg,
+    /// First source register (`Reg::ZERO` when unused).
+    pub rs1: Reg,
+    /// Second source register (`Reg::ZERO` when unused).
+    pub rs2: Reg,
+    /// 16-bit immediate / displacement / PC-relative branch offset
+    /// (in instruction-index units).
+    pub imm: i16,
+}
+
+impl Inst {
+    /// Builds a register-register ALU instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not of class `AluRR` or `Mul`.
+    pub fn alu_rr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        assert!(
+            matches!(op.class(), OpClass::AluRR | OpClass::Mul),
+            "{op} is not a register-register ALU op"
+        );
+        Inst { op, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// Builds a register-immediate ALU instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not of class `AluRI`.
+    pub fn alu_ri(op: Opcode, rd: Reg, rs1: Reg, imm: i16) -> Inst {
+        assert!(op.class() == OpClass::AluRI, "{op} is not a register-immediate ALU op");
+        Inst { op, rd, rs1, rs2: Reg::ZERO, imm }
+    }
+
+    /// Builds a load `rd <- mem[base + disp]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a load.
+    pub fn load(op: Opcode, rd: Reg, base: Reg, disp: i16) -> Inst {
+        assert!(op.is_load(), "{op} is not a load");
+        Inst { op, rd, rs1: base, rs2: Reg::ZERO, imm: disp }
+    }
+
+    /// Builds a store `mem[base + disp] <- src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a store.
+    pub fn store(op: Opcode, src: Reg, base: Reg, disp: i16) -> Inst {
+        assert!(op.is_store(), "{op} is not a store");
+        Inst { op, rd: Reg::ZERO, rs1: base, rs2: src, imm: disp }
+    }
+
+    /// Builds a conditional branch with a resolved offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a conditional branch.
+    pub fn branch(op: Opcode, rs1: Reg, offset: i16) -> Inst {
+        assert!(op.is_cond_branch(), "{op} is not a conditional branch");
+        Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: offset }
+    }
+
+    /// The architectural destination register, if the instruction writes one.
+    ///
+    /// Writes to `Reg::ZERO` are discarded and reported as `None`.
+    pub fn dst(&self) -> Option<Reg> {
+        use OpClass::*;
+        let d = match self.op.class() {
+            AluRR | AluRI | Mul | Load => Some(self.rd),
+            Jump if self.op == Opcode::Jal => Some(self.rd),
+            JumpReg if self.op == Opcode::Jalr => Some(self.rd),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// The source registers the instruction reads (hardwired zero included).
+    pub fn srcs(&self) -> SrcIter {
+        use OpClass::*;
+        let (a, b) = match self.op.class() {
+            AluRR | Mul => (Some(self.rs1), Some(self.rs2)),
+            AluRI => {
+                if self.op == Opcode::Lui {
+                    (None, None)
+                } else {
+                    (Some(self.rs1), None)
+                }
+            }
+            Load => (Some(self.rs1), None),
+            Store => (Some(self.rs1), Some(self.rs2)),
+            CondBranch => (Some(self.rs1), None),
+            JumpReg => (Some(self.rs1), None),
+            Jump | Misc => {
+                if self.op == Opcode::Out {
+                    (Some(self.rs1), None)
+                } else {
+                    (None, None)
+                }
+            }
+        };
+        SrcIter { a, b }
+    }
+
+    /// Whether this instruction is the canonical register-move idiom
+    /// (`addi rd, rs, 0`), the instruction RENO_ME eliminates.
+    pub fn is_move(&self) -> bool {
+        self.op == Opcode::Addi && self.imm == 0
+    }
+
+    /// Whether this instruction both has a destination and can be considered
+    /// for RENO collapsing at rename (its result is a pure function of one
+    /// register and an immediate).
+    pub fn is_cf_candidate(&self) -> bool {
+        self.op.is_reg_imm_add() && self.dst().is_some()
+    }
+}
+
+/// Iterator over an instruction's source registers. See [`Inst::srcs`].
+#[derive(Clone, Debug)]
+pub struct SrcIter {
+    a: Option<Reg>,
+    b: Option<Reg>,
+}
+
+impl Iterator for SrcIter {
+    type Item = Reg;
+    fn next(&mut self) -> Option<Reg> {
+        self.a.take().or_else(|| self.b.take())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpClass::*;
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            AluRR | Mul => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            AluRI => {
+                if self.op == Opcode::Lui {
+                    write!(f, "{m} {}, {}", self.rd, self.imm)
+                } else if self.is_move() {
+                    write!(f, "mov {}, {}", self.rd, self.rs1)
+                } else {
+                    write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm)
+                }
+            }
+            Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            Store => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            CondBranch => write!(f, "{m} {}, {:+}", self.rs1, self.imm),
+            Jump => {
+                if self.op == Opcode::Jal {
+                    write!(f, "{m} {}, {:+}", self.rd, self.imm)
+                } else {
+                    write!(f, "{m} {:+}", self.imm)
+                }
+            }
+            JumpReg => {
+                if self.op == Opcode::Jalr {
+                    write!(f, "{m} {}, {}", self.rd, self.rs1)
+                } else {
+                    write!(f, "{m} {}", self.rs1)
+                }
+            }
+            Misc => {
+                if self.op == Opcode::Out {
+                    write!(f, "{m} {}", self.rs1)
+                } else {
+                    write!(f, "{m}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Inst({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_idiom_detection() {
+        let mv = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T1, 0);
+        assert!(mv.is_move());
+        assert!(mv.is_cf_candidate());
+        let inc = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T1, 4);
+        assert!(!inc.is_move());
+        assert!(inc.is_cf_candidate());
+        let ori = Inst::alu_ri(Opcode::Ori, Reg::T0, Reg::T1, 0);
+        assert!(!ori.is_move());
+        assert!(!ori.is_cf_candidate());
+    }
+
+    #[test]
+    fn zero_destination_is_discarded() {
+        let nop = Inst::alu_ri(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0);
+        assert_eq!(nop.dst(), None);
+    }
+
+    #[test]
+    fn sources_per_class() {
+        let add = Inst::alu_rr(Opcode::Add, Reg::T0, Reg::T1, Reg::T2);
+        assert_eq!(add.srcs().collect::<Vec<_>>(), vec![Reg::T1, Reg::T2]);
+        let ld = Inst::load(Opcode::Ld, Reg::T0, Reg::SP, 16);
+        assert_eq!(ld.srcs().collect::<Vec<_>>(), vec![Reg::SP]);
+        assert_eq!(ld.dst(), Some(Reg::T0));
+        let st = Inst::store(Opcode::St, Reg::T0, Reg::SP, 8);
+        assert_eq!(st.srcs().collect::<Vec<_>>(), vec![Reg::SP, Reg::T0]);
+        assert_eq!(st.dst(), None);
+        let lui = Inst::alu_ri(Opcode::Lui, Reg::T0, Reg::ZERO, 5);
+        assert_eq!(lui.srcs().count(), 0);
+        let br = Inst::branch(Opcode::Bnez, Reg::T4, -3);
+        assert_eq!(br.srcs().collect::<Vec<_>>(), vec![Reg::T4]);
+        assert_eq!(br.dst(), None);
+    }
+
+    #[test]
+    fn jal_writes_destination() {
+        let jal = Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 10 };
+        assert_eq!(jal.dst(), Some(Reg::RA));
+        let jr = Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 };
+        assert_eq!(jr.dst(), None);
+        assert_eq!(jr.srcs().collect::<Vec<_>>(), vec![Reg::RA]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mv = Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::T1, 0);
+        assert_eq!(mv.to_string(), "mov t0, t1");
+        let ld = Inst::load(Opcode::Ld, Reg::V0, Reg::SP, 24);
+        assert_eq!(ld.to_string(), "ld v0, 24(sp)");
+        let st = Inst::store(Opcode::Stb, Reg::T1, Reg::A0, -1);
+        assert_eq!(st.to_string(), "stb t1, -1(a0)");
+        let br = Inst::branch(Opcode::Beqz, Reg::T0, 5);
+        assert_eq!(br.to_string(), "beqz t0, +5");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a load")]
+    fn wrong_constructor_panics() {
+        let _ = Inst::load(Opcode::Add, Reg::T0, Reg::T1, 0);
+    }
+}

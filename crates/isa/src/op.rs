@@ -1,0 +1,347 @@
+use std::fmt;
+
+/// Access width of a memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte, zero-extended on load.
+    B1,
+    /// 2 bytes, sign-extended on load.
+    B2,
+    /// 4 bytes, sign-extended on load.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// Coarse functional class of an opcode, used by decode and the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Register-register integer ALU operation (`rd <- rs1 op rs2`).
+    AluRR,
+    /// Register-immediate integer ALU operation (`rd <- rs1 op imm`).
+    AluRI,
+    /// Integer multiply (multi-cycle).
+    Mul,
+    /// Memory load (`rd <- mem[rs1 + imm]`).
+    Load,
+    /// Memory store (`mem[rs1 + imm] <- rs2`).
+    Store,
+    /// Conditional branch on `rs1` vs zero, PC-relative target in `imm`.
+    CondBranch,
+    /// Unconditional direct jump (PC-relative `imm`); `jal` also writes `rd`.
+    Jump,
+    /// Indirect jump through `rs1`; `jalr` also writes `rd`.
+    JumpReg,
+    /// Miscellaneous (halt, checksum output).
+    Misc,
+}
+
+/// The instruction opcodes of the ISA.
+///
+/// ```
+/// use reno_isa::Opcode;
+/// assert!(Opcode::Addi.is_reg_imm_add());
+/// assert!(Opcode::Ld.is_load());
+/// assert!(Opcode::Beqz.is_cond_branch());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    // -- register-register ALU --------------------------------------------
+    Add = 0,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    /// Set `rd` to 1 if `rs1 < rs2` (signed), else 0.
+    Slt,
+    /// Set `rd` to 1 if `rs1 < rs2` (unsigned), else 0.
+    Sltu,
+    /// Set `rd` to 1 if `rs1 == rs2`, else 0.
+    Seq,
+    // -- multiply ----------------------------------------------------------
+    Mul,
+    // -- register-immediate ALU --------------------------------------------
+    /// `rd <- rs1 + sext(imm)`. Register moves are `addi rd, rs, 0`; this is
+    /// the instruction RENO_CF folds.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    /// Set `rd` to 1 if `rs1 < sext(imm)` (signed).
+    Slti,
+    /// `rd <- sext(imm) << 16` — load upper immediate.
+    Lui,
+    // -- memory --------------------------------------------------------------
+    /// 8-byte load.
+    Ld,
+    /// 4-byte sign-extending load.
+    Ldl,
+    /// 2-byte sign-extending load.
+    Ldh,
+    /// 1-byte zero-extending load.
+    Ldbu,
+    /// 8-byte store.
+    St,
+    /// 4-byte store.
+    Stl,
+    /// 2-byte store.
+    Sth,
+    /// 1-byte store.
+    Stb,
+    // -- control -------------------------------------------------------------
+    /// Branch if `rs1 == 0`.
+    Beqz,
+    /// Branch if `rs1 != 0`.
+    Bnez,
+    /// Branch if `rs1 < 0` (signed).
+    Bltz,
+    /// Branch if `rs1 >= 0` (signed).
+    Bgez,
+    /// Branch if `rs1 <= 0` (signed).
+    Blez,
+    /// Branch if `rs1 > 0` (signed).
+    Bgtz,
+    /// Unconditional PC-relative jump.
+    Br,
+    /// Call: `rd <- return address; pc <- pc + imm`.
+    Jal,
+    /// Indirect jump: `pc <- rs1`.
+    Jr,
+    /// Indirect call: `rd <- return address; pc <- rs1`.
+    Jalr,
+    // -- misc ------------------------------------------------------------------
+    /// Stop the program.
+    Halt,
+    /// Fold `rs1` into the machine's output checksum (verification aid).
+    Out,
+}
+
+impl Opcode {
+    /// All opcodes, in discriminant order (used by the decoder and tests).
+    pub const ALL: [Opcode; 41] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Seq,
+        Opcode::Mul,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Lui,
+        Opcode::Ld,
+        Opcode::Ldl,
+        Opcode::Ldh,
+        Opcode::Ldbu,
+        Opcode::St,
+        Opcode::Stl,
+        Opcode::Sth,
+        Opcode::Stb,
+        Opcode::Beqz,
+        Opcode::Bnez,
+        Opcode::Bltz,
+        Opcode::Bgez,
+        Opcode::Blez,
+        Opcode::Bgtz,
+        Opcode::Br,
+        Opcode::Jal,
+        Opcode::Jr,
+        Opcode::Jalr,
+        Opcode::Halt,
+        Opcode::Out,
+    ];
+
+    /// The opcode's functional class.
+    pub const fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq => OpClass::AluRR,
+            Mul => OpClass::Mul,
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Lui => OpClass::AluRI,
+            Ld | Ldl | Ldh | Ldbu => OpClass::Load,
+            St | Stl | Sth | Stb => OpClass::Store,
+            Beqz | Bnez | Bltz | Bgez | Blez | Bgtz => OpClass::CondBranch,
+            Br | Jal => OpClass::Jump,
+            Jr | Jalr => OpClass::JumpReg,
+            Halt | Out => OpClass::Misc,
+        }
+    }
+
+    /// Whether this is the register-immediate addition RENO_CF folds.
+    ///
+    /// Register moves (`addi rd, rs, 0`) are a special case of this, which is
+    /// why RENO_CF subsumes RENO_ME.
+    pub const fn is_reg_imm_add(self) -> bool {
+        matches!(self, Opcode::Addi)
+    }
+
+    /// Whether this opcode reads memory.
+    pub const fn is_load(self) -> bool {
+        matches!(self.class(), OpClass::Load)
+    }
+
+    /// Whether this opcode writes memory.
+    pub const fn is_store(self) -> bool {
+        matches!(self.class(), OpClass::Store)
+    }
+
+    /// Whether this opcode is a conditional branch.
+    pub const fn is_cond_branch(self) -> bool {
+        matches!(self.class(), OpClass::CondBranch)
+    }
+
+    /// Whether this opcode redirects control flow (branch, jump, call, return).
+    pub const fn is_control(self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::CondBranch | OpClass::Jump | OpClass::JumpReg
+        )
+    }
+
+    /// Memory access width for loads/stores, [`None`] otherwise.
+    pub const fn mem_width(self) -> Option<MemWidth> {
+        use Opcode::*;
+        match self {
+            Ld | St => Some(MemWidth::B8),
+            Ldl | Stl => Some(MemWidth::B4),
+            Ldh | Sth => Some(MemWidth::B2),
+            Ldbu | Stb => Some(MemWidth::B1),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    pub const fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Seq => "seq",
+            Mul => "mul",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Lui => "lui",
+            Ld => "ld",
+            Ldl => "ldl",
+            Ldh => "ldh",
+            Ldbu => "ldbu",
+            St => "st",
+            Stl => "stl",
+            Sth => "sth",
+            Stb => "stb",
+            Beqz => "beqz",
+            Bnez => "bnez",
+            Bltz => "bltz",
+            Bgez => "bgez",
+            Blez => "blez",
+            Bgtz => "bgtz",
+            Br => "br",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Halt => "halt",
+            Out => "out",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_list_matches_discriminants() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(*op as usize, i, "{op:?} out of order in ALL");
+        }
+    }
+
+    #[test]
+    fn classes_are_consistent() {
+        assert_eq!(Opcode::Add.class(), OpClass::AluRR);
+        assert_eq!(Opcode::Addi.class(), OpClass::AluRI);
+        assert_eq!(Opcode::Mul.class(), OpClass::Mul);
+        assert_eq!(Opcode::Ld.class(), OpClass::Load);
+        assert_eq!(Opcode::Stb.class(), OpClass::Store);
+        assert_eq!(Opcode::Bgtz.class(), OpClass::CondBranch);
+        assert_eq!(Opcode::Jal.class(), OpClass::Jump);
+        assert_eq!(Opcode::Jalr.class(), OpClass::JumpReg);
+        assert_eq!(Opcode::Halt.class(), OpClass::Misc);
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Opcode::Ld.mem_width(), Some(MemWidth::B8));
+        assert_eq!(Opcode::Ldl.mem_width(), Some(MemWidth::B4));
+        assert_eq!(Opcode::Sth.mem_width(), Some(MemWidth::B2));
+        assert_eq!(Opcode::Ldbu.mem_width(), Some(MemWidth::B1));
+        assert_eq!(Opcode::Add.mem_width(), None);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+    }
+
+    #[test]
+    fn only_addi_is_foldable() {
+        for op in Opcode::ALL {
+            assert_eq!(op.is_reg_imm_add(), op == Opcode::Addi);
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Beqz.is_control());
+        assert!(Opcode::Jr.is_control());
+        assert!(Opcode::Br.is_control());
+        assert!(!Opcode::Out.is_control());
+        assert!(!Opcode::Ld.is_control());
+    }
+}

@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// A logical (architectural) register name, `r0`–`r31`.
+///
+/// Register `r31` is hardwired to zero, following the Alpha convention. The
+/// calling convention mirrors Alpha OSF:
+///
+/// | name | register | role |
+/// |------|----------|------|
+/// | `v0` | r0 | return value |
+/// | `t0`–`t7` | r1–r8 | caller-saved temporaries |
+/// | `s0`–`s5` | r9–r14 | callee-saved |
+/// | `fp` | r15 | frame pointer |
+/// | `a0`–`a5` | r16–r21 | arguments |
+/// | `t8`–`t11` | r22–r25 | more temporaries |
+/// | `ra` | r26 | return address |
+/// | `t12` | r27 | scratch |
+/// | `at` | r28 | assembler temporary |
+/// | `gp` | r29 | global pointer |
+/// | `sp` | r30 | stack pointer |
+/// | `zero` | r31 | hardwired zero |
+///
+/// ```
+/// use reno_isa::Reg;
+/// assert_eq!(Reg::ZERO.index(), 31);
+/// assert!(Reg::ZERO.is_zero());
+/// assert_eq!(Reg::new(30), Reg::SP);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of logical registers in the ISA.
+    pub const COUNT: usize = 32;
+
+    /// Return value register (`r0`).
+    pub const V0: Reg = Reg(0);
+    /// Caller-saved temporaries `t0`–`t7` (`r1`–`r8`).
+    pub const T0: Reg = Reg(1);
+    pub const T1: Reg = Reg(2);
+    pub const T2: Reg = Reg(3);
+    pub const T3: Reg = Reg(4);
+    pub const T4: Reg = Reg(5);
+    pub const T5: Reg = Reg(6);
+    pub const T6: Reg = Reg(7);
+    pub const T7: Reg = Reg(8);
+    /// Callee-saved registers `s0`–`s5` (`r9`–`r14`).
+    pub const S0: Reg = Reg(9);
+    pub const S1: Reg = Reg(10);
+    pub const S2: Reg = Reg(11);
+    pub const S3: Reg = Reg(12);
+    pub const S4: Reg = Reg(13);
+    pub const S5: Reg = Reg(14);
+    /// Frame pointer (`r15`).
+    pub const FP: Reg = Reg(15);
+    /// Argument registers `a0`–`a5` (`r16`–`r21`).
+    pub const A0: Reg = Reg(16);
+    pub const A1: Reg = Reg(17);
+    pub const A2: Reg = Reg(18);
+    pub const A3: Reg = Reg(19);
+    pub const A4: Reg = Reg(20);
+    pub const A5: Reg = Reg(21);
+    /// More temporaries `t8`–`t11` (`r22`–`r25`).
+    pub const T8: Reg = Reg(22);
+    pub const T9: Reg = Reg(23);
+    pub const T10: Reg = Reg(24);
+    pub const T11: Reg = Reg(25);
+    /// Return address (`r26`).
+    pub const RA: Reg = Reg(26);
+    /// Scratch (`r27`).
+    pub const T12: Reg = Reg(27);
+    /// Assembler temporary (`r28`).
+    pub const AT: Reg = Reg(28);
+    /// Global pointer (`r29`).
+    pub const GP: Reg = Reg(29);
+    /// Stack pointer (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Hardwired zero (`r31`).
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `r31`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Iterate over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The conventional assembly name (`v0`, `t3`, `sp`, ...).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4",
+            "s5", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "t12",
+            "at", "gp", "sp", "zero",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_registers_have_expected_indices() {
+        assert_eq!(Reg::V0.index(), 0);
+        assert_eq!(Reg::T0.index(), 1);
+        assert_eq!(Reg::S0.index(), 9);
+        assert_eq!(Reg::FP.index(), 15);
+        assert_eq!(Reg::A0.index(), 16);
+        assert_eq!(Reg::RA.index(), 26);
+        assert_eq!(Reg::SP.index(), 30);
+        assert_eq!(Reg::ZERO.index(), 31);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+
+    #[test]
+    fn all_covers_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::new(4).to_string(), "t3");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: every canonical instruction survives an encode/decode
+//! round-trip, and the decoder never panics on arbitrary words.
+
+use proptest::prelude::*;
+use reno_isa::{decode, encode, Inst, OpClass, Opcode, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+/// Strategy producing canonical instructions (as the constructors build them).
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (0usize..Opcode::ALL.len(), arb_reg(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(opno, a, b, c, imm)| {
+            let op = Opcode::ALL[opno];
+            match op.class() {
+                OpClass::AluRR | OpClass::Mul => Inst::alu_rr(op, a, b, c),
+                OpClass::AluRI => {
+                    if op == Opcode::Lui {
+                        Inst { op, rd: a, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+                    } else {
+                        Inst::alu_ri(op, a, b, imm)
+                    }
+                }
+                OpClass::Load => Inst::load(op, a, b, imm),
+                OpClass::Store => Inst::store(op, a, b, imm),
+                OpClass::CondBranch => Inst::branch(op, a, imm),
+                OpClass::Jump => {
+                    let rd = if op == Opcode::Jal { a } else { Reg::ZERO };
+                    Inst { op, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+                }
+                OpClass::JumpReg => {
+                    let rd = if op == Opcode::Jalr { a } else { Reg::ZERO };
+                    Inst { op, rd, rs1: b, rs2: Reg::ZERO, imm: 0 }
+                }
+                OpClass::Misc => {
+                    let rs1 = if op == Opcode::Out { b } else { Reg::ZERO };
+                    Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 }
+                }
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_canonical(inst in arb_inst()) {
+        let word = encode(&inst);
+        let back = decode(word).expect("canonical instructions decode");
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            // A word that decodes must re-encode to itself (the encoding is
+            // canonical: no two words map to the same instruction).
+            prop_assert_eq!(encode(&inst), word);
+        }
+    }
+
+    #[test]
+    fn srcs_and_dst_are_within_register_file(inst in arb_inst()) {
+        for s in inst.srcs() {
+            prop_assert!(s.index() < Reg::COUNT);
+        }
+        if let Some(d) = inst.dst() {
+            prop_assert!(d.index() < Reg::COUNT);
+            prop_assert!(!d.is_zero(), "dst() must filter the zero register");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Set associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `assoc`-way sets of `line_bytes` lines, or non-power-of-two sizes).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(lines * self.line_bytes, self.size_bytes, "capacity must be whole lines");
+        let sets = lines / self.assoc;
+        assert_eq!(sets * self.assoc, lines, "capacity must be whole sets");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in [0, 1]; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // larger = more recently used
+}
+
+/// A set-associative, true-LRU, write-back write-allocate cache directory.
+///
+/// Tracks tags only (data contents live in the functional simulator).
+///
+/// ```
+/// use reno_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_latency: 1 });
+/// assert!(!c.probe_and_fill(0, false)); // cold miss
+/// assert!(c.probe_and_fill(0, false));  // now a hit
+/// assert!(c.probe_and_fill(31, false)); // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * assoc, set-major
+    sets: usize,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache { cfg, lines: vec![Line::default(); sets * cfg.assoc], sets, stamp: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    #[inline]
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes as u64 / self.sets as u64
+    }
+
+    /// Probes for `addr`; on miss, fills the line (evicting LRU). Returns
+    /// whether the access hit. `write` marks the line dirty.
+    pub fn probe_and_fill(&mut self, addr: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        self.stamp += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.lines[base..base + self.cfg.assoc];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: victim = invalid way if any, else LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("associativity >= 1");
+        *victim = Line { tag, valid: true, dirty: write, lru: self.stamp };
+        false
+    }
+
+    /// Probes without filling or updating LRU/stats (for tests and warmup
+    /// inspection).
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.cfg.assoc;
+        self.lines[base..base + self.cfg.assoc].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (keeps statistics).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 32B lines.
+        Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 2);
+    }
+
+    #[test]
+    fn hit_after_fill_same_line() {
+        let mut c = tiny();
+        assert!(!c.probe_and_fill(100, false));
+        assert!(c.probe_and_fill(100, false));
+        assert!(c.probe_and_fill(96, false), "same 32B line");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Addresses mapping to set 0: line numbers 0, 2, 4 (even line indices).
+        let a = 0u64; // line 0 -> set 0
+        let b = 64u64; // line 2 -> set 0
+        let d = 128u64; // line 4 -> set 0
+        c.probe_and_fill(a, false);
+        c.probe_and_fill(b, false);
+        c.probe_and_fill(a, false); // touch a; b becomes LRU
+        c.probe_and_fill(d, false); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.probe_and_fill(0, false); // set 0
+        c.probe_and_fill(32, false); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(32));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.probe_and_fill(0, true);
+        c.flush();
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        c.probe_and_fill(0, false);
+        c.probe_and_fill(0, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 96, assoc: 1, line_bytes: 33, hit_latency: 1 });
+    }
+}

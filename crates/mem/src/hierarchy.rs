@@ -1,0 +1,290 @@
+use crate::{Cache, CacheConfig, CacheStats};
+
+/// Which level of the hierarchy served an access (used by the critical-path
+/// analyzer to split "load exec" from "load mem" criticality).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// First-level cache.
+    L1,
+    /// Unified second-level cache.
+    L2,
+    /// Main memory.
+    Mem,
+}
+
+/// Configuration of the full hierarchy. Defaults mirror the paper's §4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Instruction cache (16KB, 2-way, 32B, 1 cycle).
+    pub l1i: CacheConfig,
+    /// Data cache (32KB, 2-way, 32B, 2 cycles).
+    pub l1d: CacheConfig,
+    /// Unified L2 (512KB, 4-way, 64B, 10 cycles).
+    pub l2: CacheConfig,
+    /// Main memory access latency in core cycles.
+    pub mem_latency: u64,
+    /// Bus beat duration in core cycles (16B bus at quarter core clock = 4).
+    pub bus_beat_cycles: u64,
+    /// Bytes transferred per bus beat.
+    pub bus_bytes_per_beat: u64,
+    /// Maximum outstanding misses to memory.
+    pub max_outstanding: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 16 << 10, assoc: 2, line_bytes: 32, hit_latency: 1 },
+            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 32, hit_latency: 2 },
+            l2: CacheConfig { size_bytes: 512 << 10, assoc: 4, line_bytes: 64, hit_latency: 10 },
+            mem_latency: 100,
+            bus_beat_cycles: 4,
+            bus_bytes_per_beat: 16,
+            max_outstanding: 16,
+        }
+    }
+}
+
+/// Aggregate statistics for the hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Accesses that went to main memory.
+    pub mem_accesses: u64,
+    /// Cycles an access spent queued for an outstanding-miss slot or the bus.
+    pub queue_cycles: u64,
+}
+
+/// The timing model for the I$/D$/L2/memory hierarchy.
+///
+/// ```
+/// use reno_mem::{HierarchyConfig, MemHierarchy, ServedBy};
+/// let mut m = MemHierarchy::new(HierarchyConfig::default());
+/// let (ready, level) = m.access_data(0x1_0000, 10, false);
+/// assert_eq!(level, ServedBy::Mem); // cold miss
+/// assert!(ready > 110);
+/// let (ready, level) = m.access_data(0x1_0000, ready, false);
+/// assert_eq!(level, ServedBy::L1); // now resident
+/// assert_eq!(ready, m.l1d_latency() + ready - m.l1d_latency());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    /// Completion times of in-flight memory misses (line address, done).
+    inflight: Vec<(u64, u64)>,
+    /// Cycle at which the memory bus frees up.
+    bus_free: u64,
+    stats: HierarchyStats,
+}
+
+impl MemHierarchy {
+    /// Builds an empty (cold) hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> MemHierarchy {
+        MemHierarchy {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            inflight: Vec::new(),
+            bus_free: 0,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// D$ hit latency (the load-to-use pipeline assumes this on a hit).
+    pub fn l1d_latency(&self) -> u64 {
+        self.cfg.l1d.hit_latency
+    }
+
+    /// I$ hit latency.
+    pub fn l1i_latency(&self) -> u64 {
+        self.cfg.l1i.hit_latency
+    }
+
+    /// Per-cache statistics: (I$, D$, L2).
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (*self.l1i.stats(), *self.l1d.stats(), *self.l2.stats())
+    }
+
+    /// Hierarchy-wide statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.l2.line_bytes as u64 - 1)
+    }
+
+    /// Models a main-memory access starting no earlier than `earliest`,
+    /// merging with an in-flight miss to the same line if one exists.
+    fn memory_access(&mut self, addr: u64, earliest: u64) -> u64 {
+        let line = self.line_addr(addr);
+        // Retire completed misses.
+        self.inflight.retain(|&(_, done)| done > earliest);
+
+        if let Some(&(_, done)) = self.inflight.iter().find(|&&(l, _)| l == line) {
+            return done; // MSHR merge: piggyback on the in-flight fill
+        }
+
+        // Wait for an outstanding-miss slot.
+        let mut start = earliest;
+        if self.inflight.len() >= self.cfg.max_outstanding {
+            let mut dones: Vec<u64> = self.inflight.iter().map(|&(_, d)| d).collect();
+            dones.sort_unstable();
+            let freed = dones[self.inflight.len() - self.cfg.max_outstanding];
+            start = start.max(freed);
+            self.inflight.retain(|&(_, done)| done > start);
+        }
+
+        // The line transfer occupies the bus after the DRAM access.
+        let beats = (self.cfg.l2.line_bytes as u64).div_ceil(self.cfg.bus_bytes_per_beat);
+        let transfer = beats * self.cfg.bus_beat_cycles;
+        let data_ready_unqueued = start + self.cfg.mem_latency;
+        let transfer_start = data_ready_unqueued.max(self.bus_free);
+        let done = transfer_start + transfer;
+        self.bus_free = done;
+
+        self.stats.mem_accesses += 1;
+        self.stats.queue_cycles += (start - earliest) + (transfer_start - data_ready_unqueued);
+        self.inflight.push((line, done));
+        done
+    }
+
+    /// If `addr`'s line is still being fetched from memory, returns the
+    /// merge completion time (the access piggybacks on the in-flight fill).
+    fn inflight_merge(&mut self, addr: u64, now: u64) -> Option<u64> {
+        let line = self.line_addr(addr);
+        self.inflight.retain(|&(_, done)| done > now);
+        self.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, done)| done)
+    }
+
+    /// Data access at cycle `now`. Returns `(ready_cycle, served_by)`:
+    /// the cycle the data (or store acknowledgment) is available and which
+    /// level provided it.
+    pub fn access_data(&mut self, addr: u64, now: u64, write: bool) -> (u64, ServedBy) {
+        if let Some(done) = self.inflight_merge(addr, now) {
+            // Keep the directories warm for the eventual fill.
+            self.l1d.probe_and_fill(addr, write);
+            self.l2.probe_and_fill(addr, write);
+            return (done, ServedBy::Mem);
+        }
+        if self.l1d.probe_and_fill(addr, write) {
+            return (now + self.cfg.l1d.hit_latency, ServedBy::L1);
+        }
+        let after_l1 = now + self.cfg.l1d.hit_latency;
+        if self.l2.probe_and_fill(addr, write) {
+            return (after_l1 + self.cfg.l2.hit_latency, ServedBy::L2);
+        }
+        let done = self.memory_access(addr, after_l1 + self.cfg.l2.hit_latency);
+        (done, ServedBy::Mem)
+    }
+
+    /// Instruction fetch access at cycle `now`; same contract as
+    /// [`MemHierarchy::access_data`].
+    pub fn access_inst(&mut self, addr: u64, now: u64) -> (u64, ServedBy) {
+        if let Some(done) = self.inflight_merge(addr, now) {
+            self.l1i.probe_and_fill(addr, false);
+            self.l2.probe_and_fill(addr, false);
+            return (done, ServedBy::Mem);
+        }
+        if self.l1i.probe_and_fill(addr, false) {
+            return (now + self.cfg.l1i.hit_latency, ServedBy::L1);
+        }
+        let after_l1 = now + self.cfg.l1i.hit_latency;
+        if self.l2.probe_and_fill(addr, false) {
+            return (after_l1 + self.cfg.l2.hit_latency, ServedBy::L2);
+        }
+        let done = self.memory_access(addr, after_l1 + self.cfg.l2.hit_latency);
+        (done, ServedBy::Mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemHierarchy {
+        MemHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn l1_hit_latency() {
+        let mut m = hier();
+        m.access_data(64, 0, false); // warm the line
+        let (ready, by) = m.access_data(64, 1000, false);
+        assert_eq!(by, ServedBy::L1);
+        assert_eq!(ready, 1002);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = hier();
+        m.access_data(0, 0, false);
+        // Evict line 0 from the 2-way 32KB L1 by touching two more lines in
+        // its set (stride = sets * 32B = 16KB), but keep it in the 512KB L2.
+        m.access_data(16 << 10, 200, false);
+        m.access_data(32 << 10, 400, false);
+        let (ready, by) = m.access_data(0, 1000, false);
+        assert_eq!(by, ServedBy::L2);
+        assert_eq!(ready, 1000 + 2 + 10);
+    }
+
+    #[test]
+    fn memory_latency_includes_bus_transfer() {
+        let mut m = hier();
+        let (ready, by) = m.access_data(0, 0, false);
+        assert_eq!(by, ServedBy::Mem);
+        // 2 (L1) + 10 (L2) + 100 (mem) + 16 (4 beats x 4 cycles) = 128.
+        assert_eq!(ready, 128);
+    }
+
+    #[test]
+    fn mshr_merging_same_line() {
+        let mut m = hier();
+        let (r1, _) = m.access_data(0, 0, false);
+        // Another miss to the same 64B line while in flight completes together
+        // and allocates no second memory access.
+        let (r2, by) = m.access_data(32, 1, false);
+        assert_eq!(by, ServedBy::Mem);
+        assert_eq!(r2, r1);
+        assert_eq!(m.stats().mem_accesses, 1);
+    }
+
+    #[test]
+    fn bus_serializes_back_to_back_misses() {
+        let mut m = hier();
+        let (r1, _) = m.access_data(0, 0, false);
+        let (r2, _) = m.access_data(4096, 0, false);
+        assert_eq!(r2, r1 + 16, "second transfer waits for the bus");
+    }
+
+    #[test]
+    fn outstanding_miss_limit_backpressures() {
+        let cfg = HierarchyConfig { max_outstanding: 2, ..HierarchyConfig::default() };
+        let mut m = MemHierarchy::new(cfg);
+        let (r1, _) = m.access_data(0, 0, false);
+        let (_r2, _) = m.access_data(4096, 0, false);
+        let (r3, _) = m.access_data(8192, 0, false);
+        assert!(r3 > r1, "third miss waits for a slot");
+        assert!(m.stats().queue_cycles > 0);
+    }
+
+    #[test]
+    fn inst_and_data_share_l2() {
+        let mut m = hier();
+        m.access_data(0x4000, 0, false); // fills L2 line
+        let (_, by) = m.access_inst(0x4000, 500);
+        assert_eq!(by, ServedBy::L2, "I-side miss hits in unified L2");
+    }
+
+    #[test]
+    fn store_allocates_and_hits() {
+        let mut m = hier();
+        let (_, by) = m.access_data(0x9000, 0, true);
+        assert_eq!(by, ServedBy::Mem);
+        let (_, by) = m.access_data(0x9000, 500, true);
+        assert_eq!(by, ServedBy::L1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # reno-mem — timing model of the on-chip memory hierarchy
+//!
+//! Implements the paper's §4.1 memory system: a 16KB 1-cycle 2-way I$, a 32KB
+//! 2-cycle 2-way D$ (32B blocks), a 512KB 4-way 64B-line 10-cycle L2, and a
+//! 100-cycle main memory reached over a 16B bus clocked at one quarter of the
+//! core frequency, with at most 16 outstanding misses.
+//!
+//! Latency-oriented rather than event-driven: an access performed at cycle
+//! `now` immediately returns the cycle at which its data is available, with
+//! bus occupancy and the outstanding-miss limit folded into that completion
+//! time. This keeps the simulator deterministic and fast while preserving the
+//! queueing behaviour that matters for RENO's evaluation (load latency
+//! criticality and memory-bound tails).
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy, ServedBy};

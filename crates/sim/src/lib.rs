@@ -1,0 +1,53 @@
+//! # reno-sim — the cycle-level out-of-order timing simulator
+//!
+//! A trace-driven, dynamically scheduled superscalar core modelled after the
+//! paper's §4.1 machine: a 13-stage pipeline (1 branch predict, 2 I$,
+//! 1 decode, 2 rename, 1 dispatch, 1 schedule, 2 register read, 1 execute,
+//! 1 complete, 1 retire), a 128-entry ROB, 48-entry load buffer, 24-entry
+//! store buffer, 50-entry issue queue and 160 physical registers, with the
+//! RENO renamer (`reno-core`) embedded in the two rename stages.
+//!
+//! The functional oracle (`reno-func`) supplies the correct-path dynamic
+//! instruction stream; all *timing* comes from this crate's pipeline model:
+//!
+//! * fetch: hybrid predictor + BTB + RAS, one taken branch per cycle,
+//!   I$ modelled through `reno-mem`; mispredicted branches stall fetch until
+//!   they resolve at execute (trace-driven wrong-path simplification);
+//! * rename/dispatch: the RENO group rules, with physical-register,
+//!   ROB/IQ/LQ/SQ structural stalls;
+//! * schedule: oldest-first wakeup-select with a configurable
+//!   wakeup-select loop latency ([`MachineConfig::sched_loop`]) and per-class
+//!   issue ports; load-hit speculation with replay on miss;
+//! * execute: 3-input-adder fusion cost model for RENO_CF displacements;
+//!   store-sets-guided load scheduling; memory-ordering violation squashes
+//!   that roll the renamer back through its reference-counting undo path;
+//! * retire: in-order, stores and integrated-load re-executions share the
+//!   D$ store port; failed re-executions squash and re-rename.
+//!
+//! ```no_run
+//! use reno_isa::{Asm, Reg};
+//! use reno_core::RenoConfig;
+//! use reno_sim::{MachineConfig, Simulator};
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::T0, 100);
+//! a.label("loop");
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, "loop");
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! let base = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 20);
+//! let reno = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 20);
+//! assert_eq!(base.retired, reno.retired, "RENO changes timing, never results");
+//! println!("speedup: {:.1}%", (base.cycles as f64 / reno.cycles as f64 - 1.0) * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod pipeline;
+mod stats;
+
+pub use config::MachineConfig;
+pub use pipeline::Simulator;
+pub use stats::{SimResult, SimStats};

@@ -1,0 +1,1109 @@
+use crate::{MachineConfig, SimResult, SimStats};
+use reno_core::{Renamed, Reno};
+use reno_cpa::{Bucket, InstRecord};
+use reno_func::{DynInst, Oracle};
+use reno_isa::{OpClass, Opcode, Program, Reg, STACK_TOP};
+use reno_mem::{MemHierarchy, ServedBy};
+use reno_uarch::{ControlKind, FrontEnd, StoreSets};
+use std::collections::{HashSet, VecDeque};
+
+/// Select-to-execute latency: 1 schedule + 2 register read.
+const EXE_OFFSET: u64 = 3;
+/// Rename1 to dispatch (into the issue queue): rename2 + dispatch.
+const RENAME_TO_DISPATCH: u64 = 2;
+/// Earliest select after rename: dispatch + 1.
+const RENAME_TO_SELECT: u64 = 3;
+/// Completion to retirement: complete stage + retire stage.
+const COMPLETE_TO_RETIRE: u64 = 2;
+/// I$ data to rename: 1 more I$ stage + decode + rename entry.
+const ICACHE_TO_RENAME: u64 = 3;
+
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    d: DynInst,
+    rename_ready: u64,
+    mispredicted: bool,
+    #[allow(dead_code)] from_replay: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    d: DynInst,
+    r: Renamed,
+    rename_cycle: u64,
+    mispredicted: bool,
+    in_iq: bool,
+    issued: bool,
+    exec_start: u64,
+    exec_done: bool,
+    completed: bool,
+    complete: u64,
+    min_select: u64,
+    addr_known: bool,
+    served: Option<ServedBy>,
+    /// Store sequence this load must wait for (store-sets prediction).
+    ss_dep: Option<u64>,
+    in_lq: bool,
+    in_sq: bool,
+    /// Producer of the last-arriving source (for critical-path analysis).
+    dep_seq: Option<u64>,
+    /// For integrated loads: pre-retirement re-execution has completed.
+    reexec_done: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PortClass {
+    Alu,
+    Load,
+    Store,
+}
+
+fn port_class(op: Opcode) -> PortClass {
+    match op.class() {
+        OpClass::Load => PortClass::Load,
+        OpClass::Store => PortClass::Store,
+        _ => PortClass::Alu,
+    }
+}
+
+fn mem_range(d: &DynInst) -> (u64, u64) {
+    let w = d.inst.op.mem_width().map_or(0, |w| w.bytes());
+    (d.mem_addr, w)
+}
+
+fn ranges_overlap(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+}
+
+/// Covering: does store range `s` fully cover load range `l`?
+fn covers(s: (u64, u64), l: (u64, u64)) -> bool {
+    s.0 <= l.0 && l.0 + l.1 <= s.0 + s.1
+}
+
+/// The cycle-level out-of-order core. See the crate docs for the model and
+/// an end-to-end example.
+pub struct Simulator<'p> {
+    cfg: MachineConfig,
+    oracle: Oracle<'p>,
+    oracle_done: bool,
+    replay: VecDeque<DynInst>,
+
+    frontend: FrontEnd,
+    fetch_buf: VecDeque<Fetched>,
+    fetch_stalled_until: u64,
+    waiting_branch: Option<u64>,
+    halt_seen: bool,
+
+    reno: Reno,
+    rob: VecDeque<Slot>,
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+
+    preg_ready_sel: Vec<u64>,
+    preg_complete: Vec<u64>,
+    preg_val: Vec<i64>,
+    preg_producer: Vec<u64>,
+
+    mem: MemHierarchy,
+    storesets: StoreSets,
+    suppress_integration: HashSet<u64>,
+    /// Retired stores awaiting their D$ write (the store queue's committed
+    /// half). Drained at `store_ports` per cycle; integrated-load
+    /// re-execution shares the same port (paper §2.2).
+    store_drain: VecDeque<u64>,
+    port_budget: usize,
+
+    cycle: u64,
+    retired: u64,
+    halt_retired: bool,
+    stats: SimStats,
+    cpa: Vec<InstRecord>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator over `program` with the given machine.
+    pub fn new(program: &'p Program, cfg: MachineConfig) -> Simulator<'p> {
+        Simulator::with_fuel(program, cfg, u64::MAX)
+    }
+
+    /// Like [`Simulator::new`] but caps the number of dynamic instructions
+    /// simulated (the oracle stops feeding after `fuel` instructions).
+    pub fn with_fuel(program: &'p Program, cfg: MachineConfig, fuel: u64) -> Simulator<'p> {
+        let total = cfg.reno.total_pregs;
+        let mut preg_val = vec![0i64; total];
+        preg_val[Reg::SP.index()] = STACK_TOP as i64;
+        Simulator {
+            frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
+            reno: Reno::new(cfg.reno),
+            mem: MemHierarchy::new(cfg.hier),
+            storesets: StoreSets::new(cfg.storesets),
+            oracle: Oracle::new(program, fuel),
+            oracle_done: false,
+            replay: VecDeque::new(),
+            fetch_buf: VecDeque::new(),
+            fetch_stalled_until: 0,
+            waiting_branch: None,
+            halt_seen: false,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            preg_ready_sel: vec![0; total],
+            preg_complete: vec![0; total],
+            preg_val,
+            preg_producer: vec![u64::MAX; total],
+            suppress_integration: HashSet::new(),
+            store_drain: VecDeque::new(),
+            port_budget: 0,
+            cycle: 0,
+            retired: 0,
+            halt_retired: false,
+            stats: SimStats::default(),
+            cpa: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Runs to completion (program halt / oracle exhaustion + pipeline
+    /// drain), or at most `max_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant violation).
+    pub fn run(mut self, max_cycles: u64) -> SimResult {
+        let mut last_progress = (0u64, 0u64);
+        while !self.finished() && self.cycle < max_cycles {
+            self.port_budget = self.cfg.store_ports;
+            self.retire_stage();
+            self.reexec_stage();
+            self.drain_stores();
+            if self.finished() {
+                break;
+            }
+            self.execute_stage();
+            self.select_stage();
+            self.rename_stage();
+            self.fetch_stage();
+            self.stats.iq_occ_sum += self.iq_count as u64;
+            self.stats.rob_occ_sum += self.rob.len() as u64;
+            self.cycle += 1;
+
+            // Deadlock guard: something must retire every so often.
+            if self.cycle - last_progress.0 > 100_000 {
+                assert!(
+                    self.retired > last_progress.1,
+                    "pipeline deadlock at cycle {} (retired {}, rob {}, iq {})",
+                    self.cycle,
+                    self.retired,
+                    self.rob.len(),
+                    self.iq_count
+                );
+                last_progress = (self.cycle, self.retired);
+            }
+        }
+        self.result()
+    }
+
+    fn finished(&self) -> bool {
+        self.halt_retired
+            || (self.oracle_done
+                && self.rob.is_empty()
+                && self.fetch_buf.is_empty()
+                && self.replay.is_empty())
+    }
+
+    /// Pre-retirement re-execution of integrated loads (paper §2.2): each
+    /// uses a spare slot on the D$ store retirement port, any time between
+    /// integration and retirement. Verification failure squashes from the
+    /// load and re-renames it with integration suppressed.
+    fn reexec_stage(&mut self) {
+        while self.port_budget > 0 {
+            let Some(idx) = self
+                .rob
+                .iter()
+                .position(|s| s.r.needs_load_reexec() && !s.reexec_done && s.completed)
+            else {
+                break;
+            };
+            // The shared register's value must have been produced already.
+            let m = self.rob[idx].r.dst.expect("integrated load has a mapping").new;
+            if self.preg_complete[m.preg.index()] > self.cycle {
+                break; // oldest pending re-exec still waits for its producer
+            }
+            self.port_budget -= 1;
+            let d = self.rob[idx].d;
+            let expected = self.preg_val[m.preg.index()].wrapping_add(m.disp as i64);
+            if expected != d.dst_val {
+                self.stats.misintegrations += 1;
+                self.suppress_integration.insert(d.seq);
+                self.squash_from(idx, self.cycle + 1);
+                continue;
+            }
+            self.stats.reexec_loads += 1;
+            self.rob[idx].reexec_done = true;
+            // The re-execution touches the cache like a normal access.
+            self.mem.access_data(d.mem_addr, self.cycle, false);
+        }
+    }
+
+    /// Writes committed stores to the D$ with whatever port bandwidth
+    /// retirement left over this cycle.
+    fn drain_stores(&mut self) {
+        while self.port_budget > 0 {
+            let Some(addr) = self.store_drain.pop_front() else { break };
+            self.mem.access_data(addr, self.cycle, true);
+            self.sq_count -= 1;
+            self.port_budget -= 1;
+        }
+    }
+
+    fn result(self) -> SimResult {
+        SimResult {
+            cycles: self.cycle,
+            retired: self.retired,
+            stats: self.stats,
+            reno: *self.reno.stats(),
+            it: *self.reno.it_stats(),
+            frontend: *self.frontend.stats(),
+            caches: self.mem.cache_stats(),
+            digest: self.oracle.cpu().state_digest(),
+            checksum: self.oracle.cpu().checksum(),
+            halted: self.oracle.halted(),
+            cpa: self.cpa,
+        }
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn rob_index_of_seq(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.d.seq;
+        seq.checked_sub(front).map(|i| i as usize).filter(|&i| i < self.rob.len())
+    }
+
+    /// Execution latency of a non-load instruction, including the §3.3
+    /// fusion cost model for displaced inputs.
+    fn exec_latency(&self, s: &Slot) -> u64 {
+        let op = s.d.inst.op;
+        let base = match op.class() {
+            OpClass::Mul => 3,
+            _ => 1,
+        };
+        let d0 = s.r.srcs[0].map_or(0, |x| x.disp);
+        let d1 = s.r.srcs[1].map_or(0, |x| x.disp);
+        let fused = d0 != 0 || d1 != 0;
+        if !fused {
+            return base;
+        }
+        if self.cfg.fused_extra_cycle {
+            return base + 1;
+        }
+        // Zero-cycle fusion via 3-input adders for additions, address
+        // generation, branch compares and store data. Fusions into general
+        // shifts and multiplies, and register-register operations with BOTH
+        // inputs displaced, pay one cycle (paper §3.3).
+        let shifty = matches!(
+            op,
+            Opcode::Sll | Opcode::Srl | Opcode::Sra | Opcode::Slli | Opcode::Srli | Opcode::Srai
+        );
+        let mul = op.class() == OpClass::Mul;
+        let both = d0 != 0 && d1 != 0 && op.class() == OpClass::AluRR;
+        if shifty || mul || both {
+            base + 1
+        } else {
+            base
+        }
+    }
+
+    fn consumer_ready_from_complete(&self, complete: u64) -> u64 {
+        complete + 1 - EXE_OFFSET + (self.cfg.sched_loop - 1)
+    }
+
+    /// Extra address-generation latency for loads/stores with a displaced
+    /// base. Normally zero (3-input AGU adders / sum-addressed caches); the
+    /// §3.3 ablation charges one cycle for every fused operation.
+    fn agen_fuse_penalty(&self, s: &Slot) -> u64 {
+        let fused = s.r.srcs.iter().flatten().any(|x| x.disp != 0);
+        u64::from(fused && self.cfg.fused_extra_cycle)
+    }
+
+    fn squash_from(&mut self, rob_idx: usize, refetch_at: u64) {
+        let first_seq = self.rob[rob_idx].d.seq;
+        let mut squashed: Vec<DynInst> = Vec::new();
+        while self.rob.len() > rob_idx {
+            let slot = self.rob.pop_back().expect("len checked");
+            self.reno.rollback(&slot.r);
+            if slot.in_iq {
+                self.iq_count -= 1;
+            }
+            if slot.in_lq {
+                self.lq_count -= 1;
+            }
+            if slot.in_sq {
+                self.sq_count -= 1;
+            }
+            // Kill stale wakeup state for the squashed destination.
+            if let Some(dst) = slot.r.dst {
+                if slot.r.kind == reno_core::RenamedKind::Issued {
+                    let p = dst.new.preg.index();
+                    self.preg_ready_sel[p] = u64::MAX;
+                    self.preg_complete[p] = u64::MAX;
+                }
+            }
+            squashed.push(slot.d);
+            self.stats.squashed += 1;
+        }
+        squashed.reverse();
+        let buffered: Vec<DynInst> = self.fetch_buf.drain(..).map(|f| f.d).collect();
+        for d in buffered.into_iter().rev() {
+            self.replay.push_front(d);
+        }
+        for d in squashed.into_iter().rev() {
+            self.replay.push_front(d);
+        }
+        self.storesets.squash_from(first_seq);
+        if matches!(self.waiting_branch, Some(wb) if wb >= first_seq) {
+            self.waiting_branch = None;
+        }
+        self.fetch_stalled_until = self.fetch_stalled_until.max(refetch_at);
+        self.halt_seen = false;
+    }
+
+    // ------------------------------------------------------------- retire
+
+    fn retire_stage(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed || head.complete + COMPLETE_TO_RETIRE > self.cycle {
+                break;
+            }
+            let is_store = head.d.inst.op.is_store();
+            let needs_reexec = head.r.needs_load_reexec();
+
+            if needs_reexec {
+                // Integrated loads retire only after their pre-retirement
+                // re-execution has verified the shared value (reexec_stage).
+                if !head.reexec_done {
+                    break;
+                }
+            } else if is_store {
+                // The store retires into the committed half of the store
+                // queue and drains to the D$ in the background; its SQ entry
+                // is released at drain time.
+                self.store_drain.push_back(head.d.mem_addr);
+            }
+
+            let head = self.rob.pop_front().expect("nonempty");
+            self.reno.retire(&head.r);
+            if head.in_lq {
+                self.lq_count -= 1;
+            }
+            if head.in_sq && !is_store {
+                self.sq_count -= 1;
+            }
+
+            if self.cfg.collect_cpa {
+                self.record_cpa(&head);
+            }
+
+            self.retired += 1;
+            n += 1;
+            if head.d.inst.op == Opcode::Halt {
+                self.halt_retired = true;
+                break;
+            }
+        }
+    }
+
+    fn record_cpa(&mut self, s: &Slot) {
+        let dispatch = s.rename_cycle + RENAME_TO_DISPATCH;
+        let (complete, dep, bucket) = if s.r.is_eliminated() {
+            let m = s.r.dst.expect("eliminated instructions have mappings").new;
+            let pc = self.preg_complete[m.preg.index()];
+            let complete = if pc == u64::MAX { dispatch } else { pc.max(dispatch) };
+            (complete, Some(self.preg_producer[m.preg.index()]), Bucket::AluExec)
+        } else {
+            let bucket = match s.served {
+                Some(ServedBy::Mem) => Bucket::LoadMem,
+                Some(_) => Bucket::LoadExec,
+                None => Bucket::AluExec,
+            };
+            (s.complete.max(dispatch), s.dep_seq, bucket)
+        };
+        self.cpa.push(InstRecord {
+            seq: s.d.seq,
+            dispatch,
+            complete,
+            commit: self.cycle,
+            dep: dep.filter(|&d| d != u64::MAX),
+            bucket,
+            redirect: s.mispredicted,
+        });
+    }
+
+    // ------------------------------------------------------------- execute
+
+    fn execute_stage(&mut self) {
+        // Gather this cycle's executers in program order; look them up by
+        // sequence number because a violation squash may shift indices.
+        let seqs: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|s| s.issued && !s.exec_done && s.exec_start == self.cycle)
+            .map(|s| s.d.seq)
+            .collect();
+        for seq in seqs {
+            let Some(idx) = self.rob_index_of_seq(seq) else { continue };
+            if !self.rob[idx].issued || self.rob[idx].exec_done {
+                continue; // replayed or squashed meanwhile
+            }
+            self.execute_one(idx);
+        }
+    }
+
+    fn execute_one(&mut self, idx: usize) {
+        let s = self.rob[idx];
+        let exec_start = s.exec_start;
+
+        // Verify operand availability (load-hit speculation check): any
+        // source whose value is not actually ready forces a scheduler replay.
+        let mut worst_ready = 0u64;
+        let mut not_ready = false;
+        for src in s.r.srcs.iter().flatten() {
+            let p = src.preg.index();
+            if self.preg_complete[p] > exec_start {
+                not_ready = true;
+            }
+            worst_ready = worst_ready.max(self.preg_ready_sel[p]);
+        }
+        if not_ready {
+            self.stats.replays += 1;
+            let slot = &mut self.rob[idx];
+            slot.issued = false;
+            slot.in_iq = true;
+            self.iq_count += 1;
+            let min_sel = worst_ready.max(self.cycle + 1);
+            let slot = &mut self.rob[idx];
+            slot.min_select = min_sel;
+            if let Some(d) = slot.r.dst {
+                self.preg_ready_sel[d.new.preg.index()] = u64::MAX;
+                self.preg_complete[d.new.preg.index()] = u64::MAX;
+            }
+            return;
+        }
+
+        // Record the last-arriving input's producer for CPA.
+        let dep_seq = s
+            .r
+            .srcs
+            .iter()
+            .flatten()
+            .max_by_key(|src| self.preg_complete[src.preg.index()])
+            .map(|src| self.preg_producer[src.preg.index()]);
+        self.rob[idx].dep_seq = dep_seq;
+
+        let op = s.d.inst.op;
+        match op.class() {
+            OpClass::Load => self.execute_load(idx),
+            OpClass::Store => self.execute_store(idx),
+            _ => {
+                let lat = self.exec_latency(&self.rob[idx]);
+                let complete = exec_start + lat - 1;
+                let slot = &mut self.rob[idx];
+                slot.complete = complete;
+                slot.completed = true;
+                slot.exec_done = true;
+                if slot.mispredicted {
+                    // Branch resolves: fetch restarts down the correct path.
+                    self.fetch_stalled_until = self.fetch_stalled_until.max(complete + 1);
+                    self.waiting_branch = None;
+                }
+            }
+        }
+    }
+
+    fn execute_load(&mut self, idx: usize) {
+        let s = self.rob[idx];
+        let exec_start = s.exec_start;
+        let lrange = mem_range(&s.d);
+
+        // Store-to-load forwarding: youngest older store with a known,
+        // overlapping address.
+        let mut forward: Option<(usize, bool)> = None; // (index, covers)
+        for j in (0..idx).rev() {
+            let st = &self.rob[j];
+            if st.d.inst.op.is_store() && st.addr_known {
+                let srange = mem_range(&st.d);
+                if ranges_overlap(srange, lrange) {
+                    forward = Some((j, covers(srange, lrange)));
+                    break;
+                }
+            }
+        }
+
+        let agen_pen = self.agen_fuse_penalty(&s);
+        let hit_complete = exec_start + agen_pen + self.cfg.hier.l1d.hit_latency;
+        let (complete, served) = match forward {
+            Some((_, true)) => {
+                self.stats.store_forwards += 1;
+                (hit_complete, ServedBy::L1)
+            }
+            Some((j, false)) => {
+                // Partial overlap: wait for the store to leave the window,
+                // modelled as a retry after the store's expected retirement.
+                let st_complete =
+                    if self.rob[j].completed { self.rob[j].complete } else { self.cycle + 8 };
+                let retry = st_complete + COMPLETE_TO_RETIRE + 1;
+                let slot = &mut self.rob[idx];
+                slot.issued = false;
+                slot.in_iq = true;
+                self.iq_count += 1;
+                slot.min_select = retry.max(self.cycle + 1);
+                if let Some(d) = slot.r.dst {
+                    self.preg_ready_sel[d.new.preg.index()] = u64::MAX;
+                    self.preg_complete[d.new.preg.index()] = u64::MAX;
+                }
+                self.stats.replays += 1;
+                return;
+            }
+            None => {
+                let (done, served) =
+                    self.mem.access_data(s.d.mem_addr, exec_start + agen_pen, false);
+                (done, served)
+            }
+        };
+
+        let slot = &mut self.rob[idx];
+        slot.complete = complete;
+        slot.completed = true;
+        slot.exec_done = true;
+        slot.addr_known = true;
+        slot.served = Some(served);
+        if let Some(d) = slot.r.dst {
+            let p = d.new.preg.index();
+            self.preg_complete[p] = complete;
+            self.preg_ready_sel[p] = self.consumer_ready_from_complete(complete);
+        }
+    }
+
+    fn execute_store(&mut self, idx: usize) {
+        let s = self.rob[idx];
+        let agen_pen = self.agen_fuse_penalty(&s);
+        {
+            let slot = &mut self.rob[idx];
+            slot.complete = s.exec_start + agen_pen;
+            slot.completed = true;
+            slot.exec_done = true;
+            slot.addr_known = true;
+        }
+        self.storesets.store_executed(s.d.pc as u64, s.d.seq);
+
+        // Memory-ordering violation check: a younger load already executed
+        // with an overlapping address, whose youngest older known store is
+        // this one, read stale data.
+        let srange = mem_range(&s.d);
+        let mut violate: Option<usize> = None;
+        'outer: for j in idx + 1..self.rob.len() {
+            let ld = &self.rob[j];
+            if !ld.d.inst.op.is_load() || !ld.exec_done || ld.r.is_eliminated() {
+                continue;
+            }
+            let lrange = mem_range(&ld.d);
+            if !ranges_overlap(srange, lrange) {
+                continue;
+            }
+            // Did an even younger (but still older-than-load) store satisfy it?
+            for k in (idx + 1..j).rev() {
+                let mid = &self.rob[k];
+                if mid.d.inst.op.is_store()
+                    && mid.addr_known
+                    && ranges_overlap(mem_range(&mid.d), lrange)
+                {
+                    continue 'outer;
+                }
+            }
+            violate = Some(j);
+            break;
+        }
+        if let Some(j) = violate {
+            self.stats.violations += 1;
+            self.storesets.train_violation(self.rob[j].d.pc as u64, s.d.pc as u64);
+            self.squash_from(j, self.cycle + 1);
+        }
+    }
+
+    // ------------------------------------------------------------- select
+
+    fn select_stage(&mut self) {
+        let mut total = self.cfg.issue_width;
+        let mut alu = self.cfg.alu_ports;
+        let mut load = self.cfg.load_ports;
+        let mut store = self.cfg.store_ports;
+
+        for i in 0..self.rob.len() {
+            if total == 0 {
+                break;
+            }
+            let s = &self.rob[i];
+            if !s.in_iq || s.issued || s.min_select > self.cycle {
+                continue;
+            }
+            let pc_class = port_class(s.d.inst.op);
+            let port_free = match pc_class {
+                PortClass::Alu => alu > 0,
+                PortClass::Load => load > 0,
+                PortClass::Store => store > 0,
+            };
+            if !port_free {
+                continue;
+            }
+            // All register sources must have been woken.
+            let ready = s
+                .r
+                .srcs
+                .iter()
+                .flatten()
+                .all(|src| self.preg_ready_sel[src.preg.index()] <= self.cycle);
+            if !ready {
+                continue;
+            }
+            // Store-sets: a load predicted to conflict waits until the
+            // offending store's address is known.
+            if let Some(dep) = s.ss_dep {
+                if let Some(sidx) = self.rob_index_of_seq(dep) {
+                    if !self.rob[sidx].addr_known {
+                        continue;
+                    }
+                }
+            }
+
+            // Select.
+            self.stats.issued += 1;
+            total -= 1;
+            match pc_class {
+                PortClass::Alu => alu -= 1,
+                PortClass::Load => load -= 1,
+                PortClass::Store => store -= 1,
+            }
+            let exec_start = self.cycle + EXE_OFFSET;
+            let agen_pen = self.agen_fuse_penalty(&self.rob[i]);
+            let (dst, optimistic) = {
+                let slot = &mut self.rob[i];
+                slot.issued = true;
+                slot.in_iq = false;
+                slot.exec_start = exec_start;
+                let optimistic = match slot.d.inst.op.class() {
+                    OpClass::Load => {
+                        Some(exec_start + agen_pen + self.cfg.hier.l1d.hit_latency)
+                    }
+                    OpClass::Store => None,
+                    _ => None,
+                };
+                (slot.r.dst, optimistic)
+            };
+            self.iq_count -= 1;
+
+            if let Some(d) = dst {
+                let p = d.new.preg.index();
+                let complete = match optimistic {
+                    Some(c) => c, // load: speculative hit wakeup
+                    None => exec_start + self.exec_latency(&self.rob[i]) - 1,
+                };
+                self.preg_complete[p] = complete;
+                self.preg_ready_sel[p] = self.consumer_ready_from_complete(complete);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- rename
+
+    fn rename_stage(&mut self) {
+        if self.fetch_buf.is_empty() {
+            return;
+        }
+        self.reno.begin_group();
+        let mut n = 0;
+        while n < self.cfg.rename_width {
+            let Some(front) = self.fetch_buf.front() else { break };
+            if front.rename_ready > self.cycle {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.queue_stall_cycles += u64::from(n == 0);
+                break;
+            }
+            let f = *front;
+            let suppressed = self.suppress_integration.remove(&f.d.seq);
+            let renamed = match self.reno.rename_with(f.d.pc as u64, f.d.inst, !suppressed) {
+                Ok(r) => r,
+                Err(_) => {
+                    if suppressed {
+                        self.suppress_integration.insert(f.d.seq);
+                    }
+                    self.stats.preg_stall_cycles += u64::from(n == 0);
+                    break; // out of physical registers: stall
+                }
+            };
+
+            let is_load = f.d.inst.op.is_load();
+            let is_store = f.d.inst.op.is_store();
+            let needs_iq = !renamed.is_eliminated();
+            let needs_lq = needs_iq && is_load;
+            let needs_sq = is_store;
+            if (needs_iq && self.iq_count >= self.cfg.iq_size)
+                || (needs_lq && self.lq_count >= self.cfg.lq_size)
+                || (needs_sq && self.sq_count >= self.cfg.sq_size)
+            {
+                // Structural hazard discovered post-rename: undo and retry
+                // next cycle.
+                self.reno.rollback(&renamed);
+                self.reno.undo_rename_stats(&renamed);
+                if suppressed {
+                    self.suppress_integration.insert(f.d.seq);
+                }
+                self.stats.queue_stall_cycles += u64::from(n == 0);
+                break;
+            }
+            self.fetch_buf.pop_front();
+
+            // Register bookkeeping for issued destinations.
+            if let (reno_core::RenamedKind::Issued, Some(d)) = (renamed.kind, renamed.dst) {
+                let p = d.new.preg.index();
+                self.preg_ready_sel[p] = u64::MAX;
+                self.preg_complete[p] = u64::MAX;
+                self.preg_val[p] = f.d.dst_val;
+                self.preg_producer[p] = f.d.seq;
+            }
+
+            // Memory dependence prediction.
+            let ss_dep = if needs_lq {
+                self.storesets.load_dependence(f.d.pc as u64)
+            } else {
+                if is_store {
+                    self.storesets.rename_store(f.d.pc as u64, f.d.seq);
+                }
+                None
+            };
+
+            let eliminated = renamed.is_eliminated();
+            if needs_iq {
+                self.iq_count += 1;
+            }
+            if needs_lq {
+                self.lq_count += 1;
+            }
+            if needs_sq {
+                self.sq_count += 1;
+            }
+
+            self.rob.push_back(Slot {
+                d: f.d,
+                r: renamed,
+                rename_cycle: self.cycle,
+                mispredicted: f.mispredicted,
+                in_iq: needs_iq,
+                issued: false,
+                exec_start: u64::MAX,
+                exec_done: false,
+                completed: eliminated,
+                complete: self.cycle + 1, // eliminated: done at rename2
+                min_select: self.cycle + RENAME_TO_SELECT,
+                addr_known: false,
+                served: None,
+                ss_dep,
+                in_lq: needs_lq,
+                in_sq: needs_sq,
+                dep_seq: None,
+                reexec_done: false,
+            });
+            n += 1;
+        }
+    }
+
+    // ------------------------------------------------------------- fetch
+
+    fn next_feed(&mut self) -> Option<(DynInst, bool)> {
+        if let Some(d) = self.replay.pop_front() {
+            return Some((d, true));
+        }
+        if self.oracle_done || self.halt_seen {
+            return None;
+        }
+        match self.oracle.next() {
+            Some(d) => Some((d, false)),
+            None => {
+                self.oracle_done = true;
+                None
+            }
+        }
+    }
+
+    fn classify_control(d: &DynInst) -> ControlKind {
+        match d.inst.op {
+            Opcode::Br => ControlKind::DirectJump,
+            Opcode::Jal => ControlKind::Call,
+            Opcode::Jr => {
+                if d.inst.rs1 == Reg::RA {
+                    ControlKind::Return
+                } else {
+                    ControlKind::IndirectJump
+                }
+            }
+            Opcode::Jalr => ControlKind::IndirectCall,
+            _ => ControlKind::Cond,
+        }
+    }
+
+    fn fetch_stage(&mut self) {
+        if self.waiting_branch.is_some() || self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        if self.fetch_buf.len() >= self.cfg.fetch_width * 4 {
+            return;
+        }
+        let line_bytes = self.cfg.hier.l1i.line_bytes as u64;
+        let mut cur_line: Option<u64> = None;
+        let mut ic_done = self.cycle;
+        let mut taken = 0;
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width {
+            let Some((d, from_replay)) = self.next_feed() else { break };
+            let addr = Program::inst_addr(d.pc);
+            let line = addr / line_bytes;
+            if cur_line != Some(line) {
+                cur_line = Some(line);
+                let (done, _) = self.mem.access_inst(addr, self.cycle);
+                ic_done = ic_done.max(done);
+            }
+            let mut mispredicted = false;
+            if d.inst.op.is_control() && !from_replay {
+                let kind = Self::classify_control(&d);
+                let ok =
+                    self.frontend.process(d.pc as u64, kind, d.taken, d.next_pc as u64);
+                mispredicted = !ok;
+            }
+            let rename_ready = ic_done + ICACHE_TO_RENAME;
+            self.fetch_buf.push_back(Fetched { d, rename_ready, mispredicted, from_replay });
+            fetched += 1;
+
+            if d.inst.op == Opcode::Halt {
+                self.halt_seen = true;
+                break;
+            }
+            if mispredicted {
+                self.waiting_branch = Some(d.seq);
+                break;
+            }
+            if d.redirects() {
+                taken += 1;
+                if taken >= 2 {
+                    break; // fetch past at most one taken branch per cycle
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+    use reno_core::RenoConfig;
+    use reno_func::run_to_completion;
+    use reno_isa::Asm;
+
+    fn loop_program(iters: i64) -> Program {
+        let mut a = Asm::named("loop");
+        a.li(Reg::T0, iters);
+        a.li(Reg::T1, 0);
+        a.label("loop");
+        a.add(Reg::T1, Reg::T1, Reg::T0);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.out(Reg::T1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn straight_line_retires_everything() {
+        let mut a = Asm::new();
+        for i in 0..20 {
+            a.addi(Reg::T0, Reg::T0, i as i16);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 20);
+        assert!(r.halted);
+        assert_eq!(r.retired, 21);
+        assert!(r.cycles > 10, "pipeline depth is visible");
+    }
+
+    #[test]
+    fn timing_sim_matches_functional_results() {
+        let p = loop_program(500);
+        let (cpu, fr) = run_to_completion(&p, 1 << 20).unwrap();
+        for cfg in [
+            RenoConfig::baseline(),
+            RenoConfig::me_only(),
+            RenoConfig::cf_me(),
+            RenoConfig::reno(),
+            RenoConfig::reno_full_integration(),
+            RenoConfig::full_integration_only(),
+        ] {
+            let r = Simulator::new(&p, MachineConfig::four_wide(cfg)).run(1 << 22);
+            assert!(r.halted, "{cfg:?}");
+            assert_eq!(r.retired, fr.executed, "{cfg:?}");
+            assert_eq!(r.digest, cpu.state_digest(), "{cfg:?}");
+            assert_eq!(r.checksum, fr.checksum, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn reno_eliminates_and_speeds_up_dependent_loop() {
+        let p = loop_program(2000);
+        let base =
+            Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
+        let reno = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 22);
+        assert!(reno.reno.eliminated() > 1500, "loop addi folds: {:?}", reno.reno);
+        assert!(
+            reno.cycles < base.cycles,
+            "RENO collapses the addi off the critical path: {} vs {}",
+            reno.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn branch_mispredicts_cost_cycles() {
+        // A data-dependent unpredictable branch pattern (LCG parity).
+        let mut a = Asm::new();
+        a.li(Reg::T0, 200); // iterations
+        a.li(Reg::T1, 12345); // lcg state
+        a.li(Reg::T3, 0);
+        a.label("loop");
+        a.li(Reg::T2, 1103515245 % 30000);
+        a.mul(Reg::T1, Reg::T1, Reg::T2);
+        a.addi(Reg::T1, Reg::T1, 12345);
+        a.srli(Reg::T2, Reg::T1, 17); // high bits: no short period
+        a.andi(Reg::T2, Reg::T2, 1);
+        a.beqz(Reg::T2, "skip");
+        a.addi(Reg::T3, Reg::T3, 1);
+        a.label("skip");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.out(Reg::T3);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
+        assert!(r.halted);
+        assert!(r.frontend.cond_wrong > 20, "LCG parity defeats the predictor: {:?}", r.frontend);
+    }
+
+    #[test]
+    fn memory_violation_squash_and_storeset_training() {
+        // The store's address depends on a cold-miss load; the younger load
+        // to the same address issues first and must be squashed.
+        let mut a = Asm::new();
+        let slot = a.words("slot", &[0x0001_0000 + 64]); // holds a pointer
+        let _tgt = a.zeros("tgt", 16);
+        a.li(Reg::T5, 99);
+        a.li(Reg::A0, slot as i64);
+        a.li(Reg::T4, 0);
+        a.li(Reg::T6, 20);
+        a.label("loop");
+        a.ld(Reg::T0, Reg::A0, 0); // pointer load (cold miss first time)
+        a.st(Reg::T5, Reg::T0, 0); // store through pointer
+        a.li(Reg::T1, 0x0001_0000 + 64);
+        a.ld(Reg::T2, Reg::T1, 0); // same address, no name dependence
+        a.add(Reg::T4, Reg::T4, Reg::T2);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "loop");
+        a.out(Reg::T4);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (cpu, _) = run_to_completion(&p, 1 << 20).unwrap();
+        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
+        assert!(r.stats.violations >= 1, "violation detected: {:?}", r.stats);
+        assert_eq!(r.digest, cpu.state_digest(), "squash preserves correctness");
+        assert!(
+            r.stats.violations < 18,
+            "store sets learn to serialize the pair: {:?}",
+            r.stats
+        );
+    }
+
+    #[test]
+    fn misintegration_squashes_and_recovers() {
+        // store r1 -> 0(sp); alias store r2 -> the same byte address through
+        // a *computed* register (a different physical name, so the IT cannot
+        // see the aliasing); reload 0(sp) integrates with the first store's
+        // reverse entry and must fail verification.
+        let mut a = Asm::new();
+        a.li(Reg::T1, 111);
+        a.li(Reg::T2, 222);
+        a.li(Reg::T4, 8);
+        a.add(Reg::T0, Reg::SP, Reg::T4); // t0 = sp + 8 (fresh physical name)
+        a.st(Reg::T1, Reg::SP, 0);
+        a.st(Reg::T2, Reg::T0, -8); // same address, different name
+        a.ld(Reg::T3, Reg::SP, 0); // truth: 222; IT says p(T1) = 111
+        a.out(Reg::T3);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (cpu, _) = run_to_completion(&p, 1 << 20).unwrap();
+        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 22);
+        assert!(r.stats.misintegrations >= 1, "{:?}", r.stats);
+        assert_eq!(r.digest, cpu.state_digest(), "re-execution preserves correctness");
+    }
+
+    #[test]
+    fn two_cycle_scheduler_slows_dependent_code() {
+        let p = loop_program(1000);
+        let tight = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline()))
+            .run(1 << 22);
+        let loose = Simulator::new(
+            &p,
+            MachineConfig::four_wide(RenoConfig::baseline()).with_sched_loop(2),
+        )
+        .run(1 << 22);
+        assert!(loose.cycles > tight.cycles, "{} vs {}", loose.cycles, tight.cycles);
+    }
+
+    #[test]
+    fn small_register_file_stalls_baseline_more_than_reno() {
+        let p = loop_program(1500);
+        let base_small = Simulator::new(
+            &p,
+            MachineConfig::four_wide(RenoConfig::baseline()).with_pregs(48),
+        )
+        .run(1 << 22);
+        let reno_small =
+            Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno()).with_pregs(48))
+                .run(1 << 22);
+        assert!(base_small.stats.preg_stall_cycles > 0);
+        assert!(
+            reno_small.stats.preg_stall_cycles < base_small.stats.preg_stall_cycles,
+            "eliminated instructions allocate no registers"
+        );
+    }
+
+    #[test]
+    fn cpa_records_cover_retired_stream() {
+        let p = loop_program(100);
+        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline()).with_cpa())
+            .run(1 << 22);
+        assert_eq!(r.cpa.len() as u64, r.retired);
+        let b = reno_cpa::analyze(&r.cpa, 128);
+        assert!(b.total() > 0);
+    }
+
+    #[test]
+    fn fuel_limited_run_drains_cleanly() {
+        let p = loop_program(100_000);
+        let r = Simulator::with_fuel(&p, MachineConfig::four_wide(RenoConfig::reno()), 5_000)
+            .run(1 << 22);
+        assert!(!r.halted);
+        assert_eq!(r.retired, 5_000);
+    }
+}

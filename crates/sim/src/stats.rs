@@ -1,0 +1,120 @@
+use reno_core::{ItStats, RenoStats};
+use reno_cpa::InstRecord;
+use reno_mem::CacheStats;
+use reno_uarch::FrontEndStats;
+
+/// Event counters accumulated during a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Scheduler replays caused by load-hit misspeculation.
+    pub replays: u64,
+    /// Memory-ordering violation squashes.
+    pub violations: u64,
+    /// Integrated loads whose retirement re-execution failed (squash).
+    pub misintegrations: u64,
+    /// Integrated loads re-executed successfully at retirement.
+    pub reexec_loads: u64,
+    /// Instructions squashed (all causes).
+    pub squashed: u64,
+    /// Cycles rename stalled for a free physical register.
+    pub preg_stall_cycles: u64,
+    /// Cycles rename stalled for ROB/IQ/LQ/SQ space.
+    pub queue_stall_cycles: u64,
+    /// Store-to-load forwards in the LSQ.
+    pub store_forwards: u64,
+    /// Instructions selected for issue (includes replayed re-issues).
+    pub issued: u64,
+    /// Sum over cycles of issue-queue occupancy (for average occupancy).
+    pub iq_occ_sum: u64,
+    /// Sum over cycles of ROB occupancy.
+    pub rob_occ_sum: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions retired (equals the functional dynamic count).
+    pub retired: u64,
+    /// Event counters.
+    pub stats: SimStats,
+    /// RENO elimination statistics.
+    pub reno: RenoStats,
+    /// Integration table statistics.
+    pub it: ItStats,
+    /// Front-end prediction statistics.
+    pub frontend: FrontEndStats,
+    /// Cache statistics: (I$, D$, L2).
+    pub caches: (CacheStats, CacheStats, CacheStats),
+    /// Architectural state digest of the completed program (for
+    /// functional-vs-timing equivalence checks).
+    pub digest: u64,
+    /// Output checksum of the program.
+    pub checksum: u64,
+    /// Whether the program ran to its `halt`.
+    pub halted: bool,
+    /// Per-instruction records for critical-path analysis (empty unless
+    /// enabled in the configuration).
+    pub cpa: Vec<InstRecord>,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Percent of dynamic instructions eliminated or folded by RENO.
+    pub fn elimination_pct(&self) -> f64 {
+        self.reno.elimination_pct()
+    }
+
+    /// Speedup of this run relative to `baseline`, in percent
+    /// (positive = faster).
+    pub fn speedup_pct_vs(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(self.retired, baseline.retired, "speedup requires identical work");
+        (baseline.cycles as f64 / self.cycles as f64 - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(cycles: u64, retired: u64) -> SimResult {
+        SimResult {
+            cycles,
+            retired,
+            stats: SimStats::default(),
+            reno: RenoStats::default(),
+            it: ItStats::default(),
+            frontend: FrontEndStats::default(),
+            caches: Default::default(),
+            digest: 0,
+            checksum: 0,
+            halted: true,
+            cpa: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = blank(2000, 1000);
+        let fast = blank(1600, 1000);
+        assert!((base.ipc() - 0.5).abs() < 1e-12);
+        assert!((fast.speedup_pct_vs(&base) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical work")]
+    fn speedup_rejects_mismatched_runs() {
+        let a = blank(100, 10);
+        let b = blank(100, 20);
+        let _ = a.speedup_pct_vs(&b);
+    }
+}

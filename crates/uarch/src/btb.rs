@@ -1,0 +1,134 @@
+/// Branch target buffer geometry. Default: the paper's 2K-entry 4-way BTB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total entries (power of two).
+    pub entries: usize,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+impl Default for BtbConfig {
+    fn default() -> BtbConfig {
+        BtbConfig { entries: 2048, assoc: 4 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer mapping branch pc to predicted
+/// target. The timing simulator uses it for indirect jumps and calls (direct
+/// targets are computed in the front end).
+///
+/// ```
+/// use reno_uarch::Btb;
+/// let mut b = Btb::default();
+/// assert_eq!(b.lookup(0x40), None);
+/// b.update(0x40, 0x99);
+/// assert_eq!(b.lookup(0x40), Some(0x99));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    cfg: BtbConfig,
+    sets: usize,
+    entries: Vec<BtbEntry>,
+    stamp: u64,
+}
+
+impl Default for Btb {
+    fn default() -> Btb {
+        Btb::new(BtbConfig::default())
+    }
+}
+
+impl Btb {
+    /// Builds an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `assoc` or the set count is
+    /// not a power of two.
+    pub fn new(cfg: BtbConfig) -> Btb {
+        let sets = cfg.entries / cfg.assoc;
+        assert_eq!(sets * cfg.assoc, cfg.entries);
+        assert!(sets.is_power_of_two());
+        Btb { cfg, sets, entries: vec![BtbEntry::default(); cfg.entries], stamp: 0 }
+    }
+
+    #[inline]
+    fn set_of(&self, pc: u64) -> usize {
+        (pc as usize) & (self.sets - 1)
+    }
+
+    /// Predicted target for the control instruction at `pc`, if cached.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.stamp += 1;
+        let set = self.set_of(pc);
+        let base = set * self.cfg.assoc;
+        let stamp = self.stamp;
+        self.entries[base..base + self.cfg.assoc]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == pc)
+            .map(|e| {
+                e.lru = stamp;
+                e.target
+            })
+    }
+
+    /// Installs/refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.stamp += 1;
+        let set = self.set_of(pc);
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.entries[base..base + self.cfg.assoc];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = self.stamp;
+            return;
+        }
+        let victim =
+            ways.iter_mut().min_by_key(|e| if e.valid { e.lru + 1 } else { 0 }).expect("assoc > 0");
+        *victim = BtbEntry { valid: true, tag: pc, target, lru: self.stamp };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup() {
+        let mut b = Btb::default();
+        b.update(10, 200);
+        assert_eq!(b.lookup(10), Some(200));
+        b.update(10, 300);
+        assert_eq!(b.lookup(10), Some(300));
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut b = Btb::new(BtbConfig { entries: 4, assoc: 2 }); // 2 sets
+        // Set 0 holds pcs 0, 2, 4 (mod 2 == 0).
+        b.update(0, 1);
+        b.update(2, 1);
+        b.lookup(0); // refresh 0
+        b.update(4, 1); // evicts 2
+        assert_eq!(b.lookup(0), Some(1));
+        assert_eq!(b.lookup(2), None);
+        assert_eq!(b.lookup(4), Some(1));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_collide() {
+        let mut b = Btb::new(BtbConfig { entries: 4, assoc: 2 });
+        b.update(1, 11);
+        b.update(2, 22);
+        assert_eq!(b.lookup(1), Some(11));
+        assert_eq!(b.lookup(2), Some(22));
+    }
+}

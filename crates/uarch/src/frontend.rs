@@ -1,0 +1,184 @@
+use crate::{Btb, BtbConfig, BpredConfig, HybridPredictor, Ras};
+
+/// The kind of control-flow instruction, as seen by the fetch engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Conditional compare-to-zero branch.
+    Cond,
+    /// Direct unconditional jump (`br`).
+    DirectJump,
+    /// Direct call (`jal`) — pushes the RAS.
+    Call,
+    /// Return (`jr ra`) — pops the RAS.
+    Return,
+    /// Indirect jump through a register (not a return).
+    IndirectJump,
+    /// Indirect call (`jalr`) — BTB target, pushes the RAS.
+    IndirectCall,
+}
+
+/// Prediction accuracy counters, per control kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontEndStats {
+    /// Conditional branches fetched / mispredicted.
+    pub cond: u64,
+    pub cond_wrong: u64,
+    /// Returns fetched / mispredicted.
+    pub returns: u64,
+    pub returns_wrong: u64,
+    /// Indirect jumps+calls fetched / mispredicted.
+    pub indirect: u64,
+    pub indirect_wrong: u64,
+}
+
+impl FrontEndStats {
+    /// Overall misprediction count.
+    pub fn total_wrong(&self) -> u64 {
+        self.cond_wrong + self.returns_wrong + self.indirect_wrong
+    }
+
+    /// Conditional-branch direction accuracy in [0, 1].
+    pub fn cond_accuracy(&self) -> f64 {
+        if self.cond == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_wrong as f64 / self.cond as f64
+        }
+    }
+}
+
+/// The fetch engine's prediction datapath: hybrid direction predictor, BTB
+/// for indirect targets, and return address stack.
+///
+/// Trace-driven contract: [`FrontEnd::process`] is called once per fetched
+/// control instruction with the oracle outcome (`taken`, `target`), trains
+/// every structure, and reports whether fetch would have continued on the
+/// correct path (`true`) or mispredicted (`false`).
+#[derive(Clone, Debug, Default)]
+pub struct FrontEnd {
+    bpred: HybridPredictor,
+    btb: Btb,
+    ras: Ras,
+    stats: FrontEndStats,
+}
+
+impl FrontEnd {
+    /// Builds the paper's default front end (16Kb hybrid, 2K 4-way BTB,
+    /// 32-entry RAS).
+    pub fn new(bpred: BpredConfig, btb: BtbConfig, ras_entries: usize) -> FrontEnd {
+        FrontEnd {
+            bpred: HybridPredictor::new(bpred),
+            btb: Btb::new(btb),
+            ras: Ras::new(ras_entries),
+            stats: FrontEndStats::default(),
+        }
+    }
+
+    /// Accumulated accuracy statistics.
+    pub fn stats(&self) -> &FrontEndStats {
+        &self.stats
+    }
+
+    /// Processes one fetched control instruction.
+    ///
+    /// * `pc` — instruction index of the control instruction
+    /// * `kind` — decoded control kind
+    /// * `taken` — oracle direction (always true for unconditional kinds)
+    /// * `target` — oracle target (instruction index)
+    ///
+    /// Returns `true` if prediction was fully correct (direction *and*
+    /// target), `false` on a misprediction that redirects fetch when the
+    /// branch resolves.
+    pub fn process(&mut self, pc: u64, kind: ControlKind, taken: bool, target: u64) -> bool {
+        match kind {
+            ControlKind::Cond => {
+                self.stats.cond += 1;
+                let pred = self.bpred.predict_and_update(pc, taken);
+                let ok = pred == taken;
+                self.stats.cond_wrong += u64::from(!ok);
+                ok
+            }
+            ControlKind::DirectJump => true,
+            ControlKind::Call => {
+                self.ras.push(pc + 1);
+                true
+            }
+            ControlKind::Return => {
+                self.stats.returns += 1;
+                let ok = self.ras.pop() == Some(target);
+                self.stats.returns_wrong += u64::from(!ok);
+                ok
+            }
+            ControlKind::IndirectJump | ControlKind::IndirectCall => {
+                self.stats.indirect += 1;
+                let ok = self.btb.lookup(pc) == Some(target);
+                self.btb.update(pc, target);
+                if kind == ControlKind::IndirectCall {
+                    self.ras.push(pc + 1);
+                }
+                self.stats.indirect_wrong += u64::from(!ok);
+                ok
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calls_and_returns_pair_up() {
+        let mut fe = FrontEnd::default();
+        assert!(fe.process(100, ControlKind::Call, true, 500));
+        assert!(fe.process(510, ControlKind::Return, true, 101));
+        assert_eq!(fe.stats().returns_wrong, 0);
+    }
+
+    #[test]
+    fn mismatched_return_is_mispredicted() {
+        let mut fe = FrontEnd::default();
+        fe.process(100, ControlKind::Call, true, 500);
+        assert!(!fe.process(510, ControlKind::Return, true, 999));
+        assert_eq!(fe.stats().returns_wrong, 1);
+    }
+
+    #[test]
+    fn empty_ras_mispredicts_return() {
+        let mut fe = FrontEnd::default();
+        assert!(!fe.process(510, ControlKind::Return, true, 101));
+    }
+
+    #[test]
+    fn indirect_learns_target() {
+        let mut fe = FrontEnd::default();
+        assert!(!fe.process(7, ControlKind::IndirectJump, true, 42), "cold BTB misses");
+        assert!(fe.process(7, ControlKind::IndirectJump, true, 42), "second time hits");
+        assert!(!fe.process(7, ControlKind::IndirectJump, true, 43), "target change misses");
+    }
+
+    #[test]
+    fn direct_jumps_never_mispredict() {
+        let mut fe = FrontEnd::default();
+        assert!(fe.process(1, ControlKind::DirectJump, true, 1000));
+        assert_eq!(fe.stats().total_wrong(), 0);
+    }
+
+    #[test]
+    fn nested_calls_unwind_in_order() {
+        let mut fe = FrontEnd::default();
+        fe.process(10, ControlKind::Call, true, 100);
+        fe.process(110, ControlKind::Call, true, 200);
+        assert!(fe.process(210, ControlKind::Return, true, 111));
+        assert!(fe.process(120, ControlKind::Return, true, 11));
+    }
+
+    #[test]
+    fn cond_accuracy_tracks() {
+        let mut fe = FrontEnd::default();
+        for _ in 0..200 {
+            fe.process(5, ControlKind::Cond, true, 50);
+        }
+        assert!(fe.stats().cond_accuracy() > 0.95);
+    }
+}

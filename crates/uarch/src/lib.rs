@@ -1,0 +1,20 @@
+//! # reno-uarch — front-end prediction structures and the store-sets predictor
+//!
+//! The paper's fetch engine (§4.1) uses a 16Kb hybrid branch predictor, a
+//! 2K-entry 4-way set-associative BTB and a 32-entry return address stack;
+//! loads are scheduled aggressively with a 64-entry store-sets memory
+//! dependence predictor (Chrysos & Emer). This crate implements those four
+//! structures plus a [`FrontEnd`] facade that the timing simulator drives
+//! once per fetched control instruction.
+
+mod bpred;
+mod btb;
+mod frontend;
+mod ras;
+mod storesets;
+
+pub use bpred::{BpredConfig, HybridPredictor};
+pub use btb::{Btb, BtbConfig};
+pub use frontend::{ControlKind, FrontEnd, FrontEndStats};
+pub use ras::Ras;
+pub use storesets::{StoreSetConfig, StoreSetId, StoreSets};

@@ -1,0 +1,222 @@
+//! Store-sets memory dependence predictor (Chrysos & Emer, ISCA '98).
+//!
+//! The SSIT (store-set ID table) maps load and store pcs to a store-set id;
+//! the LFST (last fetched store table) maps a store-set id to the most
+//! recently renamed, still-in-flight store of that set. A load whose pc maps
+//! to a set with an in-flight store must wait for that store to execute; all
+//! other loads issue aggressively. When a memory-ordering violation squashes
+//! the pipeline, the offending load and store pcs are assigned to the same
+//! set ("training").
+
+/// Identifier of a store set (an LFST index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StoreSetId(pub u16);
+
+/// Geometry of the predictor. Default: the paper's 64-entry store sets with a
+/// 4K-entry SSIT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreSetConfig {
+    /// SSIT entries (power of two), indexed by pc.
+    pub ssit_entries: usize,
+    /// Number of store sets (LFST entries).
+    pub sets: usize,
+}
+
+impl Default for StoreSetConfig {
+    fn default() -> StoreSetConfig {
+        StoreSetConfig { ssit_entries: 4096, sets: 64 }
+    }
+}
+
+/// The predictor state.
+///
+/// ```
+/// use reno_uarch::StoreSets;
+/// let mut ss = StoreSets::default();
+/// assert_eq!(ss.load_dependence(0x10), None, "untrained load is free");
+/// ss.train_violation(0x10, 0x20);
+/// ss.rename_store(0x20, 7);
+/// assert_eq!(ss.load_dependence(0x10), Some(7), "now waits for store seq 7");
+/// ss.store_executed(0x20, 7);
+/// assert_eq!(ss.load_dependence(0x10), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    cfg: StoreSetConfig,
+    /// pc -> store set id (+1; 0 = invalid).
+    ssit: Vec<u16>,
+    /// set id -> in-flight store sequence number.
+    lfst: Vec<Option<u64>>,
+    next_set: u16,
+    /// Violations trained.
+    pub violations_trained: u64,
+}
+
+impl Default for StoreSets {
+    fn default() -> StoreSets {
+        StoreSets::new(StoreSetConfig::default())
+    }
+}
+
+impl StoreSets {
+    /// Builds an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssit_entries` is not a power of two or `sets` is zero.
+    pub fn new(cfg: StoreSetConfig) -> StoreSets {
+        assert!(cfg.ssit_entries.is_power_of_two());
+        assert!(cfg.sets > 0 && cfg.sets <= u16::MAX as usize);
+        StoreSets {
+            cfg,
+            ssit: vec![0; cfg.ssit_entries],
+            lfst: vec![None; cfg.sets],
+            next_set: 0,
+            violations_trained: 0,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.ssit_entries - 1)
+    }
+
+    fn set_of(&self, pc: u64) -> Option<StoreSetId> {
+        let raw = self.ssit[self.ssit_index(pc)];
+        (raw != 0).then(|| StoreSetId(raw - 1))
+    }
+
+    /// Called at rename for a load: if the load belongs to a store set with an
+    /// in-flight store, returns that store's sequence number (the load must
+    /// not issue before it executes).
+    pub fn load_dependence(&self, pc: u64) -> Option<u64> {
+        self.set_of(pc).and_then(|s| self.lfst[s.0 as usize])
+    }
+
+    /// Called at rename for a store: records it as the set's last fetched
+    /// store. Returns the previous in-flight store of the set, if any (stores
+    /// of a set execute in order in the original proposal; the simulator may
+    /// use or ignore this).
+    pub fn rename_store(&mut self, pc: u64, seq: u64) -> Option<u64> {
+        let set = self.set_of(pc)?;
+        let prev = self.lfst[set.0 as usize];
+        self.lfst[set.0 as usize] = Some(seq);
+        prev
+    }
+
+    /// Called when a store executes (its address is known) or retires:
+    /// clears the LFST entry if it still names this store.
+    pub fn store_executed(&mut self, pc: u64, seq: u64) {
+        if let Some(set) = self.set_of(pc) {
+            if self.lfst[set.0 as usize] == Some(seq) {
+                self.lfst[set.0 as usize] = None;
+            }
+        }
+    }
+
+    /// Called when a squash removes in-flight stores: any LFST entry naming a
+    /// store with sequence >= `from_seq` is cleared.
+    pub fn squash_from(&mut self, from_seq: u64) {
+        for e in &mut self.lfst {
+            if matches!(e, Some(s) if *s >= from_seq) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Trains on a memory-ordering violation between `load_pc` and
+    /// `store_pc`: both are placed in the same store set (Chrysos-Emer merge
+    /// rule: reuse an existing set if either pc has one, preferring the
+    /// smaller id; otherwise allocate round-robin).
+    pub fn train_violation(&mut self, load_pc: u64, store_pc: u64) {
+        self.violations_trained += 1;
+        let ls = self.set_of(load_pc);
+        let ss = self.set_of(store_pc);
+        let set = match (ls, ss) {
+            (Some(a), Some(b)) => StoreSetId(a.0.min(b.0)),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                let id = StoreSetId(self.next_set);
+                self.next_set = (self.next_set + 1) % self.cfg.sets as u16;
+                id
+            }
+        };
+        let li = self.ssit_index(load_pc);
+        let si = self.ssit_index(store_pc);
+        self.ssit[li] = set.0 + 1;
+        self.ssit[si] = set.0 + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_loads_are_unconstrained() {
+        let mut ss = StoreSets::default();
+        ss.rename_store(0x20, 1); // store has no set -> no effect
+        assert_eq!(ss.load_dependence(0x10), None);
+    }
+
+    #[test]
+    fn training_creates_dependence() {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20);
+        ss.rename_store(0x20, 42);
+        assert_eq!(ss.load_dependence(0x10), Some(42));
+    }
+
+    #[test]
+    fn store_execution_clears_dependence() {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20);
+        ss.rename_store(0x20, 42);
+        ss.store_executed(0x20, 42);
+        assert_eq!(ss.load_dependence(0x10), None);
+    }
+
+    #[test]
+    fn stale_clear_is_ignored() {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20);
+        ss.rename_store(0x20, 42);
+        ss.rename_store(0x20, 43); // newer store of the same set
+        ss.store_executed(0x20, 42); // old store executing must not clear 43
+        assert_eq!(ss.load_dependence(0x10), Some(43));
+    }
+
+    #[test]
+    fn squash_clears_young_stores_only() {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20);
+        ss.train_violation(0x30, 0x40);
+        ss.rename_store(0x20, 10);
+        ss.rename_store(0x40, 50);
+        ss.squash_from(20);
+        assert_eq!(ss.load_dependence(0x10), Some(10), "older store survives");
+        assert_eq!(ss.load_dependence(0x30), None, "younger store cleared");
+    }
+
+    #[test]
+    fn merge_rule_unifies_sets() {
+        let mut ss = StoreSets::default();
+        ss.train_violation(0x10, 0x20); // set A
+        ss.train_violation(0x30, 0x40); // set B
+        ss.train_violation(0x10, 0x40); // merge: both -> min(A, B)
+        ss.rename_store(0x40, 7);
+        assert_eq!(ss.load_dependence(0x10), Some(7));
+    }
+
+    #[test]
+    fn round_robin_allocation_wraps() {
+        let mut ss = StoreSets::new(StoreSetConfig { ssit_entries: 4096, sets: 2 });
+        ss.train_violation(0x1, 0x2);
+        ss.train_violation(0x3, 0x4);
+        ss.train_violation(0x5, 0x6); // reuses set 0
+        ss.rename_store(0x2, 9);
+        // pc 0x5 landed in set 0, same as 0x1/0x2.
+        assert_eq!(ss.load_dependence(0x5), Some(9));
+    }
+}

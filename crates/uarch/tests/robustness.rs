@@ -1,0 +1,96 @@
+//! Property tests: predictor structures never panic and behave sanely on
+//! arbitrary input sequences.
+
+use proptest::prelude::*;
+use reno_uarch::{Btb, ControlKind, FrontEnd, HybridPredictor, Ras, StoreSets};
+
+proptest! {
+    #[test]
+    fn predictor_accepts_any_stream(ops in prop::collection::vec((any::<u16>(), any::<bool>()), 1..500)) {
+        let mut p = HybridPredictor::default();
+        for (pc, taken) in ops {
+            let _ = p.predict_and_update(pc as u64, taken);
+        }
+    }
+
+    #[test]
+    fn btb_lookup_matches_last_update(ops in prop::collection::vec((0u64..64, any::<u16>()), 1..200)) {
+        let mut b = Btb::default();
+        let mut shadow = std::collections::HashMap::new();
+        for (pc, tgt) in ops {
+            b.update(pc, tgt as u64);
+            shadow.insert(pc, tgt as u64);
+        }
+        // With <= 64 distinct pcs in a 2048-entry BTB there is no capacity
+        // pressure: every lookup must return the last installed target.
+        for (pc, tgt) in shadow {
+            prop_assert_eq!(b.lookup(pc), Some(tgt));
+        }
+    }
+
+    #[test]
+    fn ras_matches_unbounded_stack_within_capacity(ops in prop::collection::vec(prop::option::of(any::<u32>()), 1..200)) {
+        let mut ras = Ras::new(64);
+        let mut shadow: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    ras.push(v as u64);
+                    shadow.push(v as u64);
+                    if shadow.len() > 64 {
+                        shadow.remove(0); // RAS wraps, dropping the deepest
+                    }
+                }
+                None => {
+                    let expect = shadow.pop();
+                    prop_assert_eq!(ras.pop(), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storesets_never_panic_and_dependences_resolve(
+        ops in prop::collection::vec((0u64..32, 0u64..32, any::<bool>()), 1..300)
+    ) {
+        let mut ss = StoreSets::default();
+        let mut seq = 0u64;
+        for (load_pc, store_pc, violate) in ops {
+            if violate {
+                ss.train_violation(load_pc, store_pc + 100);
+            }
+            seq += 1;
+            ss.rename_store(store_pc + 100, seq);
+            let dep = ss.load_dependence(load_pc);
+            if let Some(d) = dep {
+                prop_assert!(d <= seq, "dependence on a future store");
+            }
+            ss.store_executed(store_pc + 100, seq);
+        }
+        // After all stores execute, no dependences linger.
+        for pc in 0..32 {
+            prop_assert_eq!(ss.load_dependence(pc), None);
+        }
+    }
+
+    #[test]
+    fn frontend_never_panics(ops in prop::collection::vec((0u64..4096, 0u8..6, any::<bool>(), 0u64..4096), 1..300)) {
+        let mut fe = FrontEnd::default();
+        for (pc, kind, taken, target) in ops {
+            let kind = [
+                ControlKind::Cond,
+                ControlKind::DirectJump,
+                ControlKind::Call,
+                ControlKind::Return,
+                ControlKind::IndirectJump,
+                ControlKind::IndirectCall,
+            ][kind as usize];
+            let taken = taken || kind != ControlKind::Cond;
+            let _ = fe.process(pc, kind, taken, target);
+        }
+        let s = fe.stats();
+        prop_assert!(s.cond_wrong <= s.cond);
+        prop_assert!(s.returns_wrong <= s.returns);
+        prop_assert!(s.indirect_wrong <= s.indirect);
+    }
+}

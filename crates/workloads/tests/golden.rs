@@ -1,0 +1,45 @@
+//! Golden-checksum regression: the kernels' architectural results are
+//! pinned, so any semantic change to the ISA, the functional simulator, or
+//! a kernel is caught immediately (timing changes do not affect these).
+
+use reno_func::run_to_completion;
+use reno_workloads::{all_workloads, Scale};
+
+const GOLDEN: [(&str, u64); 20] = [
+    ("gzip.c", 0x00000000000001b3),
+    ("crafty", 0x0000000000000d81),
+    ("mcf", 0x0000000001224c23),
+    ("parser", 0x000000000000001d),
+    ("vortex", 0x00000000000001ac),
+    ("twolf", 0x0000000000000082),
+    ("gap", 0xe3561a790d806aca),
+    ("perl.i", 0x00000000000000ef),
+    ("bzip2", 0x3bcb72da4866b098),
+    ("vpr.r", 0x0000000000000f80),
+    ("adpcm.en", 0x810505f9d5ad18b9),
+    ("g721.de", 0xfffffffffffffaea),
+    ("gsm.en", 0x0000000001812cb0),
+    ("jpg.en", 0x00000000000000d8),
+    ("mpg2.de", 0x00000000000000cb),
+    ("epic", 0xfffffffffffffff9),
+    ("pegw.en", 0x0000000057598001),
+    ("mesa.t", 0x0000000000000c7a),
+    ("gs.de", 0x000000000000007b),
+    ("unepic", 0xffffffffffffced8),
+];
+
+#[test]
+fn tiny_scale_checksums_are_pinned() {
+    let workloads = all_workloads(Scale::Tiny);
+    assert_eq!(workloads.len(), GOLDEN.len());
+    for (w, (name, golden)) in workloads.iter().zip(GOLDEN) {
+        assert_eq!(w.name, name, "suite order changed");
+        let (cpu, r) = run_to_completion(&w.program, 1 << 24).unwrap();
+        assert!(r.halted);
+        assert_eq!(
+            cpu.checksum(),
+            golden,
+            "{name}: semantic drift (update GOLDEN only if intentional)"
+        );
+    }
+}

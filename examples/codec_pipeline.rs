@@ -1,0 +1,46 @@
+//! A MediaBench-style scenario: run the codec kernels and show where RENO
+//! makes its impact with the critical-path analyzer (paper Fig 9's story:
+//! media code is ALU-critical, so RENO_CF's folding is what pays).
+//!
+//! ```text
+//! cargo run --release --example codec_pipeline
+//! ```
+
+use reno_repro::core::RenoConfig;
+use reno_repro::cpa::{analyze, Bucket};
+use reno_repro::sim::{MachineConfig, Simulator};
+use reno_repro::workloads::{media_suite, Scale};
+
+fn main() {
+    println!("{:<10} {:>9} {:>9} {:>8} | critical path (base -> reno)", "kernel", "base IPC", "reno IPC", "speedup");
+    for w in media_suite(Scale::Small) {
+        let base = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::baseline()).with_cpa(),
+            200_000,
+        )
+        .run(1 << 26);
+        let reno = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::reno()).with_cpa(),
+            200_000,
+        )
+        .run(1 << 26);
+
+        let bb = analyze(&base.cpa, 128);
+        let rb = analyze(&reno.cpa, 128);
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>+7.1}% | alu {:>4.1}%->{:>4.1}%  fetch {:>4.1}%->{:>4.1}%",
+            w.name,
+            base.ipc(),
+            reno.ipc(),
+            reno.speedup_pct_vs(&base),
+            bb.pct(Bucket::AluExec),
+            rb.pct(Bucket::AluExec),
+            bb.pct(Bucket::Fetch),
+            rb.pct(Bucket::Fetch),
+        );
+    }
+    println!("\nRENO collapses ALU dataflow; on media code the freed criticality");
+    println!("\"decays into fetch criticality\", exactly as the paper describes.");
+}

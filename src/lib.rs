@@ -1,0 +1,13 @@
+//! # reno-repro — top-level facade for the RENO reproduction
+//!
+//! Re-exports the constituent crates under short module names. See the
+//! repository README for a tour and `examples/` for runnable entry points.
+
+pub use reno_core as core;
+pub use reno_cpa as cpa;
+pub use reno_func as func;
+pub use reno_isa as isa;
+pub use reno_mem as mem;
+pub use reno_sim as sim;
+pub use reno_uarch as uarch;
+pub use reno_workloads as workloads;

@@ -1,0 +1,143 @@
+//! Cross-crate integration: the full workloads through the full simulator,
+//! checking correctness and the paper's headline behaviours.
+
+use reno_core::RenoConfig;
+use reno_func::run_to_completion;
+use reno_sim::{MachineConfig, Simulator};
+use reno_workloads::{all_workloads, media_suite, spec_suite, Scale};
+
+const FUEL: u64 = 60_000;
+const MAX_CYCLES: u64 = 1 << 26;
+
+#[test]
+fn every_workload_is_timing_functional_equivalent() {
+    for w in all_workloads(Scale::Tiny) {
+        let (cpu, func) = run_to_completion(&w.program, 1 << 24).unwrap();
+        for cfg in [RenoConfig::baseline(), RenoConfig::reno()] {
+            let r = Simulator::new(&w.program, MachineConfig::four_wide(cfg)).run(MAX_CYCLES);
+            assert!(r.halted, "{}", w.name);
+            assert_eq!(r.retired, func.executed, "{}", w.name);
+            assert_eq!(r.digest, cpu.state_digest(), "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn elimination_rates_are_in_the_papers_band() {
+    // Paper: RENO collapses ~22% of dynamic instructions on average
+    // (per-program spread roughly 7%..40%).
+    let mut total = Vec::new();
+    for w in all_workloads(Scale::Small) {
+        let r = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
+            .run(MAX_CYCLES);
+        let pct = r.elimination_pct();
+        assert!(
+            (3.0..50.0).contains(&pct),
+            "{}: elimination {pct:.1}% out of plausible range",
+            w.name
+        );
+        total.push(pct);
+    }
+    let avg = total.iter().sum::<f64>() / total.len() as f64;
+    assert!((12.0..32.0).contains(&avg), "suite average {avg:.1}% vs paper ~22%");
+}
+
+#[test]
+fn reno_speeds_up_both_suites_on_average() {
+    for suite in [spec_suite(Scale::Small), media_suite(Scale::Small)] {
+        let mut speedups = Vec::new();
+        for w in &suite {
+            let base = Simulator::with_fuel(
+                &w.program,
+                MachineConfig::four_wide(RenoConfig::baseline()),
+                FUEL,
+            )
+            .run(MAX_CYCLES);
+            let reno =
+                Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
+                    .run(MAX_CYCLES);
+            speedups.push(reno.speedup_pct_vs(&base));
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(avg > 1.0, "suite average speedup {avg:.1}% should be positive: {speedups:?}");
+    }
+}
+
+#[test]
+fn eliminated_instructions_save_physical_registers() {
+    // With a tight register file the baseline stalls more than RENO.
+    let mut base_stalls = 0;
+    let mut reno_stalls = 0;
+    for w in spec_suite(Scale::Tiny) {
+        let m = MachineConfig::four_wide(RenoConfig::baseline()).with_pregs(96);
+        base_stalls +=
+            Simulator::with_fuel(&w.program, m, FUEL).run(MAX_CYCLES).stats.preg_stall_cycles;
+        let m = MachineConfig::four_wide(RenoConfig::reno()).with_pregs(96);
+        reno_stalls +=
+            Simulator::with_fuel(&w.program, m, FUEL).run(MAX_CYCLES).stats.preg_stall_cycles;
+    }
+    assert!(
+        reno_stalls < base_stalls,
+        "RENO must relieve register pressure: {reno_stalls} vs {base_stalls}"
+    );
+}
+
+#[test]
+fn two_cycle_scheduler_is_tolerated_by_reno() {
+    // Fig 12's shape: the slowdown from a 2-cycle wakeup-select loop is
+    // smaller with RENO than without it.
+    let mut base_loss = Vec::new();
+    let mut reno_loss = Vec::new();
+    for w in media_suite(Scale::Small) {
+        let b1 = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::baseline()), FUEL)
+            .run(MAX_CYCLES);
+        let b2 = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::baseline()).with_sched_loop(2),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
+        let r1 = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
+            .run(MAX_CYCLES);
+        let r2 = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::reno()).with_sched_loop(2),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
+        base_loss.push(b2.cycles as f64 / b1.cycles as f64);
+        reno_loss.push(r2.cycles as f64 / r1.cycles as f64);
+    }
+    let b = base_loss.iter().sum::<f64>() / base_loss.len() as f64;
+    let r = reno_loss.iter().sum::<f64>() / reno_loss.len() as f64;
+    assert!(b > 1.005, "the loose loop must cost the baseline something: {b:.3}");
+    assert!(r < b, "RENO should absorb scheduler latency: {r:.3} vs {b:.3}");
+}
+
+#[test]
+fn six_wide_eliminates_slightly_less_per_group_rule() {
+    // Paper §4.2: moving 4-wide -> 6-wide slightly drops eliminations
+    // because dependent pairs land in the same rename group more often.
+    let mut drop = 0f64;
+    for w in media_suite(Scale::Small) {
+        let four = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
+            .run(MAX_CYCLES);
+        let six = Simulator::with_fuel(&w.program, MachineConfig::six_wide(RenoConfig::reno()), FUEL)
+            .run(MAX_CYCLES);
+        drop += four.elimination_pct() - six.elimination_pct();
+    }
+    assert!(drop > -1.0, "6-wide should not eliminate meaningfully more: {drop:.2}");
+}
+
+#[test]
+fn integrated_loads_verify_and_misintegrations_recover() {
+    let mut reexecs = 0;
+    for w in all_workloads(Scale::Tiny) {
+        let (cpu, _) = run_to_completion(&w.program, 1 << 24).unwrap();
+        let r = Simulator::new(&w.program, MachineConfig::four_wide(RenoConfig::reno()))
+            .run(MAX_CYCLES);
+        assert_eq!(r.digest, cpu.state_digest(), "{} under re-execution", w.name);
+        reexecs += r.stats.reexec_loads;
+    }
+    assert!(reexecs > 0, "some loads should integrate across the suites");
+}

@@ -1,0 +1,128 @@
+//! The golden invariant of the whole system: RENO (in any configuration)
+//! changes *timing only* — the timing simulator retires exactly the
+//! functional machine's results, on arbitrary programs.
+
+use proptest::prelude::*;
+use reno_core::RenoConfig;
+use reno_func::run_to_completion;
+use reno_isa::{Asm, Opcode, Program, Reg};
+use reno_sim::{MachineConfig, Simulator};
+
+/// Registers the generator is allowed to clobber (keeps sp/frame sane).
+const POOL: [Reg; 10] =
+    [Reg::V0, Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    AluRR(u8, usize, usize, usize),
+    AluRI(u8, usize, usize, i16),
+    Move(usize, usize),
+    Load(usize, u8),
+    Store(usize, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..9, 0usize..POOL.len(), 0usize..POOL.len(), 0usize..POOL.len())
+            .prop_map(|(o, d, a, b)| GenOp::AluRR(o, d, a, b)),
+        (0u8..6, 0usize..POOL.len(), 0usize..POOL.len(), any::<i16>())
+            .prop_map(|(o, d, a, i)| GenOp::AluRI(o, d, a, i)),
+        (0usize..POOL.len(), 0usize..POOL.len()).prop_map(|(d, a)| GenOp::Move(d, a)),
+        (0usize..POOL.len(), 0u8..32).prop_map(|(d, s)| GenOp::Load(d, s)),
+        (0usize..POOL.len(), 0u8..32).prop_map(|(d, s)| GenOp::Store(d, s)),
+    ]
+}
+
+fn build(ops: &[GenOp]) -> Program {
+    let mut a = Asm::named("prop");
+    let buf = a.zeros("buf", 32 * 8);
+    a.li(Reg::S0, buf as i64); // scratch base, never clobbered
+    for (i, r) in POOL.iter().enumerate() {
+        a.li(*r, (i as i64 + 1) * 1_000_003);
+    }
+    for op in ops {
+        match *op {
+            GenOp::AluRR(o, d, x, y) => {
+                let oc = [
+                    Opcode::Add,
+                    Opcode::Sub,
+                    Opcode::And,
+                    Opcode::Or,
+                    Opcode::Xor,
+                    Opcode::Sll,
+                    Opcode::Srl,
+                    Opcode::Slt,
+                    Opcode::Mul,
+                ][o as usize];
+                a.emit(reno_isa::Inst::alu_rr(oc, POOL[d], POOL[x], POOL[y]));
+            }
+            GenOp::AluRI(o, d, x, imm) => {
+                let oc = [Opcode::Addi, Opcode::Andi, Opcode::Ori, Opcode::Xori, Opcode::Slli, Opcode::Slti]
+                    [o as usize];
+                let imm = if oc == Opcode::Slli { imm & 63 } else { imm };
+                a.emit(reno_isa::Inst::alu_ri(oc, POOL[d], POOL[x], imm));
+            }
+            GenOp::Move(d, x) => {
+                a.mov(POOL[d], POOL[x]);
+            }
+            GenOp::Load(d, slot) => {
+                a.ld(POOL[d], Reg::S0, slot as i16 * 8);
+            }
+            GenOp::Store(x, slot) => {
+                a.st(POOL[x], Reg::S0, slot as i16 * 8);
+            }
+        }
+    }
+    for r in POOL {
+        a.out(r);
+    }
+    a.halt();
+    a.assemble().expect("generated programs assemble")
+}
+
+fn all_configs() -> Vec<RenoConfig> {
+    vec![
+        RenoConfig::baseline(),
+        RenoConfig::me_only(),
+        RenoConfig::cf_me(),
+        RenoConfig { conservative_overflow: false, ..RenoConfig::cf_me() },
+        RenoConfig::reno(),
+        RenoConfig::reno_full_integration(),
+        RenoConfig::full_integration_only(),
+        RenoConfig::loads_integration_only(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_reno_config_preserves_architectural_state(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let prog = build(&ops);
+        let (cpu, func) = run_to_completion(&prog, 1 << 20).expect("functional run");
+        for cfg in all_configs() {
+            let r = Simulator::new(&prog, MachineConfig::four_wide(cfg)).run(1 << 24);
+            prop_assert!(r.halted, "{cfg:?} did not finish");
+            prop_assert_eq!(r.retired, func.executed, "{:?} retired count", cfg);
+            prop_assert_eq!(r.digest, cpu.state_digest(), "{:?} digest", cfg);
+            prop_assert_eq!(r.checksum, cpu.checksum(), "{:?} checksum", cfg);
+        }
+    }
+
+    #[test]
+    fn machine_shape_never_changes_results(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let prog = build(&ops);
+        let (cpu, _) = run_to_completion(&prog, 1 << 20).expect("functional run");
+        let machines = [
+            MachineConfig::six_wide(RenoConfig::reno()),
+            MachineConfig::four_wide(RenoConfig::reno()).with_pregs(48),
+            MachineConfig::four_wide(RenoConfig::reno()).with_issue_i2t2(),
+            MachineConfig::four_wide(RenoConfig::reno()).with_sched_loop(2),
+            MachineConfig::four_wide(RenoConfig::cf_me()).with_fused_extra_cycle(),
+        ];
+        for m in machines {
+            let r = Simulator::new(&prog, m).run(1 << 24);
+            prop_assert_eq!(r.digest, cpu.state_digest());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Adversarial recovery scenarios: mispredict storms, violation/
+//! misintegration interplay, and the paper's §3.5 precise-state property.
+
+use proptest::prelude::*;
+use reno_core::RenoConfig;
+use reno_func::{run_to_completion, Cpu};
+use reno_isa::{Asm, Program, Reg};
+use reno_sim::{MachineConfig, Simulator};
+
+/// A branch-heavy program whose directions come from an LCG (hard to
+/// predict), with memory traffic interleaved.
+fn storm_program() -> Program {
+    let mut a = Asm::named("storm");
+    let buf = a.zeros("buf", 64 * 8);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, 400);
+    a.li(Reg::T1, 88172645);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.li(Reg::T2, 25214903 % 30000);
+    a.mul(Reg::T1, Reg::T1, Reg::T2);
+    a.addi(Reg::T1, Reg::T1, 11);
+    a.srli(Reg::T3, Reg::T1, 19);
+    a.andi(Reg::T3, Reg::T3, 1);
+    a.beqz(Reg::T3, "even");
+    a.addi(Reg::V0, Reg::V0, 3);
+    a.st(Reg::V0, Reg::S0, 8);
+    a.br("join");
+    a.label("even");
+    a.addi(Reg::V0, Reg::V0, 7);
+    a.ld(Reg::T4, Reg::S0, 8);
+    a.add(Reg::V0, Reg::V0, Reg::T4);
+    a.label("join");
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// Repeated name-invisible aliasing: every iteration provokes a potential
+/// misintegration, and loads race stores for ordering violations.
+fn alias_gauntlet() -> Program {
+    let mut a = Asm::named("gauntlet");
+    let cell = a.words("cell", &[5]);
+    let ptr = a.words("ptr", &[0x0010_0000]); // points at `cell`
+    a.li(Reg::S0, cell as i64);
+    a.li(Reg::S1, ptr as i64);
+    a.li(Reg::T0, 120);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.st(Reg::T0, Reg::S0, 0); // direct store
+    a.ld(Reg::T1, Reg::S1, 0); // load the pointer (cold miss at first)
+    a.addi(Reg::T2, Reg::T0, 1);
+    a.st(Reg::T2, Reg::T1, 0); // aliased store through the pointer
+    a.ld(Reg::T3, Reg::S0, 0); // reload: must see the aliased value
+    a.add(Reg::V0, Reg::V0, Reg::T3);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+#[test]
+fn mispredict_storm_is_correct_and_costly() {
+    let p = storm_program();
+    let (cpu, _) = run_to_completion(&p, 1 << 22).unwrap();
+    let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 26);
+    assert_eq!(r.digest, cpu.state_digest());
+    assert!(r.frontend.cond_wrong > 50, "storm should defeat the predictor: {:?}", r.frontend);
+}
+
+#[test]
+fn alias_gauntlet_recovers_from_misintegrations() {
+    let p = alias_gauntlet();
+    let (cpu, _) = run_to_completion(&p, 1 << 22).unwrap();
+    let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 26);
+    assert_eq!(r.digest, cpu.state_digest(), "misintegration recovery must be exact");
+    assert!(
+        r.stats.misintegrations >= 1,
+        "the gauntlet should provoke at least one misintegration: {:?}",
+        r.stats
+    );
+}
+
+#[test]
+fn alias_gauntlet_under_every_config_and_machine() {
+    let p = alias_gauntlet();
+    let (cpu, _) = run_to_completion(&p, 1 << 22).unwrap();
+    for cfg in [
+        RenoConfig::reno(),
+        RenoConfig::reno_full_integration(),
+        RenoConfig::full_integration_only(),
+    ] {
+        for m in [
+            MachineConfig::four_wide(cfg),
+            MachineConfig::six_wide(cfg),
+            MachineConfig::four_wide(cfg).with_pregs(64),
+            MachineConfig::four_wide(cfg).with_sched_loop(2),
+        ] {
+            let r = Simulator::new(&p, m).run(1 << 26);
+            assert_eq!(r.digest, cpu.state_digest(), "{cfg:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §3.5 precise state: stopping the machine after any number of
+    /// instructions yields the same architectural state the in-order
+    /// machine would have — even with folded operations outstanding.
+    #[test]
+    fn precise_state_at_any_fuel(fuel in 1u64..2000) {
+        let p = storm_program();
+        let mut cpu = Cpu::new(&p);
+        let mut left = fuel;
+        while left > 0 && !cpu.halted() {
+            cpu.step(&p).unwrap();
+            left -= 1;
+        }
+        let r = Simulator::with_fuel(&p, MachineConfig::four_wide(RenoConfig::reno()), fuel)
+            .run(1 << 26);
+        prop_assert_eq!(r.digest, cpu.state_digest());
+        prop_assert_eq!(r.retired, cpu.executed());
+    }
+}
