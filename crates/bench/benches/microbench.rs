@@ -2,7 +2,10 @@
 //! critical path (host-side performance of the simulator's building blocks).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use reno_core::{IntegrationTable, ItConfig, ItKey, ItOperand, Mapping, PhysReg, RefCountFreeList, Reno, RenoConfig};
+use reno_core::{
+    IntegrationTable, ItConfig, ItKey, ItOperand, Mapping, PhysReg, RefCountFreeList, Reno,
+    RenoConfig,
+};
 use reno_isa::{Inst, Opcode, Reg};
 use reno_mem::{Cache, CacheConfig};
 use reno_uarch::{HybridPredictor, StoreSets};
@@ -16,7 +19,10 @@ fn bench_rename(c: &mut Criterion) {
         Inst::alu_rr(Opcode::Add, Reg::V0, Reg::V0, Reg::T0),
         Inst::alu_ri(Opcode::Slti, Reg::T1, Reg::S0, 100),
     ];
-    for (name, cfg) in [("baseline", RenoConfig::baseline()), ("reno", RenoConfig::reno())] {
+    for (name, cfg) in [
+        ("baseline", RenoConfig::baseline()),
+        ("reno", RenoConfig::reno()),
+    ] {
         c.bench_function(&format!("rename_group_{name}"), |b| {
             let mut reno = Reno::new(cfg);
             b.iter(|| {
@@ -64,8 +70,12 @@ fn bench_refcount(c: &mut Criterion) {
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("dcache_probe_hit", |b| {
-        let mut dc =
-            Cache::new(CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 32, hit_latency: 2 });
+        let mut dc = Cache::new(CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 2,
+        });
         dc.probe_and_fill(0x1000, false);
         b.iter(|| black_box(dc.probe_and_fill(0x1000, false)))
     });

@@ -40,7 +40,15 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
         }
         row(w.name, &vals);
     }
-    row("avg", &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2]), amean(&cols[3])]);
+    row(
+        "avg",
+        &[
+            amean(&cols[0]),
+            amean(&cols[1]),
+            amean(&cols[2]),
+            amean(&cols[3]),
+        ],
+    );
     println!(
         "\nIT port accesses relative to RENO: RENO+FI {:+.0}%  FullInteg {:+.0}%  LoadsInteg {:+.0}%",
         (accesses[1] / accesses[0] - 1.0) * 100.0,

@@ -26,7 +26,11 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
         let base160 = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
         let mut vals = Vec::new();
         for &p in &PREGS {
-            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
+            for cfg in [
+                RenoConfig::baseline(),
+                RenoConfig::cf_me(),
+                RenoConfig::reno(),
+            ] {
                 let r = run(w, MachineConfig::four_wide(cfg).with_pregs(p));
                 let rel = base160.cycles as f64 * 100.0 / r.cycles as f64;
                 vals.push(rel);

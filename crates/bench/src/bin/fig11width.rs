@@ -37,7 +37,11 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
         let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
         let mut vals = Vec::new();
         for (_, shrink) in widths() {
-            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
+            for cfg in [
+                RenoConfig::baseline(),
+                RenoConfig::cf_me(),
+                RenoConfig::reno(),
+            ] {
                 let r = run(w, shrink(MachineConfig::four_wide(cfg)));
                 vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
             }

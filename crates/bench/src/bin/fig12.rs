@@ -23,8 +23,15 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
         let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
         let mut vals = Vec::new();
         for loop_cycles in [1u64, 2] {
-            for cfg in [RenoConfig::baseline(), RenoConfig::cf_me(), RenoConfig::reno()] {
-                let r = run(w, MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles));
+            for cfg in [
+                RenoConfig::baseline(),
+                RenoConfig::cf_me(),
+                RenoConfig::reno(),
+            ] {
+                let r = run(
+                    w,
+                    MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles),
+                );
                 vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
             }
         }

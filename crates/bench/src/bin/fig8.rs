@@ -40,7 +40,12 @@ fn suite_panel(suite_name: &str, workloads: &[Workload], width: usize) {
     }
     row(
         "amean",
-        &[amean(&me_col), amean(&cf_col), amean(&cse_col), amean(&totals)],
+        &[
+            amean(&me_col),
+            amean(&cf_col),
+            amean(&cse_col),
+            amean(&totals),
+        ],
     );
 
     println!("\n== Fig 8 [{suite_name}, {width}-wide]: % speedup over BASE ==");
@@ -57,7 +62,10 @@ fn suite_panel(suite_name: &str, workloads: &[Workload], width: usize) {
         }
         row(w.name, &vals);
     }
-    row("amean", &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2])]);
+    row(
+        "amean",
+        &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2])],
+    );
 }
 
 fn main() {

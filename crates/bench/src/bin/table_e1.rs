@@ -11,7 +11,10 @@ use reno_workloads::all_workloads;
 fn main() {
     let scale = scale_from_env();
     println!("== E1 rule ablation (dependent eliminations per rename group) ==");
-    println!("{:<10} {:>12} {:>12} {:>12}", "bench", "RENO (%)", "deep-mux (%)", "suppressed");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "bench", "RENO (%)", "deep-mux (%)", "suppressed"
+    );
     let mut normal = Vec::new();
     let mut deep = Vec::new();
     for w in all_workloads(scale) {
@@ -19,7 +22,10 @@ fn main() {
         let r1 = run(&w, MachineConfig::four_wide(RenoConfig::reno()));
         let r2 = run(
             &w,
-            MachineConfig::four_wide(RenoConfig { allow_dependent_elim: true, ..RenoConfig::reno() }),
+            MachineConfig::four_wide(RenoConfig {
+                allow_dependent_elim: true,
+                ..RenoConfig::reno()
+            }),
         );
         let s1 = r1.speedup_pct_vs(&base);
         let s2 = r2.speedup_pct_vs(&base);

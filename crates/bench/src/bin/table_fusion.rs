@@ -22,17 +22,30 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     for w in workloads {
         let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
         let fast = run(w, MachineConfig::four_wide(RenoConfig::cf_me()));
-        let paid =
-            run(w, MachineConfig::four_wide(RenoConfig::cf_me()).with_fused_extra_cycle());
+        let paid = run(
+            w,
+            MachineConfig::four_wide(RenoConfig::cf_me()).with_fused_extra_cycle(),
+        );
         let s_fast = fast.speedup_pct_vs(&base);
         let s_paid = paid.speedup_pct_vs(&base);
-        let kept = if s_fast.abs() < 0.05 { 100.0 } else { s_paid / s_fast * 100.0 };
-        println!("{:<10} {:>12.1} {:>14.1} {:>12.0}", w.name, s_fast, s_paid, kept);
+        let kept = if s_fast.abs() < 0.05 {
+            100.0
+        } else {
+            s_paid / s_fast * 100.0
+        };
+        println!(
+            "{:<10} {:>12.1} {:>14.1} {:>12.0}",
+            w.name, s_fast, s_paid, kept
+        );
         free.push(s_fast);
         slow.push(s_paid);
     }
     let (f, s) = (amean(&free), amean(&slow));
-    println!("{:<10} {f:>12.1} {s:>14.1} {:>12.0}", "amean", s / f.max(0.01) * 100.0);
+    println!(
+        "{:<10} {f:>12.1} {s:>14.1} {:>12.0}",
+        "amean",
+        s / f.max(0.01) * 100.0
+    );
     println!(
         "advantage lost with 1-cycle fusion: {:.0}% relative ({:.1}% absolute)",
         (1.0 - s / f.max(0.01)) * 100.0,

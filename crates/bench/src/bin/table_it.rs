@@ -15,7 +15,10 @@ use reno_workloads::all_workloads;
 fn main() {
     let scale = scale_from_env();
     println!("== IT division of labor (all workloads) ==");
-    header("bench", &["RENO el%", "R+FI el%", "RENO acc", "R+FI acc", "half el%"]);
+    header(
+        "bench",
+        &["RENO el%", "R+FI el%", "RENO acc", "R+FI acc", "half el%"],
+    );
     let mut elim_r = Vec::new();
     let mut elim_fi = Vec::new();
     let mut elim_half = Vec::new();
@@ -23,10 +26,16 @@ fn main() {
     let mut acc_fi = 0u64;
     for w in all_workloads(scale) {
         let r = run(&w, MachineConfig::four_wide(RenoConfig::reno()));
-        let fi = run(&w, MachineConfig::four_wide(RenoConfig::reno_full_integration()));
+        let fi = run(
+            &w,
+            MachineConfig::four_wide(RenoConfig::reno_full_integration()),
+        );
         // Half-size IT (256 entries) in the loads-only configuration.
         let half_cfg = RenoConfig {
-            it: ItConfig { entries: 256, assoc: 2 },
+            it: ItConfig {
+                entries: 256,
+                assoc: 2,
+            },
             ..RenoConfig::reno()
         };
         let half = run(&w, MachineConfig::four_wide(half_cfg));

@@ -11,7 +11,10 @@ use reno_workloads::{media_suite, spec_suite, Workload};
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
     println!("\n== Mix [{suite_name}]: % of dynamic instructions ==");
-    header("bench", &["moves", "reg+imm", "loads", "stores", "branches"]);
+    header(
+        "bench",
+        &["moves", "reg+imm", "loads", "stores", "branches"],
+    );
     let mut cols: [Vec<f64>; 5] = Default::default();
     for w in workloads {
         let (_, r) = run_to_completion(&w.program, 100_000_000).expect("kernel runs");
@@ -30,7 +33,13 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     }
     row(
         "amean",
-        &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2]), amean(&cols[3]), amean(&cols[4])],
+        &[
+            amean(&cols[0]),
+            amean(&cols[1]),
+            amean(&cols[2]),
+            amean(&cols[3]),
+            amean(&cols[4]),
+        ],
     );
 }
 

@@ -13,7 +13,10 @@ pub struct ItConfig {
 
 impl Default for ItConfig {
     fn default() -> ItConfig {
-        ItConfig { entries: 512, assoc: 2 }
+        ItConfig {
+            entries: 512,
+            assoc: 2,
+        }
     }
 }
 
@@ -33,7 +36,11 @@ pub struct ItOperand {
 impl ItOperand {
     /// Builds an operand for `m` with its current generation.
     pub fn of(m: Mapping, fl: &RefCountFreeList) -> ItOperand {
-        ItOperand { preg: m.preg, gen: fl.generation(m.preg), disp: m.disp }
+        ItOperand {
+            preg: m.preg,
+            gen: fl.generation(m.preg),
+            disp: m.disp,
+        }
     }
 }
 
@@ -87,7 +94,11 @@ struct Entry {
 const DEAD_KEY: ItKey = ItKey {
     op: Opcode::Halt,
     imm: 0,
-    in1: ItOperand { preg: PhysReg(0), gen: 0, disp: 0 },
+    in1: ItOperand {
+        preg: PhysReg(0),
+        gen: 0,
+        disp: 0,
+    },
     in2: None,
 };
 
@@ -125,7 +136,13 @@ impl IntegrationTable {
             cfg,
             sets,
             entries: vec![
-                Entry { valid: false, key: DEAD_KEY, out: Mapping::direct(PhysReg(0)), out_gen: 0, lru: 0 };
+                Entry {
+                    valid: false,
+                    key: DEAD_KEY,
+                    out: Mapping::direct(PhysReg(0)),
+                    out_gen: 0,
+                    lru: 0
+                };
                 cfg.entries
             ],
             stamp: 0,
@@ -201,7 +218,13 @@ impl IntegrationTable {
         } else {
             ways.iter_mut().min_by_key(|e| e.lru).expect("assoc > 0")
         };
-        *victim = Entry { valid: true, key, out, out_gen, lru: stamp };
+        *victim = Entry {
+            valid: true,
+            key,
+            out,
+            out_gen,
+            lru: stamp,
+        };
     }
 }
 
@@ -214,7 +237,12 @@ mod tests {
     }
 
     fn key(op: Opcode, imm: i16, p: PhysReg, fl: &RefCountFreeList) -> ItKey {
-        ItKey { op, imm, in1: ItOperand::of(Mapping::direct(p), fl), in2: None }
+        ItKey {
+            op,
+            imm,
+            in1: ItOperand::of(Mapping::direct(p), fl),
+            in2: None,
+        }
     }
 
     #[test]
@@ -240,10 +268,26 @@ mod tests {
     #[test]
     fn displacement_is_part_of_the_signature() {
         let (mut it, fl) = setup();
-        let m0 = Mapping { preg: PhysReg(1), disp: 0 };
-        let m4 = Mapping { preg: PhysReg(1), disp: 4 };
-        let k0 = ItKey { op: Opcode::Ld, imm: 8, in1: ItOperand::of(m0, &fl), in2: None };
-        let k4 = ItKey { op: Opcode::Ld, imm: 8, in1: ItOperand::of(m4, &fl), in2: None };
+        let m0 = Mapping {
+            preg: PhysReg(1),
+            disp: 0,
+        };
+        let m4 = Mapping {
+            preg: PhysReg(1),
+            disp: 4,
+        };
+        let k0 = ItKey {
+            op: Opcode::Ld,
+            imm: 8,
+            in1: ItOperand::of(m0, &fl),
+            in2: None,
+        };
+        let k4 = ItKey {
+            op: Opcode::Ld,
+            imm: 8,
+            in1: ItOperand::of(m4, &fl),
+            in2: None,
+        };
         it.insert(k0, Mapping::direct(PhysReg(3)), &fl);
         assert_eq!(it.lookup(&k4, &fl), None, "same preg, different disp");
         assert!(it.lookup(&k0, &fl).is_some());
@@ -277,7 +321,10 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         // A 1-set, 2-way table forces conflict.
-        let mut it = IntegrationTable::new(ItConfig { entries: 2, assoc: 2 });
+        let mut it = IntegrationTable::new(ItConfig {
+            entries: 2,
+            assoc: 2,
+        });
         let fl = RefCountFreeList::new(64, 33);
         let k1 = key(Opcode::Ld, 1, PhysReg(1), &fl);
         let k2 = key(Opcode::Ld, 2, PhysReg(1), &fl);
@@ -306,8 +353,18 @@ mod tests {
         let a = ItOperand::of(Mapping::direct(PhysReg(1)), &fl);
         let b = ItOperand::of(Mapping::direct(PhysReg(2)), &fl);
         let c = ItOperand::of(Mapping::direct(PhysReg(3)), &fl);
-        let kab = ItKey { op: Opcode::Add, imm: 0, in1: a, in2: Some(b) };
-        let kac = ItKey { op: Opcode::Add, imm: 0, in1: a, in2: Some(c) };
+        let kab = ItKey {
+            op: Opcode::Add,
+            imm: 0,
+            in1: a,
+            in2: Some(b),
+        };
+        let kac = ItKey {
+            op: Opcode::Add,
+            imm: 0,
+            in1: a,
+            in2: Some(c),
+        };
         it.insert(kab, Mapping::direct(PhysReg(9)), &fl);
         assert_eq!(it.lookup(&kac, &fl), None);
         assert!(it.lookup(&kab, &fl).is_some());

@@ -88,7 +88,13 @@ mod tests {
     #[test]
     fn set_returns_old_mapping() {
         let mut mt = MapTable::new();
-        let old = mt.set(Reg::T3, Mapping { preg: PhysReg(99), disp: -4 });
+        let old = mt.set(
+            Reg::T3,
+            Mapping {
+                preg: PhysReg(99),
+                disp: -4,
+            },
+        );
         assert_eq!(old.preg, PhysReg(Reg::T3.index() as u16));
         assert_eq!(mt.get(Reg::T3).preg, PhysReg(99));
     }
@@ -97,7 +103,13 @@ mod tests {
     fn snapshot_restore_roundtrip() {
         let mut mt = MapTable::new();
         let snap = mt.snapshot();
-        mt.set(Reg::S0, Mapping { preg: PhysReg(50), disp: 12 });
+        mt.set(
+            Reg::S0,
+            Mapping {
+                preg: PhysReg(50),
+                disp: 12,
+            },
+        );
         assert_ne!(mt.snapshot(), snap);
         mt.restore(snap);
         assert_eq!(mt.snapshot(), snap);

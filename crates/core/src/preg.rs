@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn displaced_mapping_display() {
-        let m = Mapping { preg: PhysReg(3), disp: -16 };
+        let m = Mapping {
+            preg: PhysReg(3),
+            disp: -16,
+        };
         assert!(m.is_displaced());
         assert_eq!(format!("{m:?}"), "[p3:-16]");
     }

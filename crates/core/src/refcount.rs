@@ -65,8 +65,15 @@ impl RefCountFreeList {
         }
         // Free stack: highest index on top so low registers allocate last —
         // purely cosmetic, makes traces easier to read.
-        let free = (initially_live..total).rev().map(|i| PhysReg(i as u16)).collect();
-        RefCountFreeList { counts, generations: vec![0; total], free }
+        let free = (initially_live..total)
+            .rev()
+            .map(|i| PhysReg(i as u16))
+            .collect();
+        RefCountFreeList {
+            counts,
+            generations: vec![0; total],
+            free,
+        }
     }
 
     /// Total number of physical registers.
@@ -110,7 +117,9 @@ impl RefCountFreeList {
     pub fn incref(&mut self, p: PhysReg) {
         let c = &mut self.counts[p.index()];
         assert!(*c > 0, "incref of free register {p}");
-        *c = c.checked_add(1).expect("reference count overflow is impossible by sizing");
+        *c = c
+            .checked_add(1)
+            .expect("reference count overflow is impossible by sizing");
     }
 
     /// Decrements `p`'s count; when it reaches zero the register returns to

@@ -57,33 +57,52 @@ impl RenoConfig {
 
     /// RENO_ME only (dynamic move elimination).
     pub fn me_only() -> RenoConfig {
-        RenoConfig { move_elim: true, ..RenoConfig::baseline() }
+        RenoConfig {
+            move_elim: true,
+            ..RenoConfig::baseline()
+        }
     }
 
     /// RENO_ME + RENO_CF (no integration table).
     pub fn cf_me() -> RenoConfig {
-        RenoConfig { move_elim: true, const_fold: true, ..RenoConfig::baseline() }
+        RenoConfig {
+            move_elim: true,
+            const_fold: true,
+            ..RenoConfig::baseline()
+        }
     }
 
     /// The paper's default RENO: CF handles register-immediate adds, the IT
     /// handles loads only.
     pub fn reno() -> RenoConfig {
-        RenoConfig { integration: IntegrationMode::LoadsOnly, ..RenoConfig::cf_me() }
+        RenoConfig {
+            integration: IntegrationMode::LoadsOnly,
+            ..RenoConfig::cf_me()
+        }
     }
 
     /// RENO plus full-blown integration (fig 10, second bar).
     pub fn reno_full_integration() -> RenoConfig {
-        RenoConfig { integration: IntegrationMode::Full, ..RenoConfig::cf_me() }
+        RenoConfig {
+            integration: IntegrationMode::Full,
+            ..RenoConfig::cf_me()
+        }
     }
 
     /// Full-blown register integration alone, no CF/ME (fig 10, third bar).
     pub fn full_integration_only() -> RenoConfig {
-        RenoConfig { integration: IntegrationMode::Full, ..RenoConfig::baseline() }
+        RenoConfig {
+            integration: IntegrationMode::Full,
+            ..RenoConfig::baseline()
+        }
     }
 
     /// Loads-only integration alone (fig 10, final bar).
     pub fn loads_integration_only() -> RenoConfig {
-        RenoConfig { integration: IntegrationMode::LoadsOnly, ..RenoConfig::baseline() }
+        RenoConfig {
+            integration: IntegrationMode::LoadsOnly,
+            ..RenoConfig::baseline()
+        }
     }
 
     /// Whether any RENO machinery is active.
@@ -232,9 +251,15 @@ impl Reno {
     ///
     /// Panics if `total_pregs < 33` (32 architectural + at least 1 free).
     pub fn new(cfg: RenoConfig) -> Reno {
-        assert!(cfg.total_pregs > Reg::COUNT, "need more physical than logical registers");
+        assert!(
+            cfg.total_pregs > Reg::COUNT,
+            "need more physical than logical registers"
+        );
         let freelist = RefCountFreeList::new(cfg.total_pregs, Reg::COUNT);
-        let stats = RenoStats { min_free_pregs: freelist.free_count(), ..RenoStats::default() };
+        let stats = RenoStats {
+            min_free_pregs: freelist.free_count(),
+            ..RenoStats::default()
+        };
         Reno {
             cfg,
             map: MapTable::new(),
@@ -359,7 +384,9 @@ impl Reno {
         let dst_l = inst.dst();
 
         let depends_on_group_elim = !self.cfg.allow_dependent_elim
-            && src_regs.iter().any(|r| self.group_elim_dests & (1 << r.index()) != 0);
+            && src_regs
+                .iter()
+                .any(|r| self.group_elim_dests & (1 << r.index()) != 0);
 
         // --- Decide elimination -------------------------------------------------
         let mut kind = RenamedKind::Issued;
@@ -385,17 +412,22 @@ impl Reno {
                     if depends_on_group_elim {
                         self.stats.cancelled_group_dep += 1;
                     } else {
-                        let class =
-                            if inst.is_move() { ElimClass::Move } else { ElimClass::ConstFold };
+                        let class = if inst.is_move() {
+                            ElimClass::Move
+                        } else {
+                            ElimClass::ConstFold
+                        };
                         kind = RenamedKind::Eliminated(class);
-                        shared = Some(Mapping { preg: src.preg, disp: src.disp + inst.imm as i32 });
+                        shared = Some(Mapping {
+                            preg: src.preg,
+                            disp: src.disp + inst.imm as i32,
+                        });
                     }
                 }
             }
 
             // RENO_CSE+RA: the integration test.
-            if kind == RenamedKind::Issued && allow_integration && self.integration_applies(&inst)
-            {
+            if kind == RenamedKind::Issued && allow_integration && self.integration_applies(&inst) {
                 if let Some(key) = self.it_key(&inst, &src_maps) {
                     if let Some(out) = self.it.lookup(&key, &self.freelist) {
                         if depends_on_group_elim {
@@ -478,10 +510,19 @@ impl Reno {
 
         let mut srcs = [None, None];
         for (i, m) in src_maps.iter().enumerate().take(2) {
-            srcs[i] = Some(SrcOp { preg: m.preg, disp: m.disp });
+            srcs[i] = Some(SrcOp {
+                preg: m.preg,
+                disp: m.disp,
+            });
         }
 
-        Ok(Renamed { pc, inst, kind, srcs, dst })
+        Ok(Renamed {
+            pc,
+            inst,
+            kind,
+            srcs,
+            dst,
+        })
     }
 
     /// Retires a renamed instruction in program order: the mapping it
@@ -558,11 +599,19 @@ mod tests {
         reno.begin_group();
         let r_mov = reno.rename(1, addi(Reg::T1, Reg::T2, 0)).unwrap();
         assert_eq!(r_mov.kind, RenamedKind::Eliminated(ElimClass::Move));
-        assert_eq!(r_mov.dst.unwrap().new, Mapping::direct(p3), "r2 -> p3, shared");
+        assert_eq!(
+            r_mov.dst.unwrap().new,
+            Mapping::direct(p3),
+            "r2 -> p3, shared"
+        );
 
         reno.begin_group();
         let r_ld = reno.rename(2, ld(Reg::T3, Reg::T1, 8)).unwrap();
-        assert_eq!(r_ld.srcs[0].unwrap().preg, p3, "load short-circuits to the add");
+        assert_eq!(
+            r_ld.srcs[0].unwrap().preg,
+            p3,
+            "load short-circuits to the add"
+        );
         assert_eq!(r_ld.srcs[0].unwrap().disp, 0);
     }
 
@@ -663,7 +712,11 @@ mod tests {
         let a = reno.rename(0, addi(Reg::T1, Reg::T0, 5)).unwrap();
         let b = reno.rename(1, addi(Reg::T2, Reg::T1, 6)).unwrap();
         assert!(a.is_eliminated());
-        assert_eq!(b.kind, RenamedKind::Issued, "same-group dependent addi issues");
+        assert_eq!(
+            b.kind,
+            RenamedKind::Issued,
+            "same-group dependent addi issues"
+        );
         // But its source operand still carries the folded displacement.
         assert_eq!(b.srcs[0].unwrap().disp, 5);
         assert_eq!(reno.stats().cancelled_group_dep, 1);
@@ -704,7 +757,10 @@ mod tests {
 
         // Exact: the same folding succeeds, but a genuinely overflowing sum
         // still cancels.
-        let mut reno = Reno::new(RenoConfig { conservative_overflow: false, ..RenoConfig::cf_me() });
+        let mut reno = Reno::new(RenoConfig {
+            conservative_overflow: false,
+            ..RenoConfig::cf_me()
+        });
         reno.begin_group();
         let a = reno.rename(0, addi(Reg::T1, Reg::T0, 20_000)).unwrap();
         assert!(a.is_eliminated());
@@ -734,9 +790,16 @@ mod tests {
         assert_eq!(old_preg, a.dst.unwrap().new.preg);
         let free_before = reno.free_pregs();
         reno.retire(&a);
-        assert_eq!(reno.free_pregs(), free_before + 1, "a's retire frees the architectural register");
+        assert_eq!(
+            reno.free_pregs(),
+            free_before + 1,
+            "a's retire frees the architectural register"
+        );
         reno.retire(&b);
-        assert!(reno.freelist().count(old_preg) == 0, "b's retire frees a's register");
+        assert!(
+            reno.freelist().count(old_preg) == 0,
+            "b's retire frees a's register"
+        );
     }
 
     #[test]
@@ -792,7 +855,11 @@ mod tests {
         reno.begin_group();
         let inc = reno.rename(1, addi(Reg::SP, Reg::SP, 16)).unwrap();
         assert_eq!(inc.kind, RenamedKind::Eliminated(ElimClass::AluCse));
-        assert_eq!(inc.dst.unwrap().new.preg, dec.dst.unwrap().old.preg, "sp restored to old name");
+        assert_eq!(
+            inc.dst.unwrap().new.preg,
+            dec.dst.unwrap().old.preg,
+            "sp restored to old name"
+        );
     }
 
     #[test]
@@ -803,13 +870,24 @@ mod tests {
         reno.begin_group();
         let b = reno.rename(1, add(Reg::T3, Reg::T0, Reg::T1)).unwrap();
         assert_eq!(a.kind, RenamedKind::Issued);
-        assert_eq!(b.kind, RenamedKind::Issued, "ALU ops not integrated in loads-only mode");
-        assert_eq!(reno.it_stats().lookups, 0, "no IT bandwidth spent on ALU ops");
+        assert_eq!(
+            b.kind,
+            RenamedKind::Issued,
+            "ALU ops not integrated in loads-only mode"
+        );
+        assert_eq!(
+            reno.it_stats().lookups,
+            0,
+            "no IT bandwidth spent on ALU ops"
+        );
     }
 
     #[test]
     fn dependent_elimination_ablation_allows_same_group_chains() {
-        let cfg = RenoConfig { allow_dependent_elim: true, ..RenoConfig::cf_me() };
+        let cfg = RenoConfig {
+            allow_dependent_elim: true,
+            ..RenoConfig::cf_me()
+        };
         let mut reno = Reno::new(cfg);
         reno.begin_group();
         let a = reno.rename(0, addi(Reg::T1, Reg::T0, 5)).unwrap();

@@ -49,8 +49,13 @@ pub enum Bucket {
 
 impl Bucket {
     /// All buckets in display order.
-    pub const ALL: [Bucket; 5] =
-        [Bucket::Fetch, Bucket::AluExec, Bucket::LoadExec, Bucket::LoadMem, Bucket::Commit];
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Fetch,
+        Bucket::AluExec,
+        Bucket::LoadExec,
+        Bucket::LoadMem,
+        Bucket::Commit,
+    ];
 
     /// Short label used in reports.
     pub const fn label(self) -> &'static str {
@@ -168,7 +173,9 @@ pub fn analyze_with(records: &[InstRecord], rob_window: usize, iq_window: usize)
     );
     let base = records[0].seq;
     let index_of = |seq: u64| -> Option<usize> {
-        seq.checked_sub(base).map(|d| d as usize).filter(|&i| i < records.len())
+        seq.checked_sub(base)
+            .map(|d| d as usize)
+            .filter(|&i| i < records.len())
     };
 
     // Nearest older redirecting instruction, per index.
@@ -251,7 +258,15 @@ mod tests {
     use super::*;
 
     fn rec(seq: u64, dispatch: u64, complete: u64, commit: u64) -> InstRecord {
-        InstRecord { seq, dispatch, complete, commit, dep: None, bucket: Bucket::AluExec, redirect: false }
+        InstRecord {
+            seq,
+            dispatch,
+            complete,
+            commit,
+            dep: None,
+            bucket: Bucket::AluExec,
+            redirect: false,
+        }
     }
 
     #[test]

@@ -70,7 +70,6 @@ impl Cpu {
             executed: 0,
             mem,
             mix: MixStats::default(),
-
         }
     }
 
@@ -250,7 +249,15 @@ impl Cpu {
         self.executed += 1;
         self.mix.record(&inst);
 
-        Ok(Some(DynInst { seq, pc, inst, next_pc, taken, dst_val, mem_addr }))
+        Ok(Some(DynInst {
+            seq,
+            pc,
+            inst,
+            next_pc,
+            taken,
+            dst_val,
+            mem_addr,
+        }))
     }
 
     /// Runs `program` until `halt` or until `fuel` instructions execute.
@@ -262,7 +269,9 @@ impl Cpu {
         let start = self.executed;
         while !self.halted {
             if self.executed - start >= fuel {
-                return Err(ExecError::OutOfFuel { executed: self.executed - start });
+                return Err(ExecError::OutOfFuel {
+                    executed: self.executed - start,
+                });
             }
             self.step(program)?;
         }

@@ -33,6 +33,29 @@
 //! assert_eq!(cpu.reg(Reg::V0), 15); // 5+4+3+2+1
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! [`Oracle`] is the same machine exposed as an iterator: each step yields a
+//! [`DynInst`] carrying the resolved destination value, effective address,
+//! and taken/not-taken outcome, so the timing model never re-executes
+//! anything — it only charges cycles. [`Cpu::state_digest`] and
+//! [`Cpu::checksum`] summarize architectural state; the cross-simulator
+//! equivalence tests compare them between this machine and the pipeline.
+//!
+//! ```
+//! use reno_func::Oracle;
+//! use reno_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::T0, 2);
+//! a.addi(Reg::T0, Reg::T0, 3);
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! let trace: Vec<_> = Oracle::new(&prog, 1 << 10).collect();
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(trace[1].dst_val, 5); // addi's resolved result rides the trace
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 mod cpu;
 mod memory;

@@ -61,7 +61,12 @@ pub struct Oracle<'p> {
 impl<'p> Oracle<'p> {
     /// Creates an oracle over `program` with an instruction budget.
     pub fn new(program: &'p Program, fuel: u64) -> Oracle<'p> {
-        Oracle { cpu: Cpu::new(program), program, fuel, error: None }
+        Oracle {
+            cpu: Cpu::new(program),
+            program,
+            fuel,
+            error: None,
+        }
     }
 
     /// The underlying architectural machine (for state inspection).

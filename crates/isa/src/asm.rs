@@ -76,12 +76,18 @@ pub struct Asm {
 impl Asm {
     /// Creates an empty assembler.
     pub fn new() -> Asm {
-        Asm { data_cursor: DATA_BASE, ..Asm::default() }
+        Asm {
+            data_cursor: DATA_BASE,
+            ..Asm::default()
+        }
     }
 
     /// Creates an empty assembler for a named program.
     pub fn named(name: impl Into<String>) -> Asm {
-        Asm { name: name.into(), ..Asm::new() }
+        Asm {
+            name: name.into(),
+            ..Asm::new()
+        }
     }
 
     /// Current instruction index (the pc the next emitted instruction gets).
@@ -110,7 +116,10 @@ impl Asm {
     /// Allocates an initialized data segment; returns its byte address.
     pub fn data(&mut self, name: &str, bytes: &[u8]) -> u64 {
         let addr = self.data_cursor;
-        self.data.push(DataSeg { addr, bytes: bytes.to_vec() });
+        self.data.push(DataSeg {
+            addr,
+            bytes: bytes.to_vec(),
+        });
         self.data_cursor += (bytes.len() as u64 + 7) & !7;
         self.data_labels.insert(name.to_string(), addr);
         addr
@@ -136,7 +145,10 @@ impl Asm {
     ///
     /// Panics if `name` has not been declared.
     pub fn addr_of(&self, name: &str) -> u64 {
-        *self.data_labels.get(name).unwrap_or_else(|| panic!("unknown data label `{name}`"))
+        *self
+            .data_labels
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown data label `{name}`"))
     }
 
     // ----------------------------------------------------------- ALU reg-reg
@@ -304,7 +316,13 @@ impl Asm {
     fn branch_to(&mut self, op: Opcode, rs1: Reg, target: &str) -> &mut Asm {
         let site = self.here();
         self.fixups.push((site, Fixup::Rel(target.to_string())));
-        self.emit(Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
 
     /// Branch to `target` if `rs1 == 0`.
@@ -335,25 +353,55 @@ impl Asm {
     pub fn br(&mut self, target: &str) -> &mut Asm {
         let site = self.here();
         self.fixups.push((site, Fixup::Rel(target.to_string())));
-        self.emit(Inst { op: Opcode::Br, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Br,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Call `target`: `ra <- pc + 1; pc <- target`.
     pub fn call(&mut self, target: &str) -> &mut Asm {
         let site = self.here();
         self.fixups.push((site, Fixup::Rel(target.to_string())));
-        self.emit(Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jal,
+            rd: Reg::RA,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Return: `pc <- ra`.
     pub fn ret(&mut self) -> &mut Asm {
-        self.emit(Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jr,
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Indirect jump: `pc <- rs1`.
     pub fn jr(&mut self, rs1: Reg) -> &mut Asm {
-        self.emit(Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jr,
+            rd: Reg::ZERO,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Indirect call: `ra <- pc + 1; pc <- rs1`.
     pub fn callr(&mut self, rs1: Reg) -> &mut Asm {
-        self.emit(Inst { op: Opcode::Jalr, rd: Reg::RA, rs1, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Jalr,
+            rd: Reg::RA,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Loads the instruction index of a code label (always 2 instructions),
     /// for indirect jumps/calls through registers.
@@ -370,11 +418,23 @@ impl Asm {
 
     /// Stops the machine.
     pub fn halt(&mut self) -> &mut Asm {
-        self.emit(Inst { op: Opcode::Halt, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Halt,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
     /// Folds `rs1` into the output checksum.
     pub fn out(&mut self, rs1: Reg) -> &mut Asm {
-        self.emit(Inst { op: Opcode::Out, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 })
+        self.emit(Inst {
+            op: Opcode::Out,
+            rd: Reg::ZERO,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0,
+        })
     }
 
     // ------------------------------------------------------------- ABI sugar
@@ -420,8 +480,10 @@ impl Asm {
         for (site, fixup) in &self.fixups {
             let (label, value) = match fixup {
                 Fixup::Rel(l) | Fixup::Hi(l) | Fixup::Lo(l) => {
-                    let target =
-                        *self.labels.get(l).ok_or_else(|| AsmError::UndefinedLabel(l.clone()))?;
+                    let target = *self
+                        .labels
+                        .get(l)
+                        .ok_or_else(|| AsmError::UndefinedLabel(l.clone()))?;
                     (l, target as i64)
                 }
             };
@@ -473,7 +535,10 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new();
         a.br("nowhere");
-        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]

@@ -44,22 +44,38 @@ pub fn encode(inst: &Inst) -> u32 {
     match inst.op.class() {
         AluRR | Mul => pack(inst.op, inst.rd, inst.rs1, inst.rs2.index() as u16),
         AluRI => {
-            let rs1 = if inst.op == Opcode::Lui { Reg::ZERO } else { inst.rs1 };
+            let rs1 = if inst.op == Opcode::Lui {
+                Reg::ZERO
+            } else {
+                inst.rs1
+            };
             pack(inst.op, inst.rd, rs1, inst.imm as u16)
         }
         Load => pack(inst.op, inst.rd, inst.rs1, inst.imm as u16),
         Store => pack(inst.op, inst.rs2, inst.rs1, inst.imm as u16),
         CondBranch => pack(inst.op, inst.rs1, Reg::ZERO, inst.imm as u16),
         Jump => {
-            let rd = if inst.op == Opcode::Jal { inst.rd } else { Reg::ZERO };
+            let rd = if inst.op == Opcode::Jal {
+                inst.rd
+            } else {
+                Reg::ZERO
+            };
             pack(inst.op, rd, Reg::ZERO, inst.imm as u16)
         }
         JumpReg => {
-            let rd = if inst.op == Opcode::Jalr { inst.rd } else { Reg::ZERO };
+            let rd = if inst.op == Opcode::Jalr {
+                inst.rd
+            } else {
+                Reg::ZERO
+            };
             pack(inst.op, rd, inst.rs1, 0)
         }
         Misc => {
-            let rs1 = if inst.op == Opcode::Out { inst.rs1 } else { Reg::ZERO };
+            let rs1 = if inst.op == Opcode::Out {
+                inst.rs1
+            } else {
+                Reg::ZERO
+            };
             pack(inst.op, Reg::ZERO, rs1, 0)
         }
     }
@@ -82,25 +98,61 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
 
     // Strictness: fields an opcode does not use must hold the canonical
     // value (`Reg::ZERO` / 0), so the encoding is a bijection on its image.
-    let require = |ok: bool| if ok { Ok(()) } else { Err(DecodeError { word }) };
+    let require = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(DecodeError { word })
+        }
+    };
 
     use OpClass::*;
     let inst = match op.class() {
         AluRR | Mul => {
             require(r_format_pad_ok)?;
-            Inst { op, rd: ra, rs1: rb, rs2: rc, imm: 0 }
+            Inst {
+                op,
+                rd: ra,
+                rs1: rb,
+                rs2: rc,
+                imm: 0,
+            }
         }
         AluRI => {
             if op == Opcode::Lui {
                 require(rb == Reg::ZERO)?;
             }
-            Inst { op, rd: ra, rs1: rb, rs2: Reg::ZERO, imm }
+            Inst {
+                op,
+                rd: ra,
+                rs1: rb,
+                rs2: Reg::ZERO,
+                imm,
+            }
         }
-        Load => Inst { op, rd: ra, rs1: rb, rs2: Reg::ZERO, imm },
-        Store => Inst { op, rd: Reg::ZERO, rs1: rb, rs2: ra, imm },
+        Load => Inst {
+            op,
+            rd: ra,
+            rs1: rb,
+            rs2: Reg::ZERO,
+            imm,
+        },
+        Store => Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1: rb,
+            rs2: ra,
+            imm,
+        },
         CondBranch => {
             require(rb == Reg::ZERO)?;
-            Inst { op, rd: Reg::ZERO, rs1: ra, rs2: Reg::ZERO, imm }
+            Inst {
+                op,
+                rd: Reg::ZERO,
+                rs1: ra,
+                rs2: Reg::ZERO,
+                imm,
+            }
         }
         Jump => {
             require(rb == Reg::ZERO)?;
@@ -108,7 +160,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 require(ra == Reg::ZERO)?;
             }
             let rd = if op == Opcode::Jal { ra } else { Reg::ZERO };
-            Inst { op, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+            Inst {
+                op,
+                rd,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm,
+            }
         }
         JumpReg => {
             require(r_format_pad_ok && rc == Reg::new(0))?;
@@ -116,7 +174,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 require(ra == Reg::ZERO)?;
             }
             let rd = if op == Opcode::Jalr { ra } else { Reg::ZERO };
-            Inst { op, rd, rs1: rb, rs2: Reg::ZERO, imm: 0 }
+            Inst {
+                op,
+                rd,
+                rs1: rb,
+                rs2: Reg::ZERO,
+                imm: 0,
+            }
         }
         Misc => {
             require(r_format_pad_ok && rc == Reg::new(0) && ra == Reg::ZERO)?;
@@ -124,7 +188,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 require(rb == Reg::ZERO)?;
             }
             let rs1 = if op == Opcode::Out { rb } else { Reg::ZERO };
-            Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 }
+            Inst {
+                op,
+                rd: Reg::ZERO,
+                rs1,
+                rs2: Reg::ZERO,
+                imm: 0,
+            }
         }
     };
     Ok(inst)
@@ -149,11 +219,41 @@ mod tests {
         roundtrip(Inst::load(Opcode::Ldbu, Reg::T3, Reg::A2, 255));
         roundtrip(Inst::store(Opcode::St, Reg::RA, Reg::SP, 8));
         roundtrip(Inst::branch(Opcode::Bltz, Reg::V0, -100));
-        roundtrip(Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 42 });
-        roundtrip(Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 });
-        roundtrip(Inst { op: Opcode::Jalr, rd: Reg::RA, rs1: Reg::T12, rs2: Reg::ZERO, imm: 0 });
-        roundtrip(Inst { op: Opcode::Halt, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
-        roundtrip(Inst { op: Opcode::Out, rd: Reg::ZERO, rs1: Reg::V0, rs2: Reg::ZERO, imm: 0 });
+        roundtrip(Inst {
+            op: Opcode::Jal,
+            rd: Reg::RA,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 42,
+        });
+        roundtrip(Inst {
+            op: Opcode::Jr,
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
+        roundtrip(Inst {
+            op: Opcode::Jalr,
+            rd: Reg::RA,
+            rs1: Reg::T12,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
+        roundtrip(Inst {
+            op: Opcode::Halt,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
+        roundtrip(Inst {
+            op: Opcode::Out,
+            rd: Reg::ZERO,
+            rs1: Reg::V0,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     #[test]

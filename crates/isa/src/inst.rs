@@ -48,7 +48,13 @@ impl Inst {
             matches!(op.class(), OpClass::AluRR | OpClass::Mul),
             "{op} is not a register-register ALU op"
         );
-        Inst { op, rd, rs1, rs2, imm: 0 }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
     }
 
     /// Builds a register-immediate ALU instruction.
@@ -57,8 +63,17 @@ impl Inst {
     ///
     /// Panics if `op` is not of class `AluRI`.
     pub fn alu_ri(op: Opcode, rd: Reg, rs1: Reg, imm: i16) -> Inst {
-        assert!(op.class() == OpClass::AluRI, "{op} is not a register-immediate ALU op");
-        Inst { op, rd, rs1, rs2: Reg::ZERO, imm }
+        assert!(
+            op.class() == OpClass::AluRI,
+            "{op} is not a register-immediate ALU op"
+        );
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
     }
 
     /// Builds a load `rd <- mem[base + disp]`.
@@ -68,7 +83,13 @@ impl Inst {
     /// Panics if `op` is not a load.
     pub fn load(op: Opcode, rd: Reg, base: Reg, disp: i16) -> Inst {
         assert!(op.is_load(), "{op} is not a load");
-        Inst { op, rd, rs1: base, rs2: Reg::ZERO, imm: disp }
+        Inst {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm: disp,
+        }
     }
 
     /// Builds a store `mem[base + disp] <- src`.
@@ -78,7 +99,13 @@ impl Inst {
     /// Panics if `op` is not a store.
     pub fn store(op: Opcode, src: Reg, base: Reg, disp: i16) -> Inst {
         assert!(op.is_store(), "{op} is not a store");
-        Inst { op, rd: Reg::ZERO, rs1: base, rs2: src, imm: disp }
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1: base,
+            rs2: src,
+            imm: disp,
+        }
     }
 
     /// Builds a conditional branch with a resolved offset.
@@ -88,7 +115,13 @@ impl Inst {
     /// Panics if `op` is not a conditional branch.
     pub fn branch(op: Opcode, rs1: Reg, offset: i16) -> Inst {
         assert!(op.is_cond_branch(), "{op} is not a conditional branch");
-        Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: offset }
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: offset,
+        }
     }
 
     /// The architectural destination register, if the instruction writes one.
@@ -251,9 +284,21 @@ mod tests {
 
     #[test]
     fn jal_writes_destination() {
-        let jal = Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 10 };
+        let jal = Inst {
+            op: Opcode::Jal,
+            rd: Reg::RA,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 10,
+        };
         assert_eq!(jal.dst(), Some(Reg::RA));
-        let jr = Inst { op: Opcode::Jr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 };
+        let jr = Inst {
+            op: Opcode::Jr,
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            rs2: Reg::ZERO,
+            imm: 0,
+        };
         assert_eq!(jr.dst(), None);
         assert_eq!(jr.srcs().collect::<Vec<_>>(), vec![Reg::RA]);
     }

@@ -38,6 +38,6 @@ mod reg;
 pub use asm::{Asm, AsmError};
 pub use encode::{decode, encode, DecodeError};
 pub use inst::Inst;
-pub use op::{MemWidth, Opcode, OpClass};
+pub use op::{MemWidth, OpClass, Opcode};
 pub use program::{Program, DATA_BASE, HEAP_BASE, STACK_TOP};
 pub use reg::Reg;

@@ -43,7 +43,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with the given name.
     pub fn new(name: impl Into<String>) -> Program {
-        Program { name: name.into(), ..Program::default() }
+        Program {
+            name: name.into(),
+            ..Program::default()
+        }
     }
 
     /// Byte address of instruction `pc` (for I-cache indexing).
@@ -78,7 +81,8 @@ mod tests {
     #[test]
     fn fetch_bounds() {
         let mut p = Program::new("t");
-        p.insts.push(Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::ZERO, 1));
+        p.insts
+            .push(Inst::alu_ri(Opcode::Addi, Reg::T0, Reg::ZERO, 1));
         assert!(p.fetch(0).is_some());
         assert!(p.fetch(1).is_none());
     }

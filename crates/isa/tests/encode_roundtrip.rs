@@ -10,14 +10,26 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 
 /// Strategy producing canonical instructions (as the constructors build them).
 fn arb_inst() -> impl Strategy<Value = Inst> {
-    (0usize..Opcode::ALL.len(), arb_reg(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
-        |(opno, a, b, c, imm)| {
+    (
+        0usize..Opcode::ALL.len(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<i16>(),
+    )
+        .prop_map(|(opno, a, b, c, imm)| {
             let op = Opcode::ALL[opno];
             match op.class() {
                 OpClass::AluRR | OpClass::Mul => Inst::alu_rr(op, a, b, c),
                 OpClass::AluRI => {
                     if op == Opcode::Lui {
-                        Inst { op, rd: a, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+                        Inst {
+                            op,
+                            rd: a,
+                            rs1: Reg::ZERO,
+                            rs2: Reg::ZERO,
+                            imm,
+                        }
                     } else {
                         Inst::alu_ri(op, a, b, imm)
                     }
@@ -27,19 +39,36 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 OpClass::CondBranch => Inst::branch(op, a, imm),
                 OpClass::Jump => {
                     let rd = if op == Opcode::Jal { a } else { Reg::ZERO };
-                    Inst { op, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+                    Inst {
+                        op,
+                        rd,
+                        rs1: Reg::ZERO,
+                        rs2: Reg::ZERO,
+                        imm,
+                    }
                 }
                 OpClass::JumpReg => {
                     let rd = if op == Opcode::Jalr { a } else { Reg::ZERO };
-                    Inst { op, rd, rs1: b, rs2: Reg::ZERO, imm: 0 }
+                    Inst {
+                        op,
+                        rd,
+                        rs1: b,
+                        rs2: Reg::ZERO,
+                        imm: 0,
+                    }
                 }
                 OpClass::Misc => {
                     let rs1 = if op == Opcode::Out { b } else { Reg::ZERO };
-                    Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: 0 }
+                    Inst {
+                        op,
+                        rd: Reg::ZERO,
+                        rs1,
+                        rs2: Reg::ZERO,
+                        imm: 0,
+                    }
                 }
             }
-        },
-    )
+        })
 }
 
 proptest! {

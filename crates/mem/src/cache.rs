@@ -19,9 +19,16 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (capacity not divisible into
     /// `assoc`-way sets of `line_bytes` lines, or non-power-of-two sizes).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(lines * self.line_bytes, self.size_bytes, "capacity must be whole lines");
+        assert_eq!(
+            lines * self.line_bytes,
+            self.size_bytes,
+            "capacity must be whole lines"
+        );
         let sets = lines / self.assoc;
         assert_eq!(sets * self.assoc, lines, "capacity must be whole sets");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
@@ -90,7 +97,13 @@ impl Cache {
     /// Panics on inconsistent geometry (see [`CacheConfig::sets`]).
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.sets();
-        Cache { cfg, lines: vec![Line::default(); sets * cfg.assoc], sets, stamp: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            lines: vec![Line::default(); sets * cfg.assoc],
+            sets,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache's configuration.
@@ -139,7 +152,12 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
             .expect("associativity >= 1");
-        *victim = Line { tag, valid: true, dirty: write, lru: self.stamp };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.stamp,
+        };
         false
     }
 
@@ -149,7 +167,9 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let base = set * self.cfg.assoc;
-        self.lines[base..base + self.cfg.assoc].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.cfg.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates everything (keeps statistics).
@@ -167,7 +187,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 32B lines.
-        Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -230,6 +255,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 96, assoc: 1, line_bytes: 33, hit_latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            assoc: 1,
+            line_bytes: 33,
+            hit_latency: 1,
+        });
     }
 }

@@ -34,9 +34,24 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> HierarchyConfig {
         HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 16 << 10, assoc: 2, line_bytes: 32, hit_latency: 1 },
-            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 32, hit_latency: 2 },
-            l2: CacheConfig { size_bytes: 512 << 10, assoc: 4, line_bytes: 64, hit_latency: 10 },
+            l1i: CacheConfig {
+                size_bytes: 16 << 10,
+                assoc: 2,
+                line_bytes: 32,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 2,
+                line_bytes: 32,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 10,
+            },
             mem_latency: 100,
             bus_beat_cycles: 4,
             bus_bytes_per_beat: 16,
@@ -157,7 +172,10 @@ impl MemHierarchy {
     fn inflight_merge(&mut self, addr: u64, now: u64) -> Option<u64> {
         let line = self.line_addr(addr);
         self.inflight.retain(|&(_, done)| done > now);
-        self.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, done)| done)
+        self.inflight
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, done)| done)
     }
 
     /// Data access at cycle `now`. Returns `(ready_cycle, served_by)`:
@@ -262,7 +280,10 @@ mod tests {
 
     #[test]
     fn outstanding_miss_limit_backpressures() {
-        let cfg = HierarchyConfig { max_outstanding: 2, ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            max_outstanding: 2,
+            ..HierarchyConfig::default()
+        };
         let mut m = MemHierarchy::new(cfg);
         let (r1, _) = m.access_data(0, 0, false);
         let (_r2, _) = m.access_data(4096, 0, false);

@@ -11,6 +11,28 @@
 //! time. This keeps the simulator deterministic and fast while preserving the
 //! queueing behaviour that matters for RENO's evaluation (load latency
 //! criticality and memory-bound tails).
+//!
+//! [`Cache`] is a plain directory (tags and LRU, no data — the functional
+//! oracle holds the values), and [`MemHierarchy`] composes the three levels
+//! with the memory bus model behind [`MemHierarchy::access_data`] /
+//! [`MemHierarchy::access_inst`]. Each access reports which level served it
+//! ([`ServedBy`]), which the simulator's critical-path recorder uses to pick
+//! the paper's `load exec` vs `load mem` buckets.
+//!
+//! ```
+//! use reno_mem::{HierarchyConfig, MemHierarchy, ServedBy};
+//!
+//! let cfg = HierarchyConfig::default();
+//! let mut m = MemHierarchy::new(cfg);
+//! // Cold: the first access walks L1 -> L2 -> memory.
+//! let (done, by) = m.access_data(0x1000, 0, false);
+//! assert_eq!(by, ServedBy::Mem);
+//! assert!(done >= cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.mem_latency);
+//! // Warm: an immediate re-access hits the 2-cycle D$.
+//! let (done2, by2) = m.access_data(0x1000, done, false);
+//! assert_eq!(by2, ServedBy::L1);
+//! assert_eq!(done2, done + cfg.l1d.hit_latency);
+//! ```
 
 mod cache;
 mod hierarchy;

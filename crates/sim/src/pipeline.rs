@@ -23,7 +23,8 @@ struct Fetched {
     d: DynInst,
     rename_ready: u64,
     mispredicted: bool,
-    #[allow(dead_code)] from_replay: bool,
+    #[allow(dead_code)]
+    from_replay: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -227,7 +228,11 @@ impl<'p> Simulator<'p> {
                 break;
             };
             // The shared register's value must have been produced already.
-            let m = self.rob[idx].r.dst.expect("integrated load has a mapping").new;
+            let m = self.rob[idx]
+                .r
+                .dst
+                .expect("integrated load has a mapping")
+                .new;
             if self.preg_complete[m.preg.index()] > self.cycle {
                 break; // oldest pending re-exec still waits for its producer
             }
@@ -251,7 +256,9 @@ impl<'p> Simulator<'p> {
     /// retirement left over this cycle.
     fn drain_stores(&mut self) {
         while self.port_budget > 0 {
-            let Some(addr) = self.store_drain.pop_front() else { break };
+            let Some(addr) = self.store_drain.pop_front() else {
+                break;
+            };
             self.mem.access_data(addr, self.cycle, true);
             self.sq_count -= 1;
             self.port_budget -= 1;
@@ -278,7 +285,9 @@ impl<'p> Simulator<'p> {
 
     fn rob_index_of_seq(&self, seq: u64) -> Option<usize> {
         let front = self.rob.front()?.d.seq;
-        seq.checked_sub(front).map(|i| i as usize).filter(|&i| i < self.rob.len())
+        seq.checked_sub(front)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.rob.len())
     }
 
     /// Execution latency of a non-load instruction, including the §3.3
@@ -421,8 +430,16 @@ impl<'p> Simulator<'p> {
         let (complete, dep, bucket) = if s.r.is_eliminated() {
             let m = s.r.dst.expect("eliminated instructions have mappings").new;
             let pc = self.preg_complete[m.preg.index()];
-            let complete = if pc == u64::MAX { dispatch } else { pc.max(dispatch) };
-            (complete, Some(self.preg_producer[m.preg.index()]), Bucket::AluExec)
+            let complete = if pc == u64::MAX {
+                dispatch
+            } else {
+                pc.max(dispatch)
+            };
+            (
+                complete,
+                Some(self.preg_producer[m.preg.index()]),
+                Bucket::AluExec,
+            )
         } else {
             let bucket = match s.served {
                 Some(ServedBy::Mem) => Bucket::LoadMem,
@@ -454,7 +471,9 @@ impl<'p> Simulator<'p> {
             .map(|s| s.d.seq)
             .collect();
         for seq in seqs {
-            let Some(idx) = self.rob_index_of_seq(seq) else { continue };
+            let Some(idx) = self.rob_index_of_seq(seq) else {
+                continue;
+            };
             if !self.rob[idx].issued || self.rob[idx].exec_done {
                 continue; // replayed or squashed meanwhile
             }
@@ -494,13 +513,12 @@ impl<'p> Simulator<'p> {
         }
 
         // Record the last-arriving input's producer for CPA.
-        let dep_seq = s
-            .r
-            .srcs
-            .iter()
-            .flatten()
-            .max_by_key(|src| self.preg_complete[src.preg.index()])
-            .map(|src| self.preg_producer[src.preg.index()]);
+        let dep_seq =
+            s.r.srcs
+                .iter()
+                .flatten()
+                .max_by_key(|src| self.preg_complete[src.preg.index()])
+                .map(|src| self.preg_producer[src.preg.index()]);
         self.rob[idx].dep_seq = dep_seq;
 
         let op = s.d.inst.op;
@@ -552,8 +570,11 @@ impl<'p> Simulator<'p> {
             Some((j, false)) => {
                 // Partial overlap: wait for the store to leave the window,
                 // modelled as a retry after the store's expected retirement.
-                let st_complete =
-                    if self.rob[j].completed { self.rob[j].complete } else { self.cycle + 8 };
+                let st_complete = if self.rob[j].completed {
+                    self.rob[j].complete
+                } else {
+                    self.cycle + 8
+                };
                 let retry = st_complete + COMPLETE_TO_RETIRE + 1;
                 let slot = &mut self.rob[idx];
                 slot.issued = false;
@@ -569,7 +590,8 @@ impl<'p> Simulator<'p> {
             }
             None => {
                 let (done, served) =
-                    self.mem.access_data(s.d.mem_addr, exec_start + agen_pen, false);
+                    self.mem
+                        .access_data(s.d.mem_addr, exec_start + agen_pen, false);
                 (done, served)
             }
         };
@@ -628,7 +650,8 @@ impl<'p> Simulator<'p> {
         }
         if let Some(j) = violate {
             self.stats.violations += 1;
-            self.storesets.train_violation(self.rob[j].d.pc as u64, s.d.pc as u64);
+            self.storesets
+                .train_violation(self.rob[j].d.pc as u64, s.d.pc as u64);
             self.squash_from(j, self.cycle + 1);
         }
     }
@@ -659,12 +682,11 @@ impl<'p> Simulator<'p> {
                 continue;
             }
             // All register sources must have been woken.
-            let ready = s
-                .r
-                .srcs
-                .iter()
-                .flatten()
-                .all(|src| self.preg_ready_sel[src.preg.index()] <= self.cycle);
+            let ready =
+                s.r.srcs
+                    .iter()
+                    .flatten()
+                    .all(|src| self.preg_ready_sel[src.preg.index()] <= self.cycle);
             if !ready {
                 continue;
             }
@@ -694,9 +716,7 @@ impl<'p> Simulator<'p> {
                 slot.in_iq = false;
                 slot.exec_start = exec_start;
                 let optimistic = match slot.d.inst.op.class() {
-                    OpClass::Load => {
-                        Some(exec_start + agen_pen + self.cfg.hier.l1d.hit_latency)
-                    }
+                    OpClass::Load => Some(exec_start + agen_pen + self.cfg.hier.l1d.hit_latency),
                     OpClass::Store => None,
                     _ => None,
                 };
@@ -725,7 +745,9 @@ impl<'p> Simulator<'p> {
         self.reno.begin_group();
         let mut n = 0;
         while n < self.cfg.rename_width {
-            let Some(front) = self.fetch_buf.front() else { break };
+            let Some(front) = self.fetch_buf.front() else {
+                break;
+            };
             if front.rename_ready > self.cycle {
                 break;
             }
@@ -868,7 +890,9 @@ impl<'p> Simulator<'p> {
         let mut taken = 0;
         let mut fetched = 0;
         while fetched < self.cfg.fetch_width {
-            let Some((d, from_replay)) = self.next_feed() else { break };
+            let Some((d, from_replay)) = self.next_feed() else {
+                break;
+            };
             let addr = Program::inst_addr(d.pc);
             let line = addr / line_bytes;
             if cur_line != Some(line) {
@@ -879,12 +903,18 @@ impl<'p> Simulator<'p> {
             let mut mispredicted = false;
             if d.inst.op.is_control() && !from_replay {
                 let kind = Self::classify_control(&d);
-                let ok =
-                    self.frontend.process(d.pc as u64, kind, d.taken, d.next_pc as u64);
+                let ok = self
+                    .frontend
+                    .process(d.pc as u64, kind, d.taken, d.next_pc as u64);
                 mispredicted = !ok;
             }
             let rename_ready = ic_done + ICACHE_TO_RENAME;
-            self.fetch_buf.push_back(Fetched { d, rename_ready, mispredicted, from_replay });
+            self.fetch_buf.push_back(Fetched {
+                d,
+                rename_ready,
+                mispredicted,
+                from_replay,
+            });
             fetched += 1;
 
             if d.inst.op == Opcode::Halt {
@@ -966,7 +996,11 @@ mod tests {
         let base =
             Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
         let reno = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 22);
-        assert!(reno.reno.eliminated() > 1500, "loop addi folds: {:?}", reno.reno);
+        assert!(
+            reno.reno.eliminated() > 1500,
+            "loop addi folds: {:?}",
+            reno.reno
+        );
         assert!(
             reno.cycles < base.cycles,
             "RENO collapses the addi off the critical path: {} vs {}",
@@ -998,7 +1032,11 @@ mod tests {
         let p = a.assemble().unwrap();
         let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
         assert!(r.halted);
-        assert!(r.frontend.cond_wrong > 20, "LCG parity defeats the predictor: {:?}", r.frontend);
+        assert!(
+            r.frontend.cond_wrong > 20,
+            "LCG parity defeats the predictor: {:?}",
+            r.frontend
+        );
     }
 
     #[test]
@@ -1054,20 +1092,29 @@ mod tests {
         let (cpu, _) = run_to_completion(&p, 1 << 20).unwrap();
         let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 22);
         assert!(r.stats.misintegrations >= 1, "{:?}", r.stats);
-        assert_eq!(r.digest, cpu.state_digest(), "re-execution preserves correctness");
+        assert_eq!(
+            r.digest,
+            cpu.state_digest(),
+            "re-execution preserves correctness"
+        );
     }
 
     #[test]
     fn two_cycle_scheduler_slows_dependent_code() {
         let p = loop_program(1000);
-        let tight = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline()))
-            .run(1 << 22);
+        let tight =
+            Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 22);
         let loose = Simulator::new(
             &p,
             MachineConfig::four_wide(RenoConfig::baseline()).with_sched_loop(2),
         )
         .run(1 << 22);
-        assert!(loose.cycles > tight.cycles, "{} vs {}", loose.cycles, tight.cycles);
+        assert!(
+            loose.cycles > tight.cycles,
+            "{} vs {}",
+            loose.cycles,
+            tight.cycles
+        );
     }
 
     #[test]
@@ -1078,9 +1125,11 @@ mod tests {
             MachineConfig::four_wide(RenoConfig::baseline()).with_pregs(48),
         )
         .run(1 << 22);
-        let reno_small =
-            Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno()).with_pregs(48))
-                .run(1 << 22);
+        let reno_small = Simulator::new(
+            &p,
+            MachineConfig::four_wide(RenoConfig::reno()).with_pregs(48),
+        )
+        .run(1 << 22);
         assert!(base_small.stats.preg_stall_cycles > 0);
         assert!(
             reno_small.stats.preg_stall_cycles < base_small.stats.preg_stall_cycles,
@@ -1091,8 +1140,11 @@ mod tests {
     #[test]
     fn cpa_records_cover_retired_stream() {
         let p = loop_program(100);
-        let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::baseline()).with_cpa())
-            .run(1 << 22);
+        let r = Simulator::new(
+            &p,
+            MachineConfig::four_wide(RenoConfig::baseline()).with_cpa(),
+        )
+        .run(1 << 22);
         assert_eq!(r.cpa.len() as u64, r.retired);
         let b = reno_cpa::analyze(&r.cpa, 128);
         assert!(b.total() > 0);

@@ -77,7 +77,10 @@ impl SimResult {
     /// Speedup of this run relative to `baseline`, in percent
     /// (positive = faster).
     pub fn speedup_pct_vs(&self, baseline: &SimResult) -> f64 {
-        assert_eq!(self.retired, baseline.retired, "speedup requires identical work");
+        assert_eq!(
+            self.retired, baseline.retired,
+            "speedup requires identical work"
+        );
         (baseline.cycles as f64 / self.cycles as f64 - 1.0) * 100.0
     }
 }

@@ -138,7 +138,10 @@ mod tests {
                 correct += i64::from(i >= 10); // count after warmup
             }
         }
-        assert!(correct >= 85, "biased branch should be near-perfect, got {correct}");
+        assert!(
+            correct >= 85,
+            "biased branch should be near-perfect, got {correct}"
+        );
     }
 
     #[test]
@@ -152,7 +155,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 280, "gshare should capture alternation, got {correct}/300");
+        assert!(
+            correct >= 280,
+            "gshare should capture alternation, got {correct}/300"
+        );
     }
 
     #[test]
@@ -169,6 +175,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_power_of_two_rejected() {
-        let _ = HybridPredictor::new(BpredConfig { bimodal_entries: 1000, ..Default::default() });
+        let _ = HybridPredictor::new(BpredConfig {
+            bimodal_entries: 1000,
+            ..Default::default()
+        });
     }
 }

@@ -9,7 +9,10 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> BtbConfig {
-        BtbConfig { entries: 2048, assoc: 4 }
+        BtbConfig {
+            entries: 2048,
+            assoc: 4,
+        }
     }
 }
 
@@ -57,7 +60,12 @@ impl Btb {
         let sets = cfg.entries / cfg.assoc;
         assert_eq!(sets * cfg.assoc, cfg.entries);
         assert!(sets.is_power_of_two());
-        Btb { cfg, sets, entries: vec![BtbEntry::default(); cfg.entries], stamp: 0 }
+        Btb {
+            cfg,
+            sets,
+            entries: vec![BtbEntry::default(); cfg.entries],
+            stamp: 0,
+        }
     }
 
     #[inline]
@@ -91,9 +99,16 @@ impl Btb {
             e.lru = self.stamp;
             return;
         }
-        let victim =
-            ways.iter_mut().min_by_key(|e| if e.valid { e.lru + 1 } else { 0 }).expect("assoc > 0");
-        *victim = BtbEntry { valid: true, tag: pc, target, lru: self.stamp };
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("assoc > 0");
+        *victim = BtbEntry {
+            valid: true,
+            tag: pc,
+            target,
+            lru: self.stamp,
+        };
     }
 }
 
@@ -112,8 +127,11 @@ mod tests {
 
     #[test]
     fn capacity_eviction_is_lru() {
-        let mut b = Btb::new(BtbConfig { entries: 4, assoc: 2 }); // 2 sets
-        // Set 0 holds pcs 0, 2, 4 (mod 2 == 0).
+        let mut b = Btb::new(BtbConfig {
+            entries: 4,
+            assoc: 2,
+        }); // 2 sets
+            // Set 0 holds pcs 0, 2, 4 (mod 2 == 0).
         b.update(0, 1);
         b.update(2, 1);
         b.lookup(0); // refresh 0
@@ -125,7 +143,10 @@ mod tests {
 
     #[test]
     fn distinct_sets_do_not_collide() {
-        let mut b = Btb::new(BtbConfig { entries: 4, assoc: 2 });
+        let mut b = Btb::new(BtbConfig {
+            entries: 4,
+            assoc: 2,
+        });
         b.update(1, 11);
         b.update(2, 22);
         assert_eq!(b.lookup(1), Some(11));

@@ -1,4 +1,4 @@
-use crate::{Btb, BtbConfig, BpredConfig, HybridPredictor, Ras};
+use crate::{BpredConfig, Btb, BtbConfig, HybridPredictor, Ras};
 
 /// The kind of control-flow instruction, as seen by the fetch engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -152,9 +152,18 @@ mod tests {
     #[test]
     fn indirect_learns_target() {
         let mut fe = FrontEnd::default();
-        assert!(!fe.process(7, ControlKind::IndirectJump, true, 42), "cold BTB misses");
-        assert!(fe.process(7, ControlKind::IndirectJump, true, 42), "second time hits");
-        assert!(!fe.process(7, ControlKind::IndirectJump, true, 43), "target change misses");
+        assert!(
+            !fe.process(7, ControlKind::IndirectJump, true, 42),
+            "cold BTB misses"
+        );
+        assert!(
+            fe.process(7, ControlKind::IndirectJump, true, 42),
+            "second time hits"
+        );
+        assert!(
+            !fe.process(7, ControlKind::IndirectJump, true, 43),
+            "target change misses"
+        );
     }
 
     #[test]

@@ -5,7 +5,37 @@
 //! loads are scheduled aggressively with a 64-entry store-sets memory
 //! dependence predictor (Chrysos & Emer). This crate implements those four
 //! structures plus a [`FrontEnd`] facade that the timing simulator drives
-//! once per fetched control instruction.
+//! once per fetched control instruction:
+//!
+//! * [`HybridPredictor`] — a chooser over bimodal and gshare components;
+//!   conditional branches are predicted and trained in one call, matching
+//!   the trace-driven simulator's resolve-at-execute simplification;
+//! * [`Btb`] — tagged, set-associative target storage for indirect jumps
+//!   and calls (direct targets are decoded, not predicted);
+//! * [`Ras`] — a wrapping return-address stack: calls push, returns pop,
+//!   and overflow silently drops the deepest frame, exactly like hardware;
+//! * [`StoreSets`] — load/store dependence sets with the paper's
+//!   rename-time interface: [`StoreSets::rename_store`] registers an
+//!   in-flight store, [`StoreSets::load_dependence`] tells the scheduler
+//!   which store sequence number a load must wait for, and ordering
+//!   violations call [`StoreSets::train_violation`].
+//!
+//! The facade reports, per control instruction, whether fetch would have
+//! continued on the correct path; the simulator charges the redirect
+//! penalty when it returns `false`.
+//!
+//! ```
+//! use reno_uarch::{ControlKind, FrontEnd};
+//!
+//! let mut fe = FrontEnd::default();
+//! // Call then matching return: the RAS predicts the return address.
+//! assert!(fe.process(100, ControlKind::Call, true, 500));
+//! assert!(fe.process(510, ControlKind::Return, true, 101));
+//! // A cold indirect jump misses the BTB, then trains on the target.
+//! assert!(!fe.process(7, ControlKind::IndirectJump, true, 42));
+//! assert!(fe.process(7, ControlKind::IndirectJump, true, 42));
+//! assert_eq!(fe.stats().total_wrong(), 1);
+//! ```
 
 mod bpred;
 mod btb;

@@ -33,7 +33,11 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Ras {
         assert!(capacity > 0, "RAS capacity must be non-zero");
-        Ras { slots: vec![0; capacity], top: 0, depth: 0 }
+        Ras {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Number of live entries (saturates at capacity).

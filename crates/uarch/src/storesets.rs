@@ -24,7 +24,10 @@ pub struct StoreSetConfig {
 
 impl Default for StoreSetConfig {
     fn default() -> StoreSetConfig {
-        StoreSetConfig { ssit_entries: 4096, sets: 64 }
+        StoreSetConfig {
+            ssit_entries: 4096,
+            sets: 64,
+        }
     }
 }
 
@@ -211,7 +214,10 @@ mod tests {
 
     #[test]
     fn round_robin_allocation_wraps() {
-        let mut ss = StoreSets::new(StoreSetConfig { ssit_entries: 4096, sets: 2 });
+        let mut ss = StoreSets::new(StoreSetConfig {
+            ssit_entries: 4096,
+            sets: 2,
+        });
         ss.train_violation(0x1, 0x2);
         ss.train_violation(0x3, 0x4);
         ss.train_violation(0x5, 0x6); // reuses set 0

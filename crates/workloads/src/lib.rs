@@ -16,14 +16,26 @@
 //! * branch behaviour from data-dependent conditions and call-heavy code.
 //!
 //! Each kernel is deterministic, self-checking (it folds results into the
-//! machine checksum via `out`), and scalable via [`Scale`].
+//! machine checksum via `out`), and scalable via [`Scale`]: input data comes
+//! from the vendored deterministic RNG, so a kernel's architectural result
+//! at a given scale is a constant, pinned by the golden-checksum regression
+//! test (`tests/golden.rs`). Timing work never moves those checksums —
+//! only a deliberate semantic change to a kernel, the ISA, or the
+//! functional simulator does.
+//!
+//! Each [`Workload`] pairs a table-ready name (mirroring the paper's
+//! benchmark lists) with an assembled [`reno_isa::Program`]; the suites are
+//! what every figure/table binary in `reno-bench` iterates over.
 //!
 //! ```
-//! use reno_workloads::{media_suite, spec_suite, Scale};
+//! use reno_workloads::{all_workloads, media_suite, spec_suite, Scale};
 //! let spec = spec_suite(Scale::Tiny);
 //! let media = media_suite(Scale::Tiny);
 //! assert_eq!(spec.len(), 10);
 //! assert_eq!(media.len(), 10);
+//! assert_eq!(all_workloads(Scale::Tiny).len(), 20);
+//! // Scales grow dynamic instruction counts without changing structure.
+//! assert!(Scale::Default.factor() > Scale::Small.factor());
 //! ```
 
 mod media;
@@ -68,16 +80,46 @@ pub struct Workload {
 pub fn spec_suite(scale: Scale) -> Vec<Workload> {
     let f = scale.factor();
     vec![
-        Workload { name: "gzip.c", program: spec::gzip_like(f) },
-        Workload { name: "crafty", program: spec::crafty_like(f) },
-        Workload { name: "mcf", program: spec::mcf_like(f) },
-        Workload { name: "parser", program: spec::parser_like(f) },
-        Workload { name: "vortex", program: spec::vortex_like(f) },
-        Workload { name: "twolf", program: spec::twolf_like(f) },
-        Workload { name: "gap", program: spec::gap_like(f) },
-        Workload { name: "perl.i", program: spec::perl_like(f) },
-        Workload { name: "bzip2", program: spec::bzip2_like(f) },
-        Workload { name: "vpr.r", program: spec::vpr_like(f) },
+        Workload {
+            name: "gzip.c",
+            program: spec::gzip_like(f),
+        },
+        Workload {
+            name: "crafty",
+            program: spec::crafty_like(f),
+        },
+        Workload {
+            name: "mcf",
+            program: spec::mcf_like(f),
+        },
+        Workload {
+            name: "parser",
+            program: spec::parser_like(f),
+        },
+        Workload {
+            name: "vortex",
+            program: spec::vortex_like(f),
+        },
+        Workload {
+            name: "twolf",
+            program: spec::twolf_like(f),
+        },
+        Workload {
+            name: "gap",
+            program: spec::gap_like(f),
+        },
+        Workload {
+            name: "perl.i",
+            program: spec::perl_like(f),
+        },
+        Workload {
+            name: "bzip2",
+            program: spec::bzip2_like(f),
+        },
+        Workload {
+            name: "vpr.r",
+            program: spec::vpr_like(f),
+        },
     ]
 }
 
@@ -85,16 +127,46 @@ pub fn spec_suite(scale: Scale) -> Vec<Workload> {
 pub fn media_suite(scale: Scale) -> Vec<Workload> {
     let f = scale.factor();
     vec![
-        Workload { name: "adpcm.en", program: media::adpcm_like(f) },
-        Workload { name: "g721.de", program: media::g721_like(f) },
-        Workload { name: "gsm.en", program: media::gsm_like(f) },
-        Workload { name: "jpg.en", program: media::jpeg_like(f) },
-        Workload { name: "mpg2.de", program: media::mpeg2_like(f) },
-        Workload { name: "epic", program: media::epic_like(f) },
-        Workload { name: "pegw.en", program: media::pegwit_like(f) },
-        Workload { name: "mesa.t", program: media::mesa_like(f) },
-        Workload { name: "gs.de", program: media::gs_like(f) },
-        Workload { name: "unepic", program: media::unepic_like(f) },
+        Workload {
+            name: "adpcm.en",
+            program: media::adpcm_like(f),
+        },
+        Workload {
+            name: "g721.de",
+            program: media::g721_like(f),
+        },
+        Workload {
+            name: "gsm.en",
+            program: media::gsm_like(f),
+        },
+        Workload {
+            name: "jpg.en",
+            program: media::jpeg_like(f),
+        },
+        Workload {
+            name: "mpg2.de",
+            program: media::mpeg2_like(f),
+        },
+        Workload {
+            name: "epic",
+            program: media::epic_like(f),
+        },
+        Workload {
+            name: "pegw.en",
+            program: media::pegwit_like(f),
+        },
+        Workload {
+            name: "mesa.t",
+            program: media::mesa_like(f),
+        },
+        Workload {
+            name: "gs.de",
+            program: media::gs_like(f),
+        },
+        Workload {
+            name: "unepic",
+            program: media::unepic_like(f),
+        },
     ]
 }
 

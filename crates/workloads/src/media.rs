@@ -33,7 +33,7 @@ pub fn adpcm_like(f: usize) -> Program {
     a.slli(Reg::T3, Reg::S3, 3);
     a.add(Reg::T3, Reg::T3, Reg::S5);
     a.ld(Reg::T4, Reg::T3, 0); // step
-    // delta = min(3, |diff| / step) via two compares.
+                               // delta = min(3, |diff| / step) via two compares.
     a.li(Reg::T5, 0);
     a.sub(Reg::T6, Reg::T1, Reg::T4);
     a.bltz(Reg::T6, "deltadone");
@@ -98,7 +98,7 @@ pub fn g721_like(f: usize) -> Program {
     a.slti(Reg::T3, Reg::T0, 64);
     a.bnez(Reg::T3, "tap");
     a.srai(Reg::T1, Reg::T1, 3); // fixed-point scale
-    // Error vs the actual next sample drives the checksum.
+                                 // Error vs the actual next sample drives the checksum.
     a.ldh(Reg::T7, Reg::S0, 16);
     a.sub(Reg::T8, Reg::T7, Reg::T1);
     a.xor(Reg::S4, Reg::S4, Reg::T8);
@@ -161,8 +161,7 @@ pub fn gsm_like(f: usize) -> Program {
 pub fn jpeg_like(f: usize) -> Program {
     let blocks = 6 * f;
     let mut a = Asm::named("jpg.en");
-    let src: Vec<u64> =
-        util::words(0x19e9, 64).iter().map(|w| w & 0xff).collect();
+    let src: Vec<u64> = util::words(0x19e9, 64).iter().map(|w| w & 0xff).collect();
     let block = a.words("block", &src);
 
     a.li(Reg::S0, block as i64);
@@ -267,8 +266,10 @@ pub fn mpeg2_like(f: usize) -> Program {
 /// source band and writing a separate detail band (as the real filter does).
 pub fn epic_like(f: usize) -> Program {
     let n = 512usize;
-    let sig: Vec<u64> =
-        util::samples_i16(0xe71c, n).chunks(2).map(|c| i16::from_le_bytes([c[0], c[1]]) as i64 as u64).collect();
+    let sig: Vec<u64> = util::samples_i16(0xe71c, n)
+        .chunks(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]) as i64 as u64)
+        .collect();
     let mut a = Asm::named("epic");
     let base = a.words("sig", &sig);
     let detail = a.zeros("detail", n * 8);
@@ -374,8 +375,10 @@ pub fn mesa_like(f: usize) -> Program {
     // ALU-critical in the paper's Fig 9, not memory-bound).
     let verts = 96usize;
     let mut a = Asm::named("mesa.t");
-    let vbuf: Vec<u64> =
-        util::words(0x3e5a, verts * 4).iter().map(|w| w & 0xffff).collect();
+    let vbuf: Vec<u64> = util::words(0x3e5a, verts * 4)
+        .iter()
+        .map(|w| w & 0xffff)
+        .collect();
     let vaddr = a.words("verts", &vbuf);
     let oaddr = a.zeros("out", verts * 16);
     // Row-major fixed-point 4x4 matrix.

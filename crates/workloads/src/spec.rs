@@ -262,7 +262,10 @@ pub fn vortex_like(f: usize) -> Program {
 /// `twolf`-like: annealing-style random swaps with multiply-based cost
 /// deltas and data-dependent branches.
 pub fn twolf_like(f: usize) -> Program {
-    let cells: Vec<u64> = util::words(0x7201f, 1024).iter().map(|w| w & 0xffff).collect();
+    let cells: Vec<u64> = util::words(0x7201f, 1024)
+        .iter()
+        .map(|w| w & 0xffff)
+        .collect();
     let mut a = Asm::named("twolf");
     let base = a.words("cells", &cells);
 
@@ -332,7 +335,7 @@ pub fn gap_like(f: usize) -> Program {
     a.slti(Reg::T2, Reg::T0, 128);
     a.bnez(Reg::T2, "addloop");
     a.add(Reg::S4, Reg::S4, Reg::T5); // fold top limb
-    // A = C >> 1 (whole-number right shift, limb pairs).
+                                      // A = C >> 1 (whole-number right shift, limb pairs).
     a.li(Reg::T0, 0);
     a.label("shloop");
     a.add(Reg::T2, Reg::S2, Reg::T0);
@@ -367,9 +370,11 @@ pub fn perl_like(f: usize) -> Program {
 
     // Initialize the dispatch table with handler addresses.
     a.li(Reg::S0, table as i64);
-    for (i, label) in ["op_push", "op_add", "op_xor", "op_shift", "op_dup", "op_drop"]
-        .iter()
-        .enumerate()
+    for (i, label) in [
+        "op_push", "op_add", "op_xor", "op_shift", "op_dup", "op_drop",
+    ]
+    .iter()
+    .enumerate()
     {
         a.la_code(Reg::T0, label);
         a.st(Reg::T0, Reg::S0, (i * 8) as i16);
@@ -459,7 +464,7 @@ pub fn bzip2_like(f: usize) -> Program {
     a.label("loop");
     a.add(Reg::T0, Reg::S0, Reg::S3);
     a.ldbu(Reg::T1, Reg::T0, 0); // current byte
-    // Run-length scan: how many copies follow (cap 16)?
+                                 // Run-length scan: how many copies follow (cap 16)?
     a.li(Reg::T2, 1);
     a.label("run");
     a.add(Reg::T3, Reg::T0, Reg::T2);
@@ -517,7 +522,10 @@ pub fn vpr_like(f: usize) -> Program {
         init[i * dim] = i as u64; // left column
     }
     let grid = a.words("grid", &init);
-    let costs: Vec<u64> = util::words(0x7b1, dim * dim).iter().map(|w| 1 + (w & 7)).collect();
+    let costs: Vec<u64> = util::words(0x7b1, dim * dim)
+        .iter()
+        .map(|w| 1 + (w & 7))
+        .collect();
     let cdata = a.words("cost", &costs);
 
     a.li(Reg::S0, grid as i64);
@@ -531,7 +539,7 @@ pub fn vpr_like(f: usize) -> Program {
     a.add(Reg::T1, Reg::T0, Reg::S0); // &grid[c]
     a.ld(Reg::T2, Reg::T1, -8); // west neighbour
     a.ld(Reg::T3, Reg::T1, -512); // north neighbour (64 * 8)
-    // best = min(west, north), branchy as the real router is.
+                                  // best = min(west, north), branchy as the real router is.
     a.sub(Reg::T4, Reg::T2, Reg::T3);
     a.blez(Reg::T4, "west");
     a.mov(Reg::T2, Reg::T3);

@@ -15,7 +15,11 @@ pub fn lumpy_bytes(seed: u64, n: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let b: u8 = r.gen_range(b'a'..=b'z');
-        let run = if r.gen_ratio(1, 4) { r.gen_range(2..8) } else { 1 };
+        let run = if r.gen_ratio(1, 4) {
+            r.gen_range(2..8)
+        } else {
+            1
+        };
         for _ in 0..run {
             if out.len() < n {
                 out.push(b);

@@ -5,27 +5,30 @@
 use reno_func::run_to_completion;
 use reno_workloads::{all_workloads, Scale};
 
+// Pinned against the vendored deterministic RNG (vendor/rand, SplitMix64):
+// kernel data segments are derived from its bit stream, so these values are
+// stable across runs and platforms but specific to this repo's RNG.
 const GOLDEN: [(&str, u64); 20] = [
-    ("gzip.c", 0x00000000000001b3),
-    ("crafty", 0x0000000000000d81),
-    ("mcf", 0x0000000001224c23),
+    ("gzip.c", 0x00000000000001d2),
+    ("crafty", 0x0000000000000d4c),
+    ("mcf", 0x00000000012784e9),
     ("parser", 0x000000000000001d),
-    ("vortex", 0x00000000000001ac),
-    ("twolf", 0x0000000000000082),
-    ("gap", 0xe3561a790d806aca),
-    ("perl.i", 0x00000000000000ef),
-    ("bzip2", 0x3bcb72da4866b098),
+    ("vortex", 0x0000000000000190),
+    ("twolf", 0x0000000000000073),
+    ("gap", 0x03d9e6b3e8e38813),
+    ("perl.i", 0x0000000000000027),
+    ("bzip2", 0x2901bc60972d72f3),
     ("vpr.r", 0x0000000000000f80),
-    ("adpcm.en", 0x810505f9d5ad18b9),
-    ("g721.de", 0xfffffffffffffaea),
-    ("gsm.en", 0x0000000001812cb0),
-    ("jpg.en", 0x00000000000000d8),
-    ("mpg2.de", 0x00000000000000cb),
-    ("epic", 0xfffffffffffffff9),
+    ("adpcm.en", 0x451eea5ee9a6851f),
+    ("g721.de", 0x00000000000000b4),
+    ("gsm.en", 0x000000000038c339),
+    ("jpg.en", 0xffffffffffffffca),
+    ("mpg2.de", 0x00000000000003e6),
+    ("epic", 0x000000000000010e),
     ("pegw.en", 0x0000000057598001),
-    ("mesa.t", 0x0000000000000c7a),
-    ("gs.de", 0x000000000000007b),
-    ("unepic", 0xffffffffffffced8),
+    ("mesa.t", 0x0000000000002467),
+    ("gs.de", 0x000000000000007a),
+    ("unepic", 0x0000000000003765),
 ];
 
 #[test]

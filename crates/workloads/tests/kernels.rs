@@ -7,8 +7,8 @@ use reno_workloads::{all_workloads, media_suite, spec_suite, Scale, Workload};
 const FUEL: u64 = 20_000_000;
 
 fn run(w: &Workload) -> (u64, reno_func::MixStats) {
-    let (cpu, r) = run_to_completion(&w.program, FUEL)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let (cpu, r) =
+        run_to_completion(&w.program, FUEL).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     assert!(r.halted, "{} must halt", w.name);
     (cpu.checksum(), r.mix)
 }
@@ -18,7 +18,12 @@ fn every_kernel_halts_with_nonzero_checksum() {
     for w in all_workloads(Scale::Tiny) {
         let (checksum, mix) = run(&w);
         assert_ne!(checksum, 0, "{} produced no output", w.name);
-        assert!(mix.total > 1_000, "{} too small: {} insts", w.name, mix.total);
+        assert!(
+            mix.total > 1_000,
+            "{} too small: {} insts",
+            w.name,
+            mix.total
+        );
     }
 }
 
@@ -26,7 +31,10 @@ fn every_kernel_halts_with_nonzero_checksum() {
 fn kernels_are_deterministic() {
     for w in spec_suite(Scale::Tiny) {
         let (c1, _) = run(&w);
-        let w2 = spec_suite(Scale::Tiny).into_iter().find(|x| x.name == w.name).unwrap();
+        let w2 = spec_suite(Scale::Tiny)
+            .into_iter()
+            .find(|x| x.name == w.name)
+            .unwrap();
         let (c2, _) = run(&w2);
         assert_eq!(c1, c2, "{} is nondeterministic", w.name);
     }
@@ -36,7 +44,10 @@ fn kernels_are_deterministic() {
 fn scaling_changes_work_not_results_shape() {
     let tiny = run(&spec_suite(Scale::Tiny).remove(0)).1.total;
     let small = run(&spec_suite(Scale::Small).remove(0)).1.total;
-    assert!(small > 4 * tiny, "Small should be much larger: {tiny} vs {small}");
+    assert!(
+        small > 4 * tiny,
+        "Small should be much larger: {tiny} vs {small}"
+    );
 }
 
 #[test]
@@ -64,8 +75,16 @@ fn spec_suite_has_specint_mix_shape() {
         (8.0..22.0).contains(&addi_avg),
         "SPEC-like addi average should be near the paper's 12%: {addi_avg:.1}%"
     );
-    assert!(move_sum / n < 10.0, "moves should be modest: {:.1}%", move_sum / n);
-    assert!(load_sum / n > 10.0, "SPEC-like should be load-heavy: {:.1}%", load_sum / n);
+    assert!(
+        move_sum / n < 10.0,
+        "moves should be modest: {:.1}%",
+        move_sum / n
+    );
+    assert!(
+        load_sum / n > 10.0,
+        "SPEC-like should be load-heavy: {:.1}%",
+        load_sum / n
+    );
 }
 
 #[test]
@@ -83,18 +102,35 @@ fn media_suite_is_addi_and_alu_heavy() {
         (11.0..28.0).contains(&addi_avg),
         "media addi average should be near the paper's 17%: {addi_avg:.1}%"
     );
-    assert!(alu_sum / n > 35.0, "media should be ALU-bound: {:.1}%", alu_sum / n);
+    assert!(
+        alu_sum / n > 35.0,
+        "media should be ALU-bound: {:.1}%",
+        alu_sum / n
+    );
 }
 
 #[test]
 fn mesa_like_has_outlier_move_density() {
-    let w = media_suite(Scale::Tiny).into_iter().find(|w| w.name == "mesa.t").unwrap();
+    let w = media_suite(Scale::Tiny)
+        .into_iter()
+        .find(|w| w.name == "mesa.t")
+        .unwrap();
     let (_, mix) = run(&w);
-    assert!(mix.move_pct() > 7.0, "mesa-like moves: {:.1}%", mix.move_pct());
+    assert!(
+        mix.move_pct() > 7.0,
+        "mesa-like moves: {:.1}%",
+        mix.move_pct()
+    );
 }
 
 #[test]
 fn mcf_like_has_big_working_set() {
-    let w = spec_suite(Scale::Tiny).into_iter().find(|w| w.name == "mcf").unwrap();
-    assert!(w.program.data_len() >= 1 << 20, "mcf-like needs an L2-busting footprint");
+    let w = spec_suite(Scale::Tiny)
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .unwrap();
+    assert!(
+        w.program.data_len() >= 1 << 20,
+        "mcf-like needs an L2-busting footprint"
+    );
 }

@@ -12,7 +12,10 @@ use reno_repro::sim::{MachineConfig, Simulator};
 use reno_repro::workloads::{media_suite, Scale};
 
 fn main() {
-    println!("{:<10} {:>9} {:>9} {:>8} | critical path (base -> reno)", "kernel", "base IPC", "reno IPC", "speedup");
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} | critical path (base -> reno)",
+        "kernel", "base IPC", "reno IPC", "speedup"
+    );
     for w in media_suite(Scale::Small) {
         let base = Simulator::with_fuel(
             &w.program,

@@ -45,7 +45,10 @@ fn main() {
         .run(1 << 26);
         let rel_n = base.cycles as f64 / shrunk.cycles as f64 * 100.0;
         let rel_p = base.cycles as f64 / prf.cycles as f64 * 100.0;
-        println!("{:<10} {:>12} {:>15.1} {:>15.1}", w.name, base.cycles, rel_n, rel_p);
+        println!(
+            "{:<10} {:>12} {:>15.1} {:>15.1}",
+            w.name, base.cycles, rel_n, rel_p
+        );
         narrow.push(rel_n / 100.0);
         small_prf.push(rel_p / 100.0);
     }

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = a.assemble()?;
 
     let (cpu, func) = run_to_completion(&prog, 1 << 22)?;
-    println!("functional checksum: {:#018x} ({} dynamic instructions)", cpu.checksum(), func.executed);
+    println!(
+        "functional checksum: {:#018x} ({} dynamic instructions)",
+        cpu.checksum(),
+        func.executed
+    );
     println!(
         "mix: {:.1}% moves, {:.1}% reg-imm adds, {:.1}% loads",
         func.mix.move_pct(),
@@ -66,15 +70,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let base = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 26);
     let reno = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 26);
-    assert_eq!(base.digest, reno.digest, "RENO is invisible architecturally");
+    assert_eq!(
+        base.digest, reno.digest,
+        "RENO is invisible architecturally"
+    );
 
     println!("\n{:>22} {:>10} {:>10}", "", "baseline", "RENO");
     println!("{:>22} {:>10} {:>10}", "cycles", base.cycles, reno.cycles);
     println!("{:>22} {:>10.2} {:>10.2}", "IPC", base.ipc(), reno.ipc());
-    println!("{:>22} {:>10} {:>10}", "moves eliminated", "-", reno.reno.moves);
-    println!("{:>22} {:>10} {:>10}", "addis folded", "-", reno.reno.const_folds);
-    println!("{:>22} {:>10} {:>10}", "loads integrated", "-", reno.reno.load_cse);
-    println!("{:>22} {:>10} {:>10}", "re-exec verified", "-", reno.stats.reexec_loads);
+    println!(
+        "{:>22} {:>10} {:>10}",
+        "moves eliminated", "-", reno.reno.moves
+    );
+    println!(
+        "{:>22} {:>10} {:>10}",
+        "addis folded", "-", reno.reno.const_folds
+    );
+    println!(
+        "{:>22} {:>10} {:>10}",
+        "loads integrated", "-", reno.reno.load_cse
+    );
+    println!(
+        "{:>22} {:>10} {:>10}",
+        "re-exec verified", "-", reno.stats.reexec_loads
+    );
     println!("\nspeedup: {:+.1}%", reno.speedup_pct_vs(&base));
     Ok(())
 }

@@ -36,13 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Architectural reference run.
     let (cpu, func) = run_to_completion(&prog, 1 << 20)?;
-    println!("functional: {} instructions, checksum {:#x}", func.executed, cpu.checksum());
+    println!(
+        "functional: {} instructions, checksum {:#x}",
+        func.executed,
+        cpu.checksum()
+    );
 
     // 2. Conventional core vs RENO.
     let base = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::baseline())).run(1 << 24);
     let reno = Simulator::new(&prog, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 24);
 
-    assert_eq!(base.checksum, cpu.checksum(), "timing never changes results");
+    assert_eq!(
+        base.checksum,
+        cpu.checksum(),
+        "timing never changes results"
+    );
     assert_eq!(reno.checksum, cpu.checksum());
 
     println!("baseline:   {} cycles, IPC {:.2}", base.cycles, base.ipc());

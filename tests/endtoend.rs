@@ -28,8 +28,12 @@ fn elimination_rates_are_in_the_papers_band() {
     // (per-program spread roughly 7%..40%).
     let mut total = Vec::new();
     for w in all_workloads(Scale::Small) {
-        let r = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
-            .run(MAX_CYCLES);
+        let r = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::reno()),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
         let pct = r.elimination_pct();
         assert!(
             (3.0..50.0).contains(&pct),
@@ -39,7 +43,10 @@ fn elimination_rates_are_in_the_papers_band() {
         total.push(pct);
     }
     let avg = total.iter().sum::<f64>() / total.len() as f64;
-    assert!((12.0..32.0).contains(&avg), "suite average {avg:.1}% vs paper ~22%");
+    assert!(
+        (12.0..32.0).contains(&avg),
+        "suite average {avg:.1}% vs paper ~22%"
+    );
 }
 
 #[test]
@@ -53,13 +60,19 @@ fn reno_speeds_up_both_suites_on_average() {
                 FUEL,
             )
             .run(MAX_CYCLES);
-            let reno =
-                Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
-                    .run(MAX_CYCLES);
+            let reno = Simulator::with_fuel(
+                &w.program,
+                MachineConfig::four_wide(RenoConfig::reno()),
+                FUEL,
+            )
+            .run(MAX_CYCLES);
             speedups.push(reno.speedup_pct_vs(&base));
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!(avg > 1.0, "suite average speedup {avg:.1}% should be positive: {speedups:?}");
+        assert!(
+            avg > 1.0,
+            "suite average speedup {avg:.1}% should be positive: {speedups:?}"
+        );
     }
 }
 
@@ -70,11 +83,15 @@ fn eliminated_instructions_save_physical_registers() {
     let mut reno_stalls = 0;
     for w in spec_suite(Scale::Tiny) {
         let m = MachineConfig::four_wide(RenoConfig::baseline()).with_pregs(96);
-        base_stalls +=
-            Simulator::with_fuel(&w.program, m, FUEL).run(MAX_CYCLES).stats.preg_stall_cycles;
+        base_stalls += Simulator::with_fuel(&w.program, m, FUEL)
+            .run(MAX_CYCLES)
+            .stats
+            .preg_stall_cycles;
         let m = MachineConfig::four_wide(RenoConfig::reno()).with_pregs(96);
-        reno_stalls +=
-            Simulator::with_fuel(&w.program, m, FUEL).run(MAX_CYCLES).stats.preg_stall_cycles;
+        reno_stalls += Simulator::with_fuel(&w.program, m, FUEL)
+            .run(MAX_CYCLES)
+            .stats
+            .preg_stall_cycles;
     }
     assert!(
         reno_stalls < base_stalls,
@@ -89,16 +106,24 @@ fn two_cycle_scheduler_is_tolerated_by_reno() {
     let mut base_loss = Vec::new();
     let mut reno_loss = Vec::new();
     for w in media_suite(Scale::Small) {
-        let b1 = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::baseline()), FUEL)
-            .run(MAX_CYCLES);
+        let b1 = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::baseline()),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
         let b2 = Simulator::with_fuel(
             &w.program,
             MachineConfig::four_wide(RenoConfig::baseline()).with_sched_loop(2),
             FUEL,
         )
         .run(MAX_CYCLES);
-        let r1 = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
-            .run(MAX_CYCLES);
+        let r1 = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::reno()),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
         let r2 = Simulator::with_fuel(
             &w.program,
             MachineConfig::four_wide(RenoConfig::reno()).with_sched_loop(2),
@@ -110,8 +135,14 @@ fn two_cycle_scheduler_is_tolerated_by_reno() {
     }
     let b = base_loss.iter().sum::<f64>() / base_loss.len() as f64;
     let r = reno_loss.iter().sum::<f64>() / reno_loss.len() as f64;
-    assert!(b > 1.005, "the loose loop must cost the baseline something: {b:.3}");
-    assert!(r < b, "RENO should absorb scheduler latency: {r:.3} vs {b:.3}");
+    assert!(
+        b > 1.005,
+        "the loose loop must cost the baseline something: {b:.3}"
+    );
+    assert!(
+        r < b,
+        "RENO should absorb scheduler latency: {r:.3} vs {b:.3}"
+    );
 }
 
 #[test]
@@ -120,13 +151,24 @@ fn six_wide_eliminates_slightly_less_per_group_rule() {
     // because dependent pairs land in the same rename group more often.
     let mut drop = 0f64;
     for w in media_suite(Scale::Small) {
-        let four = Simulator::with_fuel(&w.program, MachineConfig::four_wide(RenoConfig::reno()), FUEL)
-            .run(MAX_CYCLES);
-        let six = Simulator::with_fuel(&w.program, MachineConfig::six_wide(RenoConfig::reno()), FUEL)
-            .run(MAX_CYCLES);
+        let four = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::four_wide(RenoConfig::reno()),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
+        let six = Simulator::with_fuel(
+            &w.program,
+            MachineConfig::six_wide(RenoConfig::reno()),
+            FUEL,
+        )
+        .run(MAX_CYCLES);
         drop += four.elimination_pct() - six.elimination_pct();
     }
-    assert!(drop > -1.0, "6-wide should not eliminate meaningfully more: {drop:.2}");
+    assert!(
+        drop > -1.0,
+        "6-wide should not eliminate meaningfully more: {drop:.2}"
+    );
 }
 
 #[test]
@@ -136,7 +178,12 @@ fn integrated_loads_verify_and_misintegrations_recover() {
         let (cpu, _) = run_to_completion(&w.program, 1 << 24).unwrap();
         let r = Simulator::new(&w.program, MachineConfig::four_wide(RenoConfig::reno()))
             .run(MAX_CYCLES);
-        assert_eq!(r.digest, cpu.state_digest(), "{} under re-execution", w.name);
+        assert_eq!(
+            r.digest,
+            cpu.state_digest(),
+            "{} under re-execution",
+            w.name
+        );
         reexecs += r.stats.reexec_loads;
     }
     assert!(reexecs > 0, "some loads should integrate across the suites");

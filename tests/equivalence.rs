@@ -9,8 +9,18 @@ use reno_isa::{Asm, Opcode, Program, Reg};
 use reno_sim::{MachineConfig, Simulator};
 
 /// Registers the generator is allowed to clobber (keeps sp/frame sane).
-const POOL: [Reg; 10] =
-    [Reg::V0, Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+const POOL: [Reg; 10] = [
+    Reg::V0,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+];
 
 #[derive(Clone, Debug)]
 enum GenOp {
@@ -23,7 +33,12 @@ enum GenOp {
 
 fn arb_op() -> impl Strategy<Value = GenOp> {
     prop_oneof![
-        (0u8..9, 0usize..POOL.len(), 0usize..POOL.len(), 0usize..POOL.len())
+        (
+            0u8..9,
+            0usize..POOL.len(),
+            0usize..POOL.len(),
+            0usize..POOL.len()
+        )
             .prop_map(|(o, d, a, b)| GenOp::AluRR(o, d, a, b)),
         (0u8..6, 0usize..POOL.len(), 0usize..POOL.len(), any::<i16>())
             .prop_map(|(o, d, a, i)| GenOp::AluRI(o, d, a, i)),
@@ -57,8 +72,14 @@ fn build(ops: &[GenOp]) -> Program {
                 a.emit(reno_isa::Inst::alu_rr(oc, POOL[d], POOL[x], POOL[y]));
             }
             GenOp::AluRI(o, d, x, imm) => {
-                let oc = [Opcode::Addi, Opcode::Andi, Opcode::Ori, Opcode::Xori, Opcode::Slli, Opcode::Slti]
-                    [o as usize];
+                let oc = [
+                    Opcode::Addi,
+                    Opcode::Andi,
+                    Opcode::Ori,
+                    Opcode::Xori,
+                    Opcode::Slli,
+                    Opcode::Slti,
+                ][o as usize];
                 let imm = if oc == Opcode::Slli { imm & 63 } else { imm };
                 a.emit(reno_isa::Inst::alu_ri(oc, POOL[d], POOL[x], imm));
             }
@@ -85,7 +106,10 @@ fn all_configs() -> Vec<RenoConfig> {
         RenoConfig::baseline(),
         RenoConfig::me_only(),
         RenoConfig::cf_me(),
-        RenoConfig { conservative_overflow: false, ..RenoConfig::cf_me() },
+        RenoConfig {
+            conservative_overflow: false,
+            ..RenoConfig::cf_me()
+        },
         RenoConfig::reno(),
         RenoConfig::reno_full_integration(),
         RenoConfig::full_integration_only(),

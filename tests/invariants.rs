@@ -5,8 +5,16 @@ use proptest::prelude::*;
 use reno_core::{Mapping, PhysReg, Renamed, Reno, RenoConfig};
 use reno_isa::{Inst, Opcode, Reg};
 
-const POOL: [Reg; 8] =
-    [Reg::V0, Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::A0, Reg::A1, Reg::A2];
+const POOL: [Reg; 8] = [
+    Reg::V0,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+];
 
 #[derive(Clone, Debug)]
 enum Step {

@@ -68,7 +68,11 @@ fn mispredict_storm_is_correct_and_costly() {
     let (cpu, _) = run_to_completion(&p, 1 << 22).unwrap();
     let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 26);
     assert_eq!(r.digest, cpu.state_digest());
-    assert!(r.frontend.cond_wrong > 50, "storm should defeat the predictor: {:?}", r.frontend);
+    assert!(
+        r.frontend.cond_wrong > 50,
+        "storm should defeat the predictor: {:?}",
+        r.frontend
+    );
 }
 
 #[test]
@@ -76,7 +80,11 @@ fn alias_gauntlet_recovers_from_misintegrations() {
     let p = alias_gauntlet();
     let (cpu, _) = run_to_completion(&p, 1 << 22).unwrap();
     let r = Simulator::new(&p, MachineConfig::four_wide(RenoConfig::reno())).run(1 << 26);
-    assert_eq!(r.digest, cpu.state_digest(), "misintegration recovery must be exact");
+    assert_eq!(
+        r.digest,
+        cpu.state_digest(),
+        "misintegration recovery must be exact"
+    );
     assert!(
         r.stats.misintegrations >= 1,
         "the gauntlet should provoke at least one misintegration: {:?}",

@@ -1,0 +1,194 @@
+//! Offline, lightweight stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! exposing the API subset this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors this drop-in. It keeps criterion's *interface* —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] — but replaces the statistical machinery with a simple
+//! timed loop: each benchmark is warmed up briefly, then run for a bounded
+//! number of batches, and the best observed ns/iteration is printed. That is
+//! enough to compare hot-path changes locally and to keep `cargo bench`
+//! (and `cargo test`, which also runs non-harness bench targets) fast and
+//! dependency-free; it is **not** a substitute for criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock budget per benchmark (warmup plus measurement).
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Maximum number of timed batches per benchmark.
+const MAX_BATCHES: u32 = 10;
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark of the group over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns_per_iter: Option<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the best observed time per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed call to warm caches and page in code.
+        black_box(f());
+        let started = Instant::now();
+        let mut batch_size = 1u64;
+        for _ in 0..MAX_BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch_size {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            self.total_iters += batch_size;
+            let per_iter = elapsed.as_nanos() as f64 / batch_size as f64;
+            if self.best_ns_per_iter.map_or(true, |b| per_iter < b) {
+                self.best_ns_per_iter = Some(per_iter);
+            }
+            if started.elapsed() > BUDGET {
+                break;
+            }
+            // Grow batches until one takes a measurable slice of the budget.
+            if elapsed < BUDGET / 20 {
+                batch_size = batch_size.saturating_mul(4);
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        match self.best_ns_per_iter {
+            Some(ns) => println!(
+                "bench: {id:<40} {ns:>14.1} ns/iter ({} iters)",
+                self.total_iters
+            ),
+            None => println!("bench: {id:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Non-harness bench targets are also executed by `cargo test`
+            // with libtest-style flags; this stand-in ignores all arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline, deterministic stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, exposing exactly the API subset this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors this drop-in: [`rngs::SmallRng`] (a SplitMix64 generator),
+//! [`rngs::mock::StepRng`], and the [`Rng`]/[`SeedableRng`]/[`RngCore`]
+//! traits with `gen`, `gen_range`, and `gen_ratio`. Streams are stable across
+//! runs and platforms — exactly what the deterministic workload generators
+//! and tests want — but the bit streams are *not* identical to upstream
+//! `rand`'s, so golden values derived from them are local to this repo.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T` over its whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable uniformly over their whole domain (the stand-in for
+/// upstream's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly within the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (rng.next_u64() as i128 % span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi - lo + 1;
+                (lo + (rng.next_u64() as i128 % span)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    ///
+    /// Upstream `SmallRng` is explicitly *not* reproducible across versions;
+    /// this one is fixed forever, which suits the golden-checksum workloads.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+
+    /// Trivial mock generators for tests.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// Yields `start`, `start + step`, `start + 2*step`, … (wrapping).
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            value: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Creates a generator counting up from `start` by `step`.
+            pub fn new(start: u64, step: u64) -> Self {
+                StepRng { value: start, step }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.step);
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{mock::StepRng, SmallRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u8 = r.gen_range(b'a'..=b'z');
+            assert!(x.is_ascii_lowercase());
+            let y = r.gen_range(-700..=700);
+            assert!((-700..=700).contains(&y));
+            let z = r.gen_range(2..8);
+            assert!((2..8).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_ratio_is_plausible() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..4000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((800..1200).contains(&hits), "1/4 ratio wildly off: {hits}");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut s = StepRng::new(3, 10);
+        assert_eq!(s.gen::<u64>(), 3);
+        assert_eq!(s.gen::<u64>(), 13);
+    }
+}
