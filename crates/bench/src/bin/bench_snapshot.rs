@@ -1,0 +1,101 @@
+//! Records a simulator-throughput snapshot into `BENCH_sim.json`.
+//!
+//! Measures *simulated cycles per host second* for the baseline, CF+ME and
+//! full-RENO configurations over one SPEC-like and one media-like kernel,
+//! and appends one labelled entry to the repo-root `BENCH_sim.json` so the
+//! perf trajectory across PRs is recorded in-tree.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p reno-bench --bin bench_snapshot -- <label>
+//! ```
+//!
+//! The label defaults to `snapshot`. Entries are stored one per line so that
+//! appends never need a JSON parser; the file as a whole stays valid JSON.
+
+use reno_bench::{run, FUEL};
+use reno_core::RenoConfig;
+use reno_sim::MachineConfig;
+use reno_workloads::{media_suite, spec_suite, Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed repetitions per configuration (the best one is recorded).
+const REPS: usize = 3;
+
+fn workloads() -> Vec<Workload> {
+    // One pointer-chasing SPEC-like kernel and one MAC-loop media-like
+    // kernel: together they exercise the load/store queues, the branch
+    // machinery and the RENO renamer without making the snapshot slow.
+    let spec = spec_suite(Scale::Default).swap_remove(0); // gzip.c
+    let media = media_suite(Scale::Default).swap_remove(2); // gsm.en
+    vec![spec, media]
+}
+
+/// Best-of-`REPS` throughput (simulated cycles per host second) for `cfg`.
+fn throughput(ws: &[Workload], cfg: RenoConfig) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut cycles = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut total_cycles = 0u64;
+        for w in ws {
+            let r = run(w, MachineConfig::four_wide(cfg));
+            total_cycles += r.cycles;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        cycles = total_cycles;
+        if secs > 0.0 {
+            best = best.max(total_cycles as f64 / secs);
+        }
+    }
+    (cycles, best)
+}
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "snapshot".to_string());
+    let ws = workloads();
+    println!(
+        "bench_snapshot: {} workloads, fuel {FUEL}, {REPS} reps (best kept)",
+        ws.len()
+    );
+
+    let mut entry = format!("{{\"label\":\"{label}\"");
+    for (name, cfg) in [
+        ("baseline", RenoConfig::baseline()),
+        ("cf_me", RenoConfig::cf_me()),
+        ("reno", RenoConfig::reno()),
+    ] {
+        let (cycles, cps) = throughput(&ws, cfg);
+        println!("  {name:<10} {cycles:>12} sim cycles  {cps:>14.0} sim cycles/s");
+        let _ = write!(entry, ",\"{name}_cycles_per_sec\":{cps:.0}");
+    }
+    entry.push('}');
+
+    // `BENCH_sim.json` keeps one entry object per line between the header
+    // and footer lines, so appending is a text operation.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(old) = std::fs::read_to_string(path) {
+        entries.extend(
+            old.lines()
+                .map(str::trim_end)
+                .filter(|l| l.starts_with("{\"label\""))
+                .map(|l| l.trim_end_matches(',').to_string()),
+        );
+    }
+    entries.push(entry);
+    let mut out = String::from(
+        "{\"schema\":\"reno-bench-snapshot-v1\",\n\"unit\":\"simulated_cycles_per_host_second\",\n\"entries\":[\n",
+    );
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "{e}{sep}");
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, &out).expect("write BENCH_sim.json");
+    println!("recorded entry '{label}' in BENCH_sim.json");
+}
