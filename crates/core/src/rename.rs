@@ -1,5 +1,5 @@
 use crate::{
-    IntegrationTable, ItConfig, ItKey, ItOperand, ItStats, MapTable, Mapping, OutOfPregs,
+    IntegrationTable, ItConfig, ItKey, ItOperand, ItStats, MapTable, Mapping, OutOfPregs, PhysReg,
     RefCountFreeList,
 };
 use reno_isa::{Inst, OpClass, Opcode, Reg};
@@ -379,8 +379,20 @@ impl Reno {
         inst: Inst,
         allow_integration: bool,
     ) -> Result<Renamed, OutOfPregs> {
-        let src_regs: Vec<Reg> = inst.srcs().collect();
-        let src_maps: Vec<Mapping> = src_regs.iter().map(|&r| self.map.get(r)).collect();
+        // At most two sources (see `Inst::srcs`); this runs for every renamed
+        // instruction, so the lookups stay on the stack — no allocation.
+        let mut n_srcs = 0;
+        let mut src_buf = [Reg::ZERO; 2];
+        for r in inst.srcs() {
+            src_buf[n_srcs] = r;
+            n_srcs += 1;
+        }
+        let src_regs = &src_buf[..n_srcs];
+        let mut map_buf = [self.map.get(Reg::ZERO); 2];
+        for (i, &r) in src_regs.iter().enumerate() {
+            map_buf[i] = self.map.get(r);
+        }
+        let src_maps = &map_buf[..n_srcs];
         let dst_l = inst.dst();
 
         let depends_on_group_elim = !self.cfg.allow_dependent_elim
@@ -531,6 +543,13 @@ impl Reno {
         if let Some(d) = r.dst {
             self.freelist.decref(d.old.preg);
         }
+    }
+
+    /// Hot-path equivalent of [`Reno::retire`] for a pipeline that tracks
+    /// the replaced mapping's register itself (`d.old.preg`) and does not
+    /// want to touch the full [`Renamed`] record at retirement.
+    pub fn retire_old(&mut self, old: PhysReg) {
+        self.freelist.decref(old);
     }
 
     /// Reverses the statistics contribution of a rename that was immediately

@@ -52,6 +52,11 @@ pub struct MachineConfig {
     pub storesets: StoreSetConfig,
     /// Collect per-instruction records for critical-path analysis.
     pub collect_cpa: bool,
+    /// Use the reference whole-ROB polling scheduler instead of the
+    /// event-driven one. Timing is identical by construction (enforced by
+    /// the `sched_equivalence` differential tests); the naive path exists
+    /// only as that test's baseline and for debugging.
+    pub naive_sched: bool,
 }
 
 impl MachineConfig {
@@ -80,6 +85,7 @@ impl MachineConfig {
             ras_entries: 32,
             storesets: StoreSetConfig::default(),
             collect_cpa: false,
+            naive_sched: false,
         }
     }
 
@@ -133,6 +139,13 @@ impl MachineConfig {
     /// Enable critical-path record collection (Fig 9).
     pub fn with_cpa(mut self) -> MachineConfig {
         self.collect_cpa = true;
+        self
+    }
+
+    /// Use the reference whole-ROB polling scheduler (differential-testing
+    /// baseline for the event-driven one; see [`MachineConfig::naive_sched`]).
+    pub fn with_naive_sched(mut self) -> MachineConfig {
+        self.naive_sched = true;
         self
     }
 

@@ -5,7 +5,8 @@ use reno_func::{DynInst, Oracle};
 use reno_isa::{OpClass, Opcode, Program, Reg, STACK_TOP};
 use reno_mem::{MemHierarchy, ServedBy};
 use reno_uarch::{ControlKind, FrontEnd, StoreSets};
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Select-to-execute latency: 1 schedule + 2 register read.
 const EXE_OFFSET: u64 = 3;
@@ -18,38 +19,131 @@ const COMPLETE_TO_RETIRE: u64 = 2;
 /// I$ data to rename: 1 more I$ stage + decode + rename entry.
 const ICACHE_TO_RENAME: u64 = 3;
 
+/// Slots of the execution event wheel. Execution events are scheduled
+/// exactly [`EXE_OFFSET`] cycles ahead at select, so a tiny power-of-two
+/// ring suffices.
+const EXEC_WHEEL: usize = 4;
+
+/// Slots of the select wakeup wheel. Wakeup promises are almost always
+/// near-term (dispatch delay, ALU/L1 latencies, L2 and memory fills);
+/// anything beyond the horizon (deep memory-queue backpressure, or the
+/// "never" promise of a replayed producer) overflows into a tiny heap.
+const SEL_WHEEL: usize = 512;
+
+/// Absent register sentinel in the packed [`Slot`] fields.
+const NONE32: u32 = u32::MAX;
+
+// `Slot::flags` bits.
+const F_IN_IQ: u16 = 1 << 0;
+const F_ISSUED: u16 = 1 << 1;
+const F_EXEC_DONE: u16 = 1 << 2;
+const F_COMPLETED: u16 = 1 << 3;
+const F_ADDR_KNOWN: u16 = 1 << 4;
+const F_MISPRED: u16 = 1 << 5;
+const F_REEXEC_DONE: u16 = 1 << 6;
+const F_NEEDS_REEXEC: u16 = 1 << 7;
+const F_IN_LQ: u16 = 1 << 8;
+const F_IN_SQ: u16 = 1 << 9;
+const F_ELIMINATED: u16 = 1 << 10;
+
 #[derive(Clone, Copy, Debug)]
 struct Fetched {
-    d: DynInst,
+    seq: u64,
     rename_ready: u64,
     mispredicted: bool,
-    #[allow(dead_code)]
+    /// Instruction re-entered fetch from the squash-replay queue (counted
+    /// in [`SimStats::replay_renamed`] when it reaches rename).
     from_replay: bool,
 }
 
+/// A packed renamed source: physical register index (or [`NONE32`]) and
+/// RENO displacement.
+#[derive(Clone, Copy, Debug)]
+struct SrcP {
+    preg: u32,
+    disp: i32,
+}
+
+const NO_SRC: SrcP = SrcP {
+    preg: NONE32,
+    disp: 0,
+};
+
+/// The *hot* per-ROB-entry state: everything the per-cycle scheduler loops
+/// (retire's completion peek, select's eligibility exam, execute's guards
+/// and latency model) need, packed into a single cache line. The bulky
+/// [`DynInst`]/[`Renamed`] payloads live in the parallel [`SlotAux`] deque
+/// and are touched only at stage boundaries (rename, retire, squash, CPA).
+#[repr(C)]
 #[derive(Clone, Copy, Debug)]
 struct Slot {
-    d: DynInst,
+    seq: u64,
+    complete: u64,
+    exec_start: u64,
+    min_select: u64,
+    /// Store sequence this load must wait for (store-sets prediction);
+    /// `u64::MAX` = none.
+    ss_dep: u64,
+    mem_addr: u64,
+    srcs: [SrcP; 2],
+    /// Wakeup target: the physical destination of an *issued* instruction
+    /// ([`NONE32`] for eliminated instructions and for no destination).
+    dst_preg: u32,
+    /// The register the destination mapping replaced ([`NONE32`] if the
+    /// instruction has no destination): dereferenced at retirement without
+    /// touching the cold payload.
+    old_preg: u32,
+    flags: u16,
+    op: Opcode,
+}
+
+impl Slot {
+    #[inline]
+    fn has(&self, f: u16) -> bool {
+        self.flags & f != 0
+    }
+
+    #[inline]
+    fn set(&mut self, f: u16) {
+        self.flags |= f;
+    }
+
+    #[inline]
+    fn clear(&mut self, f: u16) {
+        self.flags &= !f;
+    }
+
+    /// The memory range `[addr, addr+width)` this load/store touches.
+    #[inline]
+    fn mem_range(&self) -> (u64, u64) {
+        let w = self.op.mem_width().map_or(0, |w| w.bytes());
+        (self.mem_addr, w)
+    }
+}
+
+/// Per-physical-register scheduler state, packed so the rename/wakeup/
+/// execute paths touch one cache line per register instead of four arrays.
+#[derive(Clone, Copy, Debug)]
+struct PregState {
+    /// Cycle from which consumers may be selected (`u64::MAX` = no promise).
+    ready_sel: u64,
+    /// Cycle the value completes (`u64::MAX` = unknown).
+    complete: u64,
+    /// The architectural value the producer writes (from the oracle).
+    val: i64,
+    /// Producing instruction's sequence number (for critical-path records).
+    producer: u64,
+}
+
+/// The cold half of a ROB entry (see [`Slot`]; the [`DynInst`] itself
+/// lives in the sequence-indexed `dyn_ring`).
+#[derive(Clone, Debug)]
+struct SlotAux {
     r: Renamed,
     rename_cycle: u64,
-    mispredicted: bool,
-    in_iq: bool,
-    issued: bool,
-    exec_start: u64,
-    exec_done: bool,
-    completed: bool,
-    complete: u64,
-    min_select: u64,
-    addr_known: bool,
     served: Option<ServedBy>,
-    /// Store sequence this load must wait for (store-sets prediction).
-    ss_dep: Option<u64>,
-    in_lq: bool,
-    in_sq: bool,
     /// Producer of the last-arriving source (for critical-path analysis).
     dep_seq: Option<u64>,
-    /// For integrated loads: pre-retirement re-execution has completed.
-    reexec_done: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -67,11 +161,6 @@ fn port_class(op: Opcode) -> PortClass {
     }
 }
 
-fn mem_range(d: &DynInst) -> (u64, u64) {
-    let w = d.inst.op.mem_width().map_or(0, |w| w.bytes());
-    (d.mem_addr, w)
-}
-
 fn ranges_overlap(a: (u64, u64), b: (u64, u64)) -> bool {
     a.0 < b.0 + b.1 && b.0 < a.0 + a.1
 }
@@ -81,13 +170,73 @@ fn covers(s: (u64, u64), l: (u64, u64)) -> bool {
     s.0 <= l.0 && l.0 + l.1 <= s.0 + s.1
 }
 
-/// The cycle-level out-of-order core. See the crate docs for the model and
-/// an end-to-end example.
+/// One entry of the (program-ordered) load or store queue. `addr`/`width`
+/// are fixed at dispatch (the oracle resolves addresses up front); `done`
+/// means "address generated" for stores and "execution completed" for
+/// loads — exactly the conditions the forwarding and violation scans test.
+#[derive(Clone, Copy, Debug)]
+struct LsqEntry {
+    seq: u64,
+    addr: u64,
+    width: u64,
+    done: bool,
+}
+
+/// Binary search over a program-ordered [`VecDeque`] of [`LsqEntry`]:
+/// index of the first entry with `seq >= bound`.
+fn lsq_lower_bound(q: &VecDeque<LsqEntry>, bound: u64) -> usize {
+    q.binary_search_by(|e| {
+        if e.seq < bound {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    })
+    .unwrap_err()
+}
+
+/// A small sorted set of sequence numbers (allocation-free in steady state;
+/// replaces a `HashSet<u64>` whose per-lookup hashing dominated rename).
+#[derive(Debug, Default)]
+struct SeqSet {
+    v: Vec<u64>,
+}
+
+impl SeqSet {
+    fn insert(&mut self, seq: u64) {
+        if let Err(i) = self.v.binary_search(&seq) {
+            self.v.insert(i, seq);
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> bool {
+        if self.v.is_empty() {
+            return false;
+        }
+        match self.v.binary_search(&seq) {
+            Ok(i) => {
+                self.v.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// The cycle-level out-of-order core. See the crate docs for the model, the
+/// event-driven scheduler, and an end-to-end example.
 pub struct Simulator<'p> {
     cfg: MachineConfig,
     oracle: Oracle<'p>,
     oracle_done: bool,
-    replay: VecDeque<DynInst>,
+    replay: VecDeque<u64>,
+    /// The dynamic instruction stream's in-flight window, indexed by
+    /// `seq & dyn_mask`: each [`DynInst`] is written once (at first fetch)
+    /// and read by every later stage, including squash replays — the ring
+    /// outlives fetch/ROB residency because the live window (ROB + fetch
+    /// buffer) is strictly smaller than the ring.
+    dyn_ring: Vec<DynInst>,
+    dyn_mask: u64,
 
     frontend: FrontEnd,
     fetch_buf: VecDeque<Fetched>,
@@ -96,19 +245,53 @@ pub struct Simulator<'p> {
     halt_seen: bool,
 
     reno: Reno,
+    /// Hot scheduling state, one compact entry per ROB slot.
     rob: VecDeque<Slot>,
+    /// Cold payloads, index-aligned with `rob`.
+    aux: VecDeque<SlotAux>,
     iq_count: usize,
     lq_count: usize,
     sq_count: usize,
 
-    preg_ready_sel: Vec<u64>,
-    preg_complete: Vec<u64>,
-    preg_val: Vec<i64>,
-    preg_producer: Vec<u64>,
+    /// Program-ordered load queue (ROB-resident, non-eliminated loads).
+    lq: VecDeque<LsqEntry>,
+    /// Program-ordered store queue (ROB-resident stores; the committed half
+    /// lives in `store_drain`).
+    sq: VecDeque<LsqEntry>,
+    /// Integrated loads awaiting pre-retirement re-execution, in program
+    /// order (replaces a whole-ROB scan per cycle).
+    reexec_queue: VecDeque<u64>,
+
+    pregs: Vec<PregState>,
+
+    // --- Event-driven scheduler state (unused when `cfg.naive_sched`) ---
+    /// Execution calendar: `exec_wheel[c % EXEC_WHEEL]` holds the sequence
+    /// numbers selected to begin execution at cycle `c`, in program order.
+    exec_wheel: [Vec<u64>; EXEC_WHEEL],
+    /// IQ entries whose wakeup promises have matured; examined (in program
+    /// order) by select every cycle. Sorted by sequence number.
+    iq_ready: Vec<u64>,
+    /// Near-term sleepers: `sel_wheel[c % SEL_WHEEL]` holds IQ entries whose
+    /// wakeup promise matures at cycle `c`.
+    sel_wheel: Vec<Vec<u64>>,
+    /// Sleepers beyond the wheel horizon: `(wake_at, seq)`. Almost always
+    /// empty; also parks never-selectable entries (`wake_at == u64::MAX`).
+    sel_far: BinaryHeap<Reverse<(u64, u64)>>,
+    /// IQ entries blocked on a register with no completion promise yet
+    /// (producer not selected): woken explicitly when it is.
+    preg_waiters: Vec<Vec<u64>>,
+    /// Scratch: consumers woken by this cycle's issues, filed after select.
+    woken: Vec<u64>,
+    /// Scratch for draining the wakeup structures on a reschedule.
+    resched_scratch: Vec<u64>,
+    /// A load completed *earlier* than its optimistic wakeup promised (MSHR
+    /// merge with an in-flight fill): sleeping promises may be stale, so
+    /// re-examine every pending entry this cycle.
+    resched_all: bool,
 
     mem: MemHierarchy,
     storesets: StoreSets,
-    suppress_integration: HashSet<u64>,
+    suppress_integration: SeqSet,
     /// Retired stores awaiting their D$ write (the store queue's committed
     /// half). Drained at `store_ports` per cycle; integrated-load
     /// re-execution shares the same port (paper §2.2).
@@ -132,8 +315,17 @@ impl<'p> Simulator<'p> {
     /// simulated (the oracle stops feeding after `fuel` instructions).
     pub fn with_fuel(program: &'p Program, cfg: MachineConfig, fuel: u64) -> Simulator<'p> {
         let total = cfg.reno.total_pregs;
-        let mut preg_val = vec![0i64; total];
-        preg_val[Reg::SP.index()] = STACK_TOP as i64;
+        let mut pregs = vec![
+            PregState {
+                ready_sel: 0,
+                complete: 0,
+                val: 0,
+                producer: u64::MAX,
+            };
+            total
+        ];
+        pregs[Reg::SP.index()].val = STACK_TOP as i64;
+        let dyn_ring_size = (cfg.rob_size + cfg.fetch_width * 4 + 2).next_power_of_two();
         Simulator {
             frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
             reno: Reno::new(cfg.reno),
@@ -142,19 +334,41 @@ impl<'p> Simulator<'p> {
             oracle: Oracle::new(program, fuel),
             oracle_done: false,
             replay: VecDeque::new(),
-            fetch_buf: VecDeque::new(),
+            dyn_ring: vec![
+                DynInst {
+                    seq: u64::MAX,
+                    pc: 0,
+                    inst: reno_isa::Inst::alu_ri(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0),
+                    next_pc: 0,
+                    taken: false,
+                    dst_val: 0,
+                    mem_addr: 0,
+                };
+                dyn_ring_size
+            ],
+            dyn_mask: dyn_ring_size as u64 - 1,
+            fetch_buf: VecDeque::with_capacity(cfg.fetch_width * 4 + 1),
             fetch_stalled_until: 0,
             waiting_branch: None,
             halt_seen: false,
             rob: VecDeque::with_capacity(cfg.rob_size),
+            aux: VecDeque::with_capacity(cfg.rob_size),
             iq_count: 0,
             lq_count: 0,
             sq_count: 0,
-            preg_ready_sel: vec![0; total],
-            preg_complete: vec![0; total],
-            preg_val,
-            preg_producer: vec![u64::MAX; total],
-            suppress_integration: HashSet::new(),
+            lq: VecDeque::with_capacity(cfg.lq_size),
+            sq: VecDeque::with_capacity(cfg.sq_size),
+            reexec_queue: VecDeque::new(),
+            pregs,
+            exec_wheel: std::array::from_fn(|_| Vec::with_capacity(cfg.issue_width)),
+            iq_ready: Vec::with_capacity(cfg.iq_size),
+            sel_wheel: vec![Vec::new(); SEL_WHEEL],
+            sel_far: BinaryHeap::with_capacity(cfg.iq_size),
+            preg_waiters: vec![Vec::new(); total],
+            woken: Vec::with_capacity(cfg.iq_size),
+            resched_scratch: Vec::with_capacity(2 * cfg.iq_size),
+            resched_all: false,
+            suppress_integration: SeqSet::default(),
             store_drain: VecDeque::new(),
             port_budget: 0,
             cycle: 0,
@@ -173,6 +387,7 @@ impl<'p> Simulator<'p> {
     ///
     /// Panics if the pipeline deadlocks (an internal invariant violation).
     pub fn run(mut self, max_cycles: u64) -> SimResult {
+        let naive = self.cfg.naive_sched;
         let mut last_progress = (0u64, 0u64);
         while !self.finished() && self.cycle < max_cycles {
             self.port_budget = self.cfg.store_ports;
@@ -182,8 +397,13 @@ impl<'p> Simulator<'p> {
             if self.finished() {
                 break;
             }
-            self.execute_stage();
-            self.select_stage();
+            if naive {
+                self.naive_execute_stage();
+                self.naive_select_stage();
+            } else {
+                self.execute_stage();
+                self.select_stage();
+            }
             self.rename_stage();
             self.fetch_stage();
             self.stats.iq_occ_sum += self.iq_count as u64;
@@ -220,35 +440,38 @@ impl<'p> Simulator<'p> {
     /// load and re-renames it with integration suppressed.
     fn reexec_stage(&mut self) {
         while self.port_budget > 0 {
-            let Some(idx) = self
-                .rob
-                .iter()
-                .position(|s| s.r.needs_load_reexec() && !s.reexec_done && s.completed)
-            else {
+            // Integrated loads are complete at rename, so the oldest pending
+            // candidate is simply the queue front (kept in program order;
+            // squashes trim it from the back).
+            let Some(&seq) = self.reexec_queue.front() else {
                 break;
             };
+            let idx = self
+                .rob_index_of_seq(seq)
+                .expect("re-exec candidates are ROB-resident");
             // The shared register's value must have been produced already.
-            let m = self.rob[idx]
+            let m = self.aux[idx]
                 .r
                 .dst
                 .expect("integrated load has a mapping")
                 .new;
-            if self.preg_complete[m.preg.index()] > self.cycle {
+            if self.pregs[m.preg.index()].complete > self.cycle {
                 break; // oldest pending re-exec still waits for its producer
             }
             self.port_budget -= 1;
-            let d = self.rob[idx].d;
-            let expected = self.preg_val[m.preg.index()].wrapping_add(m.disp as i64);
-            if expected != d.dst_val {
+            let mem_addr = self.rob[idx].mem_addr;
+            let expected = self.pregs[m.preg.index()].val.wrapping_add(m.disp as i64);
+            if expected != self.dyn_of(seq).dst_val {
                 self.stats.misintegrations += 1;
-                self.suppress_integration.insert(d.seq);
+                self.suppress_integration.insert(seq);
                 self.squash_from(idx, self.cycle + 1);
                 continue;
             }
             self.stats.reexec_loads += 1;
-            self.rob[idx].reexec_done = true;
+            self.rob[idx].set(F_REEXEC_DONE);
+            self.reexec_queue.pop_front();
             // The re-execution touches the cache like a normal access.
-            self.mem.access_data(d.mem_addr, self.cycle, false);
+            self.mem.access_data(mem_addr, self.cycle, false);
         }
     }
 
@@ -283,8 +506,13 @@ impl<'p> Simulator<'p> {
 
     // ------------------------------------------------------------- helpers
 
+    #[inline]
+    fn dyn_of(&self, seq: u64) -> &DynInst {
+        &self.dyn_ring[(seq & self.dyn_mask) as usize]
+    }
+
     fn rob_index_of_seq(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.d.seq;
+        let front = self.rob.front()?.seq;
         seq.checked_sub(front)
             .map(|i| i as usize)
             .filter(|&i| i < self.rob.len())
@@ -293,13 +521,13 @@ impl<'p> Simulator<'p> {
     /// Execution latency of a non-load instruction, including the §3.3
     /// fusion cost model for displaced inputs.
     fn exec_latency(&self, s: &Slot) -> u64 {
-        let op = s.d.inst.op;
+        let op = s.op;
         let base = match op.class() {
             OpClass::Mul => 3,
             _ => 1,
         };
-        let d0 = s.r.srcs[0].map_or(0, |x| x.disp);
-        let d1 = s.r.srcs[1].map_or(0, |x| x.disp);
+        let d0 = s.srcs[0].disp;
+        let d1 = s.srcs[1].disp;
         let fused = d0 != 0 || d1 != 0;
         if !fused {
             return base;
@@ -332,43 +560,44 @@ impl<'p> Simulator<'p> {
     /// base. Normally zero (3-input AGU adders / sum-addressed caches); the
     /// §3.3 ablation charges one cycle for every fused operation.
     fn agen_fuse_penalty(&self, s: &Slot) -> u64 {
-        let fused = s.r.srcs.iter().flatten().any(|x| x.disp != 0);
+        let fused = s.srcs[0].disp != 0 || s.srcs[1].disp != 0;
         u64::from(fused && self.cfg.fused_extra_cycle)
     }
 
     fn squash_from(&mut self, rob_idx: usize, refetch_at: u64) {
-        let first_seq = self.rob[rob_idx].d.seq;
-        let mut squashed: Vec<DynInst> = Vec::new();
+        let first_seq = self.rob[rob_idx].seq;
+        // Fetch-buffered instructions replay *after* the squashed ROB slots:
+        // push them first, back to front, so the ROB slots land in front of
+        // them at the head of the replay queue.
+        while let Some(f) = self.fetch_buf.pop_back() {
+            self.replay.push_front(f.seq);
+        }
+        while matches!(self.reexec_queue.back(), Some(&s) if s >= first_seq) {
+            self.reexec_queue.pop_back();
+        }
         while self.rob.len() > rob_idx {
             let slot = self.rob.pop_back().expect("len checked");
-            self.reno.rollback(&slot.r);
-            if slot.in_iq {
+            let aux = self.aux.pop_back().expect("aux is index-aligned");
+            self.reno.rollback(&aux.r);
+            self.replay.push_front(slot.seq);
+            if slot.has(F_IN_IQ) {
                 self.iq_count -= 1;
             }
-            if slot.in_lq {
+            if slot.has(F_IN_LQ) {
                 self.lq_count -= 1;
+                self.lq.pop_back();
             }
-            if slot.in_sq {
+            if slot.has(F_IN_SQ) {
                 self.sq_count -= 1;
+                self.sq.pop_back();
             }
             // Kill stale wakeup state for the squashed destination.
-            if let Some(dst) = slot.r.dst {
-                if slot.r.kind == reno_core::RenamedKind::Issued {
-                    let p = dst.new.preg.index();
-                    self.preg_ready_sel[p] = u64::MAX;
-                    self.preg_complete[p] = u64::MAX;
-                }
+            if slot.dst_preg != NONE32 {
+                let pr = &mut self.pregs[slot.dst_preg as usize];
+                pr.ready_sel = u64::MAX;
+                pr.complete = u64::MAX;
             }
-            squashed.push(slot.d);
             self.stats.squashed += 1;
-        }
-        squashed.reverse();
-        let buffered: Vec<DynInst> = self.fetch_buf.drain(..).map(|f| f.d).collect();
-        for d in buffered.into_iter().rev() {
-            self.replay.push_front(d);
-        }
-        for d in squashed.into_iter().rev() {
-            self.replay.push_front(d);
         }
         self.storesets.squash_from(first_seq);
         if matches!(self.waiting_branch, Some(wb) if wb >= first_seq) {
@@ -384,52 +613,63 @@ impl<'p> Simulator<'p> {
         let mut n = 0;
         while n < self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
-            if !head.completed || head.complete + COMPLETE_TO_RETIRE > self.cycle {
+            if !head.has(F_COMPLETED) || head.complete + COMPLETE_TO_RETIRE > self.cycle {
                 break;
             }
-            let is_store = head.d.inst.op.is_store();
-            let needs_reexec = head.r.needs_load_reexec();
+            let is_store = head.op.is_store();
 
-            if needs_reexec {
+            if head.has(F_NEEDS_REEXEC) {
                 // Integrated loads retire only after their pre-retirement
                 // re-execution has verified the shared value (reexec_stage).
-                if !head.reexec_done {
+                if !head.has(F_REEXEC_DONE) {
                     break;
                 }
             } else if is_store {
                 // The store retires into the committed half of the store
                 // queue and drains to the D$ in the background; its SQ entry
                 // is released at drain time.
-                self.store_drain.push_back(head.d.mem_addr);
+                self.store_drain.push_back(head.mem_addr);
             }
 
             let head = self.rob.pop_front().expect("nonempty");
-            self.reno.retire(&head.r);
-            if head.in_lq {
-                self.lq_count -= 1;
+            if head.old_preg != NONE32 {
+                self.reno
+                    .retire_old(reno_core::PhysReg(head.old_preg as u16));
             }
-            if head.in_sq && !is_store {
-                self.sq_count -= 1;
+            if head.has(F_IN_LQ) {
+                self.lq_count -= 1;
+                self.lq.pop_front();
+            }
+            if head.has(F_IN_SQ) {
+                // The scan-side SQ entry leaves with the ROB slot; the
+                // occupancy count (`sq_count`) is released at drain time.
+                self.sq.pop_front();
             }
 
             if self.cfg.collect_cpa {
-                self.record_cpa(&head);
+                let aux = self.aux.front().expect("aux is index-aligned").clone();
+                self.record_cpa(&head, &aux);
             }
+            self.aux.pop_front();
 
             self.retired += 1;
             n += 1;
-            if head.d.inst.op == Opcode::Halt {
+            if head.op == Opcode::Halt {
                 self.halt_retired = true;
                 break;
             }
         }
     }
 
-    fn record_cpa(&mut self, s: &Slot) {
-        let dispatch = s.rename_cycle + RENAME_TO_DISPATCH;
-        let (complete, dep, bucket) = if s.r.is_eliminated() {
-            let m = s.r.dst.expect("eliminated instructions have mappings").new;
-            let pc = self.preg_complete[m.preg.index()];
+    fn record_cpa(&mut self, s: &Slot, aux: &SlotAux) {
+        let dispatch = aux.rename_cycle + RENAME_TO_DISPATCH;
+        let (complete, dep, bucket) = if s.has(F_ELIMINATED) {
+            let m = aux
+                .r
+                .dst
+                .expect("eliminated instructions have mappings")
+                .new;
+            let pc = self.pregs[m.preg.index()].complete;
             let complete = if pc == u64::MAX {
                 dispatch
             } else {
@@ -437,44 +677,71 @@ impl<'p> Simulator<'p> {
             };
             (
                 complete,
-                Some(self.preg_producer[m.preg.index()]),
+                Some(self.pregs[m.preg.index()].producer),
                 Bucket::AluExec,
             )
         } else {
-            let bucket = match s.served {
+            let bucket = match aux.served {
                 Some(ServedBy::Mem) => Bucket::LoadMem,
                 Some(_) => Bucket::LoadExec,
                 None => Bucket::AluExec,
             };
-            (s.complete.max(dispatch), s.dep_seq, bucket)
+            (s.complete.max(dispatch), aux.dep_seq, bucket)
         };
         self.cpa.push(InstRecord {
-            seq: s.d.seq,
+            seq: s.seq,
             dispatch,
             complete,
             commit: self.cycle,
             dep: dep.filter(|&d| d != u64::MAX),
             bucket,
-            redirect: s.mispredicted,
+            redirect: s.has(F_MISPRED),
         });
     }
 
     // ------------------------------------------------------------- execute
 
+    /// Event-driven execute: drain this cycle's calendar slot. Events were
+    /// pushed in program order at select, [`EXE_OFFSET`] cycles ago; stale
+    /// events (squashed or replayed instructions) fail the guards and fall
+    /// through, exactly like the naive scan's re-validation.
     fn execute_stage(&mut self) {
+        let b = (self.cycle % EXEC_WHEEL as u64) as usize;
+        if self.exec_wheel[b].is_empty() {
+            return;
+        }
+        let mut bucket = std::mem::take(&mut self.exec_wheel[b]);
+        for &seq in &bucket {
+            let Some(idx) = self.rob_index_of_seq(seq) else {
+                continue; // squashed since selection
+            };
+            let s = &self.rob[idx];
+            if !s.has(F_ISSUED) || s.has(F_EXEC_DONE) || s.exec_start != self.cycle {
+                continue; // replayed, or a stale event for a re-renamed seq
+            }
+            self.execute_one(idx);
+        }
+        bucket.clear();
+        self.exec_wheel[b] = bucket;
+    }
+
+    /// Reference implementation: whole-ROB polling, kept (behind
+    /// [`MachineConfig::naive_sched`]) as the differential-testing baseline
+    /// for the event-driven scheduler.
+    fn naive_execute_stage(&mut self) {
         // Gather this cycle's executers in program order; look them up by
         // sequence number because a violation squash may shift indices.
         let seqs: Vec<u64> = self
             .rob
             .iter()
-            .filter(|s| s.issued && !s.exec_done && s.exec_start == self.cycle)
-            .map(|s| s.d.seq)
+            .filter(|s| s.has(F_ISSUED) && !s.has(F_EXEC_DONE) && s.exec_start == self.cycle)
+            .map(|s| s.seq)
             .collect();
         for seq in seqs {
             let Some(idx) = self.rob_index_of_seq(seq) else {
                 continue;
             };
-            if !self.rob[idx].issued || self.rob[idx].exec_done {
+            if !self.rob[idx].has(F_ISSUED) || self.rob[idx].has(F_EXEC_DONE) {
                 continue; // replayed or squashed meanwhile
             }
             self.execute_one(idx);
@@ -482,46 +749,55 @@ impl<'p> Simulator<'p> {
     }
 
     fn execute_one(&mut self, idx: usize) {
-        let s = self.rob[idx];
-        let exec_start = s.exec_start;
+        let (exec_start, srcs, op, seq) = {
+            let s = &self.rob[idx];
+            (s.exec_start, s.srcs, s.op, s.seq)
+        };
 
         // Verify operand availability (load-hit speculation check): any
         // source whose value is not actually ready forces a scheduler replay.
         let mut worst_ready = 0u64;
         let mut not_ready = false;
-        for src in s.r.srcs.iter().flatten() {
-            let p = src.preg.index();
-            if self.preg_complete[p] > exec_start {
+        for src in &srcs {
+            if src.preg == NONE32 {
+                continue;
+            }
+            let pr = &self.pregs[src.preg as usize];
+            if pr.complete > exec_start {
                 not_ready = true;
             }
-            worst_ready = worst_ready.max(self.preg_ready_sel[p]);
+            worst_ready = worst_ready.max(pr.ready_sel);
         }
         if not_ready {
             self.stats.replays += 1;
-            let slot = &mut self.rob[idx];
-            slot.issued = false;
-            slot.in_iq = true;
-            self.iq_count += 1;
             let min_sel = worst_ready.max(self.cycle + 1);
             let slot = &mut self.rob[idx];
+            slot.clear(F_ISSUED);
+            slot.set(F_IN_IQ);
             slot.min_select = min_sel;
-            if let Some(d) = slot.r.dst {
-                self.preg_ready_sel[d.new.preg.index()] = u64::MAX;
-                self.preg_complete[d.new.preg.index()] = u64::MAX;
+            let dst = slot.dst_preg;
+            self.iq_count += 1;
+            if dst != NONE32 {
+                let pr = &mut self.pregs[dst as usize];
+                pr.ready_sel = u64::MAX;
+                pr.complete = u64::MAX;
+            }
+            if !self.cfg.naive_sched {
+                self.file_iq(seq);
             }
             return;
         }
 
         // Record the last-arriving input's producer for CPA.
-        let dep_seq =
-            s.r.srcs
+        if self.cfg.collect_cpa {
+            let dep_seq = srcs
                 .iter()
-                .flatten()
-                .max_by_key(|src| self.preg_complete[src.preg.index()])
-                .map(|src| self.preg_producer[src.preg.index()]);
-        self.rob[idx].dep_seq = dep_seq;
+                .filter(|src| src.preg != NONE32)
+                .max_by_key(|src| self.pregs[src.preg as usize].complete)
+                .map(|src| self.pregs[src.preg as usize].producer);
+            self.aux[idx].dep_seq = dep_seq;
+        }
 
-        let op = s.d.inst.op;
         match op.class() {
             OpClass::Load => self.execute_load(idx),
             OpClass::Store => self.execute_store(idx),
@@ -530,9 +806,8 @@ impl<'p> Simulator<'p> {
                 let complete = exec_start + lat - 1;
                 let slot = &mut self.rob[idx];
                 slot.complete = complete;
-                slot.completed = true;
-                slot.exec_done = true;
-                if slot.mispredicted {
+                slot.set(F_COMPLETED | F_EXEC_DONE);
+                if slot.has(F_MISPRED) {
                     // Branch resolves: fetch restarts down the correct path.
                     self.fetch_stalled_until = self.fetch_stalled_until.max(complete + 1);
                     self.waiting_branch = None;
@@ -541,26 +816,116 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Store-to-load forwarding candidate for the load at `idx`: the
+    /// youngest older store with a known, overlapping address. Returns the
+    /// store's ROB index and whether it fully covers the load.
+    fn find_forward(&self, idx: usize, lrange: (u64, u64)) -> Option<(usize, bool)> {
+        if self.cfg.naive_sched {
+            for j in (0..idx).rev() {
+                let st = &self.rob[j];
+                if st.op.is_store() && st.has(F_ADDR_KNOWN) {
+                    let srange = st.mem_range();
+                    if ranges_overlap(srange, lrange) {
+                        return Some((j, covers(srange, lrange)));
+                    }
+                }
+            }
+            return None;
+        }
+        // Indexed path: walk only the (program-ordered) store queue.
+        let lseq = self.rob[idx].seq;
+        let end = lsq_lower_bound(&self.sq, lseq);
+        for k in (0..end).rev() {
+            let e = self.sq[k];
+            if e.done && ranges_overlap((e.addr, e.width), lrange) {
+                let j = self
+                    .rob_index_of_seq(e.seq)
+                    .expect("SQ entries are ROB-resident");
+                return Some((j, covers((e.addr, e.width), lrange)));
+            }
+        }
+        None
+    }
+
+    /// Memory-ordering violation candidate for the store at `idx`: the
+    /// oldest younger load that already executed with an overlapping
+    /// address and was not satisfied by an intervening store.
+    fn find_violation(&self, idx: usize, srange: (u64, u64)) -> Option<usize> {
+        if self.cfg.naive_sched {
+            'outer: for j in idx + 1..self.rob.len() {
+                let ld = &self.rob[j];
+                if !ld.op.is_load() || !ld.has(F_EXEC_DONE) || ld.has(F_ELIMINATED) {
+                    continue;
+                }
+                let lrange = ld.mem_range();
+                if !ranges_overlap(srange, lrange) {
+                    continue;
+                }
+                // Did an even younger (but still older-than-load) store
+                // satisfy it?
+                for k in (idx + 1..j).rev() {
+                    let mid = &self.rob[k];
+                    if mid.op.is_store()
+                        && mid.has(F_ADDR_KNOWN)
+                        && ranges_overlap(mid.mem_range(), lrange)
+                    {
+                        continue 'outer;
+                    }
+                }
+                return Some(j);
+            }
+            return None;
+        }
+        // Indexed path: younger executed loads from the LQ, intervening
+        // stores from the SQ.
+        let sseq = self.rob[idx].seq;
+        let lstart = lsq_lower_bound(&self.lq, sseq + 1);
+        'outer2: for k in lstart..self.lq.len() {
+            let le = self.lq[k];
+            if !le.done || !ranges_overlap(srange, (le.addr, le.width)) {
+                continue;
+            }
+            let lrange = (le.addr, le.width);
+            let sq_lo = lsq_lower_bound(&self.sq, sseq + 1);
+            let sq_hi = lsq_lower_bound(&self.sq, le.seq);
+            for m in (sq_lo..sq_hi).rev() {
+                let me = self.sq[m];
+                if me.done && ranges_overlap((me.addr, me.width), lrange) {
+                    continue 'outer2;
+                }
+            }
+            return Some(
+                self.rob_index_of_seq(le.seq)
+                    .expect("LQ entries are ROB-resident"),
+            );
+        }
+        None
+    }
+
+    /// Marks the LSQ mirror of `seq` done (store address generated / load
+    /// executed).
+    fn lsq_mark_done(q: &mut VecDeque<LsqEntry>, seq: u64) {
+        let i = lsq_lower_bound(q, seq);
+        debug_assert!(i < q.len() && q[i].seq == seq, "LSQ entry exists");
+        q[i].done = true;
+    }
+
     fn execute_load(&mut self, idx: usize) {
-        let s = self.rob[idx];
-        let exec_start = s.exec_start;
-        let lrange = mem_range(&s.d);
+        let (exec_start, seq, mem_addr, lrange, agen_pen) = {
+            let s = &self.rob[idx];
+            (
+                s.exec_start,
+                s.seq,
+                s.mem_addr,
+                s.mem_range(),
+                self.agen_fuse_penalty(s),
+            )
+        };
 
         // Store-to-load forwarding: youngest older store with a known,
         // overlapping address.
-        let mut forward: Option<(usize, bool)> = None; // (index, covers)
-        for j in (0..idx).rev() {
-            let st = &self.rob[j];
-            if st.d.inst.op.is_store() && st.addr_known {
-                let srange = mem_range(&st.d);
-                if ranges_overlap(srange, lrange) {
-                    forward = Some((j, covers(srange, lrange)));
-                    break;
-                }
-            }
-        }
+        let forward = self.find_forward(idx, lrange);
 
-        let agen_pen = self.agen_fuse_penalty(&s);
         let hit_complete = exec_start + agen_pen + self.cfg.hier.l1d.hit_latency;
         let (complete, served) = match forward {
             Some((_, true)) => {
@@ -570,95 +935,286 @@ impl<'p> Simulator<'p> {
             Some((j, false)) => {
                 // Partial overlap: wait for the store to leave the window,
                 // modelled as a retry after the store's expected retirement.
-                let st_complete = if self.rob[j].completed {
+                let st_complete = if self.rob[j].has(F_COMPLETED) {
                     self.rob[j].complete
                 } else {
                     self.cycle + 8
                 };
                 let retry = st_complete + COMPLETE_TO_RETIRE + 1;
                 let slot = &mut self.rob[idx];
-                slot.issued = false;
-                slot.in_iq = true;
-                self.iq_count += 1;
+                slot.clear(F_ISSUED);
+                slot.set(F_IN_IQ);
                 slot.min_select = retry.max(self.cycle + 1);
-                if let Some(d) = slot.r.dst {
-                    self.preg_ready_sel[d.new.preg.index()] = u64::MAX;
-                    self.preg_complete[d.new.preg.index()] = u64::MAX;
+                let dst = slot.dst_preg;
+                self.iq_count += 1;
+                if dst != NONE32 {
+                    let pr = &mut self.pregs[dst as usize];
+                    pr.ready_sel = u64::MAX;
+                    pr.complete = u64::MAX;
                 }
                 self.stats.replays += 1;
+                if !self.cfg.naive_sched {
+                    self.file_iq(seq);
+                }
                 return;
             }
             None => {
-                let (done, served) =
-                    self.mem
-                        .access_data(s.d.mem_addr, exec_start + agen_pen, false);
+                let (done, served) = self.mem.access_data(mem_addr, exec_start + agen_pen, false);
                 (done, served)
             }
         };
 
         let slot = &mut self.rob[idx];
         slot.complete = complete;
-        slot.completed = true;
-        slot.exec_done = true;
-        slot.addr_known = true;
-        slot.served = Some(served);
-        if let Some(d) = slot.r.dst {
-            let p = d.new.preg.index();
-            self.preg_complete[p] = complete;
-            self.preg_ready_sel[p] = self.consumer_ready_from_complete(complete);
+        slot.set(F_COMPLETED | F_EXEC_DONE | F_ADDR_KNOWN);
+        let dst = slot.dst_preg;
+        if self.cfg.collect_cpa {
+            self.aux[idx].served = Some(served);
         }
+        if dst != NONE32 {
+            let ready = self.consumer_ready_from_complete(complete);
+            let pr = &mut self.pregs[dst as usize];
+            if !self.cfg.naive_sched && ready < pr.ready_sel {
+                // The load beat its optimistic hit wakeup (MSHR merge with
+                // an in-flight fill): sleeping consumers hold stale promises.
+                self.resched_all = true;
+            }
+            pr.complete = complete;
+            pr.ready_sel = ready;
+        }
+        Self::lsq_mark_done(&mut self.lq, seq);
     }
 
     fn execute_store(&mut self, idx: usize) {
-        let s = self.rob[idx];
-        let agen_pen = self.agen_fuse_penalty(&s);
-        {
+        let (seq, srange) = {
+            let s = &self.rob[idx];
+            let agen_pen = self.agen_fuse_penalty(s);
+            let complete = s.exec_start + agen_pen;
+            let (seq, srange) = (s.seq, s.mem_range());
             let slot = &mut self.rob[idx];
-            slot.complete = s.exec_start + agen_pen;
-            slot.completed = true;
-            slot.exec_done = true;
-            slot.addr_known = true;
-        }
-        self.storesets.store_executed(s.d.pc as u64, s.d.seq);
+            slot.complete = complete;
+            slot.set(F_COMPLETED | F_EXEC_DONE | F_ADDR_KNOWN);
+            (seq, srange)
+        };
+        let pc = self.dyn_of(seq).pc;
+        Self::lsq_mark_done(&mut self.sq, seq);
+        self.storesets.store_executed(pc as u64, seq);
 
         // Memory-ordering violation check: a younger load already executed
         // with an overlapping address, whose youngest older known store is
         // this one, read stale data.
-        let srange = mem_range(&s.d);
-        let mut violate: Option<usize> = None;
-        'outer: for j in idx + 1..self.rob.len() {
-            let ld = &self.rob[j];
-            if !ld.d.inst.op.is_load() || !ld.exec_done || ld.r.is_eliminated() {
-                continue;
-            }
-            let lrange = mem_range(&ld.d);
-            if !ranges_overlap(srange, lrange) {
-                continue;
-            }
-            // Did an even younger (but still older-than-load) store satisfy it?
-            for k in (idx + 1..j).rev() {
-                let mid = &self.rob[k];
-                if mid.d.inst.op.is_store()
-                    && mid.addr_known
-                    && ranges_overlap(mem_range(&mid.d), lrange)
-                {
-                    continue 'outer;
-                }
-            }
-            violate = Some(j);
-            break;
-        }
-        if let Some(j) = violate {
+        if let Some(j) = self.find_violation(idx, srange) {
             self.stats.violations += 1;
             self.storesets
-                .train_violation(self.rob[j].d.pc as u64, s.d.pc as u64);
+                .train_violation(self.dyn_of(self.rob[j].seq).pc as u64, pc as u64);
             self.squash_from(j, self.cycle + 1);
         }
     }
 
     // ------------------------------------------------------------- select
 
+    /// Files the IQ entry `seq` into the scheduler's wakeup structures
+    /// according to its current readiness:
+    ///
+    /// * a source register with no completion promise (`u64::MAX`) parks it
+    ///   in that register's waiter list until the producer issues;
+    /// * a known future wakeup time parks it in the wakeup wheel (or the
+    ///   far heap beyond the horizon);
+    /// * otherwise it joins the ready list, examined by select this cycle.
+    fn file_iq(&mut self, seq: u64) {
+        let Some(idx) = self.rob_index_of_seq(seq) else {
+            return;
+        };
+        let s = &self.rob[idx];
+        if !s.has(F_IN_IQ) || s.has(F_ISSUED) {
+            return;
+        }
+        let mut wake = s.min_select;
+        for src in s.srcs {
+            if src.preg == NONE32 {
+                continue;
+            }
+            let p = src.preg as usize;
+            let r = self.pregs[p].ready_sel;
+            if r == u64::MAX {
+                if !self.preg_waiters[p].contains(&seq) {
+                    self.preg_waiters[p].push(seq);
+                }
+                return;
+            }
+            wake = wake.max(r);
+        }
+        if wake > self.cycle {
+            self.park(wake, seq);
+        } else {
+            self.promote(seq);
+        }
+    }
+
+    /// Parks a sleeping IQ entry until cycle `wake` (> the current cycle):
+    /// near-term promises go to the wakeup wheel, the rest to the far heap.
+    fn park(&mut self, wake: u64, seq: u64) {
+        if wake - self.cycle < SEL_WHEEL as u64 {
+            self.sel_wheel[(wake % SEL_WHEEL as u64) as usize].push(seq);
+        } else {
+            self.sel_far.push(Reverse((wake, seq)));
+        }
+    }
+
+    /// Moves a matured sleeper straight into the ready list; the select exam
+    /// performs the authoritative eligibility check (and re-parks or drops
+    /// entries whose state moved since they were scheduled), so no slot
+    /// access is needed here.
+    fn promote(&mut self, seq: u64) {
+        if !self.iq_ready.contains(&seq) {
+            let pos = self.iq_ready.partition_point(|&x| x < seq);
+            self.iq_ready.insert(pos, seq);
+        }
+    }
+
+    /// Event-driven select: examine only IQ entries whose wakeup promises
+    /// have matured, in program order, applying exactly the eligibility
+    /// rules of [`Simulator::naive_select_stage`].
     fn select_stage(&mut self) {
+        // Promote matured sleepers into the ready list. On a reschedule
+        // event (a load completing earlier than promised), re-file every
+        // sleeper from its current state.
+        if self.resched_all {
+            self.resched_all = false;
+            for b in 0..SEL_WHEEL {
+                self.resched_scratch.append(&mut self.sel_wheel[b]);
+            }
+            while let Some(Reverse((_, seq))) = self.sel_far.pop() {
+                self.resched_scratch.push(seq);
+            }
+            while let Some(seq) = self.resched_scratch.pop() {
+                self.file_iq(seq);
+            }
+        }
+        let b = (self.cycle % SEL_WHEEL as u64) as usize;
+        if !self.sel_wheel[b].is_empty() {
+            let mut bucket = std::mem::take(&mut self.sel_wheel[b]);
+            for &seq in &bucket {
+                self.promote(seq);
+            }
+            bucket.clear();
+            self.sel_wheel[b] = bucket;
+        }
+        while let Some(&Reverse((at, seq))) = self.sel_far.peek() {
+            if at > self.cycle {
+                break;
+            }
+            self.sel_far.pop();
+            self.promote(seq);
+        }
+
+        if self.iq_ready.is_empty() {
+            return;
+        }
+        let mut total = self.cfg.issue_width;
+        let mut alu = self.cfg.alu_ports;
+        let mut load = self.cfg.load_ports;
+        let mut store = self.cfg.store_ports;
+
+        // Examine ready entries oldest-first. Entries stay in the list only
+        // while they remain selectable-but-blocked (port or store-set
+        // contention, or issue width exhausted); everything else is dropped
+        // or re-filed where it now belongs.
+        let mut ready = std::mem::take(&mut self.iq_ready);
+        let mut kept = 0;
+        for i in 0..ready.len() {
+            let seq = ready[i];
+            let mut keep = false;
+            'exam: {
+                let Some(ridx) = self.rob_index_of_seq(seq) else {
+                    break 'exam; // squashed
+                };
+                let s = &self.rob[ridx];
+                if !s.has(F_IN_IQ) || s.has(F_ISSUED) {
+                    break 'exam;
+                }
+                // Re-derive the wakeup time: a producer replay since filing
+                // may have withdrawn or postponed a completion promise.
+                let mut wake = s.min_select;
+                let mut blocked = None;
+                for src in s.srcs {
+                    if src.preg == NONE32 {
+                        continue;
+                    }
+                    let p = src.preg as usize;
+                    let r = self.pregs[p].ready_sel;
+                    if r == u64::MAX {
+                        blocked = Some(p);
+                        break;
+                    }
+                    wake = wake.max(r);
+                }
+                if let Some(p) = blocked {
+                    if !self.preg_waiters[p].contains(&seq) {
+                        self.preg_waiters[p].push(seq);
+                    }
+                    break 'exam;
+                }
+                if wake > self.cycle {
+                    self.park(wake, seq);
+                    break 'exam;
+                }
+                // Selectable this cycle, modulo structural constraints.
+                keep = true;
+                if total == 0 {
+                    break 'exam;
+                }
+                let pc_class = port_class(s.op);
+                let port_free = match pc_class {
+                    PortClass::Alu => alu > 0,
+                    PortClass::Load => load > 0,
+                    PortClass::Store => store > 0,
+                };
+                if !port_free {
+                    break 'exam;
+                }
+                // Store-sets: a load predicted to conflict waits until the
+                // offending store's address is known.
+                if s.ss_dep != u64::MAX {
+                    if let Some(sidx) = self.rob_index_of_seq(s.ss_dep) {
+                        if !self.rob[sidx].has(F_ADDR_KNOWN) {
+                            break 'exam;
+                        }
+                    }
+                }
+                total -= 1;
+                match pc_class {
+                    PortClass::Alu => alu -= 1,
+                    PortClass::Load => load -= 1,
+                    PortClass::Store => store -= 1,
+                }
+                self.issue_at(ridx);
+                keep = false;
+            }
+            if keep {
+                ready[kept] = seq;
+                kept += 1;
+            }
+        }
+        ready.truncate(kept);
+        self.iq_ready = ready;
+
+        // Consumers woken by this cycle's issues become selectable at the
+        // earliest next cycle: file them into the wakeup structures.
+        if !self.woken.is_empty() {
+            let mut woken = std::mem::take(&mut self.woken);
+            for &seq in &woken {
+                self.file_iq(seq);
+            }
+            woken.clear();
+            self.woken = woken;
+        }
+    }
+
+    /// Reference implementation of select: scan the whole ROB oldest-first.
+    /// Kept (behind [`MachineConfig::naive_sched`]) as the
+    /// differential-testing baseline for the event-driven scheduler.
+    fn naive_select_stage(&mut self) {
         let mut total = self.cfg.issue_width;
         let mut alu = self.cfg.alu_ports;
         let mut load = self.cfg.load_ports;
@@ -669,10 +1225,10 @@ impl<'p> Simulator<'p> {
                 break;
             }
             let s = &self.rob[i];
-            if !s.in_iq || s.issued || s.min_select > self.cycle {
+            if !s.has(F_IN_IQ) || s.has(F_ISSUED) || s.min_select > self.cycle {
                 continue;
             }
-            let pc_class = port_class(s.d.inst.op);
+            let pc_class = port_class(s.op);
             let port_free = match pc_class {
                 PortClass::Alu => alu > 0,
                 PortClass::Load => load > 0,
@@ -682,57 +1238,71 @@ impl<'p> Simulator<'p> {
                 continue;
             }
             // All register sources must have been woken.
-            let ready =
-                s.r.srcs
-                    .iter()
-                    .flatten()
-                    .all(|src| self.preg_ready_sel[src.preg.index()] <= self.cycle);
+            let ready = s
+                .srcs
+                .iter()
+                .filter(|src| src.preg != NONE32)
+                .all(|src| self.pregs[src.preg as usize].ready_sel <= self.cycle);
             if !ready {
                 continue;
             }
             // Store-sets: a load predicted to conflict waits until the
             // offending store's address is known.
-            if let Some(dep) = s.ss_dep {
-                if let Some(sidx) = self.rob_index_of_seq(dep) {
-                    if !self.rob[sidx].addr_known {
+            if s.ss_dep != u64::MAX {
+                if let Some(sidx) = self.rob_index_of_seq(s.ss_dep) {
+                    if !self.rob[sidx].has(F_ADDR_KNOWN) {
                         continue;
                     }
                 }
             }
-
-            // Select.
-            self.stats.issued += 1;
             total -= 1;
             match pc_class {
                 PortClass::Alu => alu -= 1,
                 PortClass::Load => load -= 1,
                 PortClass::Store => store -= 1,
             }
-            let exec_start = self.cycle + EXE_OFFSET;
-            let agen_pen = self.agen_fuse_penalty(&self.rob[i]);
-            let (dst, optimistic) = {
-                let slot = &mut self.rob[i];
-                slot.issued = true;
-                slot.in_iq = false;
-                slot.exec_start = exec_start;
-                let optimistic = match slot.d.inst.op.class() {
-                    OpClass::Load => Some(exec_start + agen_pen + self.cfg.hier.l1d.hit_latency),
-                    OpClass::Store => None,
-                    _ => None,
-                };
-                (slot.r.dst, optimistic)
-            };
-            self.iq_count -= 1;
+            self.issue_at(i);
+        }
+    }
 
-            if let Some(d) = dst {
-                let p = d.new.preg.index();
-                let complete = match optimistic {
-                    Some(c) => c, // load: speculative hit wakeup
-                    None => exec_start + self.exec_latency(&self.rob[i]) - 1,
-                };
-                self.preg_complete[p] = complete;
-                self.preg_ready_sel[p] = self.consumer_ready_from_complete(complete);
+    /// Issues the IQ entry at ROB index `i`: shared by both scheduler
+    /// implementations so the slot updates, the wakeup broadcast, and the
+    /// speculative load-hit promise stay identical between them.
+    fn issue_at(&mut self, i: usize) {
+        self.stats.issued += 1;
+        let exec_start = self.cycle + EXE_OFFSET;
+        let (seq, dst, complete) = {
+            let agen_pen = self.agen_fuse_penalty(&self.rob[i]);
+            let lat = match self.rob[i].op.class() {
+                // Load: speculative hit wakeup.
+                OpClass::Load => agen_pen + self.cfg.hier.l1d.hit_latency + 1,
+                _ => self.exec_latency(&self.rob[i]),
+            };
+            let slot = &mut self.rob[i];
+            slot.set(F_ISSUED);
+            slot.clear(F_IN_IQ);
+            slot.exec_start = exec_start;
+            (slot.seq, slot.dst_preg, exec_start + lat - 1)
+        };
+        self.iq_count -= 1;
+
+        if dst != NONE32 {
+            let p = dst as usize;
+            let ready = self.consumer_ready_from_complete(complete);
+            let pr = &mut self.pregs[p];
+            pr.complete = complete;
+            pr.ready_sel = ready;
+            if !self.cfg.naive_sched {
+                // The register's promise went from "unknown" to a concrete
+                // cycle: wake consumers parked on it.
+                let waiters = &mut self.preg_waiters[p];
+                if !waiters.is_empty() {
+                    self.woken.append(waiters);
+                }
             }
+        }
+        if !self.cfg.naive_sched {
+            self.exec_wheel[(exec_start % EXEC_WHEEL as u64) as usize].push(seq);
         }
     }
 
@@ -756,20 +1326,21 @@ impl<'p> Simulator<'p> {
                 break;
             }
             let f = *front;
-            let suppressed = self.suppress_integration.remove(&f.d.seq);
-            let renamed = match self.reno.rename_with(f.d.pc as u64, f.d.inst, !suppressed) {
+            let d = self.dyn_ring[(f.seq & self.dyn_mask) as usize];
+            let suppressed = self.suppress_integration.remove(f.seq);
+            let renamed = match self.reno.rename_with(d.pc as u64, d.inst, !suppressed) {
                 Ok(r) => r,
                 Err(_) => {
                     if suppressed {
-                        self.suppress_integration.insert(f.d.seq);
+                        self.suppress_integration.insert(f.seq);
                     }
                     self.stats.preg_stall_cycles += u64::from(n == 0);
                     break; // out of physical registers: stall
                 }
             };
 
-            let is_load = f.d.inst.op.is_load();
-            let is_store = f.d.inst.op.is_store();
+            let is_load = d.inst.op.is_load();
+            let is_store = d.inst.op.is_store();
             let needs_iq = !renamed.is_eliminated();
             let needs_lq = needs_iq && is_load;
             let needs_sq = is_store;
@@ -782,28 +1353,33 @@ impl<'p> Simulator<'p> {
                 self.reno.rollback(&renamed);
                 self.reno.undo_rename_stats(&renamed);
                 if suppressed {
-                    self.suppress_integration.insert(f.d.seq);
+                    self.suppress_integration.insert(f.seq);
                 }
                 self.stats.queue_stall_cycles += u64::from(n == 0);
                 break;
             }
             self.fetch_buf.pop_front();
+            self.stats.replay_renamed += u64::from(f.from_replay);
 
             // Register bookkeeping for issued destinations.
-            if let (reno_core::RenamedKind::Issued, Some(d)) = (renamed.kind, renamed.dst) {
-                let p = d.new.preg.index();
-                self.preg_ready_sel[p] = u64::MAX;
-                self.preg_complete[p] = u64::MAX;
-                self.preg_val[p] = f.d.dst_val;
-                self.preg_producer[p] = f.d.seq;
+            let mut dst_preg = NONE32;
+            if let (reno_core::RenamedKind::Issued, Some(dm)) = (renamed.kind, renamed.dst) {
+                let p = dm.new.preg.index();
+                self.pregs[p] = PregState {
+                    ready_sel: u64::MAX,
+                    complete: u64::MAX,
+                    val: d.dst_val,
+                    producer: f.seq,
+                };
+                dst_preg = p as u32;
             }
 
             // Memory dependence prediction.
             let ss_dep = if needs_lq {
-                self.storesets.load_dependence(f.d.pc as u64)
+                self.storesets.load_dependence(d.pc as u64)
             } else {
                 if is_store {
-                    self.storesets.rename_store(f.d.pc as u64, f.d.seq);
+                    self.storesets.rename_store(d.pc as u64, f.seq);
                 }
                 None
             };
@@ -818,42 +1394,98 @@ impl<'p> Simulator<'p> {
             if needs_sq {
                 self.sq_count += 1;
             }
+            let width = d.inst.op.mem_width().map_or(0, |w| w.bytes());
+            if needs_lq {
+                self.lq.push_back(LsqEntry {
+                    seq: f.seq,
+                    addr: d.mem_addr,
+                    width,
+                    done: false,
+                });
+            }
+            if needs_sq {
+                self.sq.push_back(LsqEntry {
+                    seq: f.seq,
+                    addr: d.mem_addr,
+                    width,
+                    done: false,
+                });
+            }
 
+            let mut srcs = [NO_SRC; 2];
+            for (i, m) in renamed.srcs.iter().flatten().enumerate() {
+                srcs[i] = SrcP {
+                    preg: m.preg.index() as u32,
+                    disp: m.disp,
+                };
+            }
+            let mut flags = 0u16;
+            if needs_iq {
+                flags |= F_IN_IQ;
+            }
+            if needs_lq {
+                flags |= F_IN_LQ;
+            }
+            if needs_sq {
+                flags |= F_IN_SQ;
+            }
+            if eliminated {
+                flags |= F_ELIMINATED | F_COMPLETED;
+            }
+            if f.mispredicted {
+                flags |= F_MISPRED;
+            }
+            if renamed.needs_load_reexec() {
+                flags |= F_NEEDS_REEXEC;
+            }
+
+            let old_preg = renamed.dst.map_or(NONE32, |d| d.old.preg.index() as u32);
             self.rob.push_back(Slot {
-                d: f.d,
+                seq: f.seq,
+                complete: self.cycle + 1, // eliminated: done at rename2
+                exec_start: u64::MAX,
+                min_select: self.cycle + RENAME_TO_SELECT,
+                ss_dep: ss_dep.unwrap_or(u64::MAX),
+                mem_addr: d.mem_addr,
+                srcs,
+                dst_preg,
+                old_preg,
+                flags,
+                op: d.inst.op,
+            });
+            self.aux.push_back(SlotAux {
                 r: renamed,
                 rename_cycle: self.cycle,
-                mispredicted: f.mispredicted,
-                in_iq: needs_iq,
-                issued: false,
-                exec_start: u64::MAX,
-                exec_done: false,
-                completed: eliminated,
-                complete: self.cycle + 1, // eliminated: done at rename2
-                min_select: self.cycle + RENAME_TO_SELECT,
-                addr_known: false,
                 served: None,
-                ss_dep,
-                in_lq: needs_lq,
-                in_sq: needs_sq,
                 dep_seq: None,
-                reexec_done: false,
             });
+            if needs_iq && !self.cfg.naive_sched {
+                self.file_iq(f.seq);
+            }
+            if flags & F_NEEDS_REEXEC != 0 {
+                self.reexec_queue.push_back(f.seq);
+            }
             n += 1;
         }
     }
 
     // ------------------------------------------------------------- fetch
 
-    fn next_feed(&mut self) -> Option<(DynInst, bool)> {
-        if let Some(d) = self.replay.pop_front() {
-            return Some((d, true));
+    /// Next instruction to fetch, as a sequence number into `dyn_ring`
+    /// (writing the ring on first fetch from the oracle).
+    fn next_feed(&mut self) -> Option<(u64, bool)> {
+        if let Some(seq) = self.replay.pop_front() {
+            return Some((seq, true));
         }
         if self.oracle_done || self.halt_seen {
             return None;
         }
         match self.oracle.next() {
-            Some(d) => Some((d, false)),
+            Some(d) => {
+                let seq = d.seq;
+                self.dyn_ring[(seq & self.dyn_mask) as usize] = d;
+                Some((seq, false))
+            }
             None => {
                 self.oracle_done = true;
                 None
@@ -890,9 +1522,10 @@ impl<'p> Simulator<'p> {
         let mut taken = 0;
         let mut fetched = 0;
         while fetched < self.cfg.fetch_width {
-            let Some((d, from_replay)) = self.next_feed() else {
+            let Some((seq, from_replay)) = self.next_feed() else {
                 break;
             };
+            let d = self.dyn_ring[(seq & self.dyn_mask) as usize];
             let addr = Program::inst_addr(d.pc);
             let line = addr / line_bytes;
             if cur_line != Some(line) {
@@ -910,7 +1543,7 @@ impl<'p> Simulator<'p> {
             }
             let rename_ready = ic_done + ICACHE_TO_RENAME;
             self.fetch_buf.push_back(Fetched {
-                d,
+                seq,
                 rename_ready,
                 mispredicted,
                 from_replay,
@@ -922,7 +1555,7 @@ impl<'p> Simulator<'p> {
                 break;
             }
             if mispredicted {
-                self.waiting_branch = Some(d.seq);
+                self.waiting_branch = Some(seq);
                 break;
             }
             if d.redirects() {
@@ -954,6 +1587,15 @@ mod tests {
         a.out(Reg::T1);
         a.halt();
         a.assemble().unwrap()
+    }
+
+    #[test]
+    fn slot_is_one_cache_line() {
+        assert!(
+            std::mem::size_of::<Slot>() <= 80,
+            "hot slot stays compact: {} bytes",
+            std::mem::size_of::<Slot>()
+        );
     }
 
     #[test]
@@ -1157,5 +1799,19 @@ mod tests {
             .run(1 << 22);
         assert!(!r.halted);
         assert_eq!(r.retired, 5_000);
+    }
+
+    #[test]
+    fn naive_scheduler_produces_identical_results() {
+        let p = loop_program(800);
+        for cfg in [RenoConfig::baseline(), RenoConfig::reno()] {
+            let fast = Simulator::new(&p, MachineConfig::four_wide(cfg)).run(1 << 22);
+            let naive =
+                Simulator::new(&p, MachineConfig::four_wide(cfg).with_naive_sched()).run(1 << 22);
+            assert_eq!(fast.cycles, naive.cycles, "{cfg:?}");
+            assert_eq!(fast.retired, naive.retired, "{cfg:?}");
+            assert_eq!(fast.stats, naive.stats, "{cfg:?}");
+            assert_eq!(fast.checksum, naive.checksum, "{cfg:?}");
+        }
     }
 }

@@ -22,6 +22,9 @@ pub struct SimStats {
     pub queue_stall_cycles: u64,
     /// Store-to-load forwards in the LSQ.
     pub store_forwards: u64,
+    /// Instructions renamed from the squash-replay path (refetched after a
+    /// violation or misintegration squash).
+    pub replay_renamed: u64,
     /// Instructions selected for issue (includes replayed re-issues).
     pub issued: u64,
     /// Sum over cycles of issue-queue occupancy (for average occupancy).
