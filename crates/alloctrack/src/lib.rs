@@ -1,0 +1,38 @@
+//! Test-only crate: a counting global allocator used to verify the
+//! zero-allocation invariant of `reno-sim`'s steady-state `run()` loop.
+//!
+//! See `tests/steady_state.rs`. This crate intentionally opts out of the
+//! workspace's `unsafe_code = "forbid"` lint (a `GlobalAlloc` impl cannot
+//! be written without `unsafe`); it contains no other code and is a
+//! dev-dependency sink only.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of heap allocations since process start.
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] allocator wrapper that counts allocations (not frees —
+/// the invariant under test is about acquiring memory in the hot loop).
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Current allocation count.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,67 @@
+//! Verifies the zero-allocation invariant of the simulator's steady-state
+//! `run()` loop.
+//!
+//! Method: run the same kernel at two very different lengths and compare
+//! allocation counts. Warm-up (deque growth, wakeup-wheel buckets, waiter
+//! lists reaching their high-water marks) is identical for both runs
+//! because the program structure is identical; a hot loop that allocated
+//! per cycle or per instruction would show tens of thousands of extra
+//! allocations on the long run. We allow a tiny slack for amortized
+//! capacity doublings that only trigger past the short run's horizon.
+
+use reno_alloctrack::{allocations, CountingAlloc};
+use reno_core::RenoConfig;
+use reno_isa::{Asm, Program, Reg};
+use reno_sim::{MachineConfig, Simulator};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A kernel with ALU chains, loads, stores, forwarding and branches — the
+/// full steady-state instruction diet.
+fn kernel(iters: i64) -> Program {
+    let mut a = Asm::named("steady");
+    let buf = a.zeros("buf", 1024);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, iters);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.andi(Reg::T1, Reg::T0, 127);
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S0);
+    a.ld(Reg::T2, Reg::T1, 0);
+    a.add(Reg::V0, Reg::V0, Reg::T2);
+    a.st(Reg::V0, Reg::T1, 0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// Allocations performed *inside* `run()` (construction excluded).
+fn allocs_during_run(p: &Program, cfg: RenoConfig) -> u64 {
+    let sim = Simulator::new(p, MachineConfig::four_wide(cfg));
+    let before = allocations();
+    let r = sim.run(1 << 26);
+    let after = allocations();
+    assert!(r.halted);
+    after - before
+}
+
+#[test]
+fn steady_state_run_loop_does_not_allocate() {
+    for cfg in [RenoConfig::baseline(), RenoConfig::reno()] {
+        let short = kernel(2_000);
+        let long = kernel(40_000);
+        let a_short = allocs_during_run(&short, cfg);
+        let a_long = allocs_during_run(&long, cfg);
+        // 20x the simulated work must not add more than a handful of
+        // amortized capacity growths.
+        assert!(
+            a_long <= a_short + 32,
+            "steady-state allocations grew with run length ({cfg:?}): \
+             short-run {a_short}, long-run {a_long}"
+        );
+    }
+}
