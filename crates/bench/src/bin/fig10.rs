@@ -10,7 +10,7 @@
 //! programs from IT conflicts) while needing ~70% more IT accesses; RENO
 //! beats full integration by ~3% (SPEC) / ~6% (media).
 
-use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_bench::{amean, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
@@ -25,15 +25,28 @@ const CONFIGS: [(&str, ConfigMaker); 4] = [
 ];
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            std::iter::once((w.clone(), MachineConfig::four_wide(RenoConfig::baseline()))).chain(
+                CONFIGS
+                    .iter()
+                    .map(|(_, mk)| (w.clone(), MachineConfig::four_wide(mk()))),
+            )
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     println!("\n== Fig 10 [{suite_name}]: % speedup over BASE ==");
     header("bench", &["RENO", "RENO+FI", "FullInteg", "LoadsInteg"]);
     let mut cols: [Vec<f64>; 4] = Default::default();
     let mut accesses: [f64; 4] = [0.0; 4];
+    let mut it = results.into_iter();
     for w in workloads {
-        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let base = it.next().expect("job list covers the panel");
         let mut vals = Vec::new();
-        for (i, (_, mk)) in CONFIGS.iter().enumerate() {
-            let r = run(w, MachineConfig::four_wide(mk()));
+        for (i, _) in CONFIGS.iter().enumerate() {
+            let r = it.next().expect("job list covers the panel");
             vals.push(r.speedup_pct_vs(&base));
             cols[i].push(r.speedup_pct_vs(&base));
             accesses[i] += r.it.accesses() as f64;

@@ -6,14 +6,33 @@
 //! Paper shape: CF+ME alone compensates for a 30% reduction (160 -> 112);
 //! adding RENO_CSE+RA tolerates 96 registers.
 
-use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_bench::{amean, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
 const PREGS: [usize; 4] = [96, 112, 128, 160];
 
+fn sweep_configs() -> [RenoConfig; 3] {
+    [
+        RenoConfig::baseline(),
+        RenoConfig::cf_me(),
+        RenoConfig::reno(),
+    ]
+}
+
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
+    for w in workloads {
+        jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
+        for &p in &PREGS {
+            for cfg in sweep_configs() {
+                jobs.push((w.clone(), MachineConfig::four_wide(cfg).with_pregs(p)));
+            }
+        }
+    }
+    let results = run_jobs(&jobs);
+
     println!("\n== Fig 11 top [{suite_name}]: % of 160-preg BASE performance ==");
     let cols: Vec<String> = PREGS
         .iter()
@@ -22,19 +41,13 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
     header("bench", &col_refs);
     let mut sums = vec![Vec::new(); cols.len()];
+    let mut it = results.into_iter();
     for w in workloads {
-        let base160 = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let base160 = it.next().expect("job list covers the panel");
         let mut vals = Vec::new();
-        for &p in &PREGS {
-            for cfg in [
-                RenoConfig::baseline(),
-                RenoConfig::cf_me(),
-                RenoConfig::reno(),
-            ] {
-                let r = run(w, MachineConfig::four_wide(cfg).with_pregs(p));
-                let rel = base160.cycles as f64 * 100.0 / r.cycles as f64;
-                vals.push(rel);
-            }
+        for _ in 0..PREGS.len() * 3 {
+            let r = it.next().expect("job list covers the panel");
+            vals.push(base160.cycles as f64 * 100.0 / r.cycles as f64);
         }
         for (i, v) in vals.iter().enumerate() {
             sums[i].push(*v);

@@ -9,7 +9,7 @@
 //! at i2t3 with CF+ME runs ~2% faster than the RENO-less 4-wide machine;
 //! at i2t2 RENO recoups only part of the loss.
 
-use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_bench::{amean, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
@@ -24,7 +24,26 @@ fn widths() -> [(&'static str, Shrinker); 3] {
     ]
 }
 
+fn sweep_configs() -> [RenoConfig; 3] {
+    [
+        RenoConfig::baseline(),
+        RenoConfig::cf_me(),
+        RenoConfig::reno(),
+    ]
+}
+
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
+    for w in workloads {
+        jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
+        for (_, shrink) in widths() {
+            for cfg in sweep_configs() {
+                jobs.push((w.clone(), shrink(MachineConfig::four_wide(cfg))));
+            }
+        }
+    }
+    let results = run_jobs(&jobs);
+
     println!("\n== Fig 11 bottom [{suite_name}]: % of i3t4 BASE performance ==");
     let cols: Vec<String> = widths()
         .iter()
@@ -33,18 +52,13 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
     header("bench", &col_refs);
     let mut sums = vec![Vec::new(); cols.len()];
+    let mut it = results.into_iter();
     for w in workloads {
-        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let base = it.next().expect("job list covers the panel");
         let mut vals = Vec::new();
-        for (_, shrink) in widths() {
-            for cfg in [
-                RenoConfig::baseline(),
-                RenoConfig::cf_me(),
-                RenoConfig::reno(),
-            ] {
-                let r = run(w, shrink(MachineConfig::four_wide(cfg)));
-                vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
-            }
+        for _ in 0..widths().len() * 3 {
+            let r = it.next().expect("job list covers the panel");
+            vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
         }
         for (i, v) in vals.iter().enumerate() {
             sums[i].push(*v);

@@ -9,31 +9,45 @@
 //! baseline; RENO compensates on SPEC and gains ~2.5% over the 1-cycle
 //! baseline on MediaBench.
 
-use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_bench::{amean, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
+fn sweep_configs() -> [RenoConfig; 3] {
+    [
+        RenoConfig::baseline(),
+        RenoConfig::cf_me(),
+        RenoConfig::reno(),
+    ]
+}
+
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
+    for w in workloads {
+        jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
+        for loop_cycles in [1u64, 2] {
+            for cfg in sweep_configs() {
+                jobs.push((
+                    w.clone(),
+                    MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles),
+                ));
+            }
+        }
+    }
+    let results = run_jobs(&jobs);
+
     println!("\n== Fig 12 [{suite_name}]: % of 1-cycle-loop BASE performance ==");
     let cols = ["B.1c", "CF.1c", "RN.1c", "B.2c", "CF.2c", "RN.2c"];
     header("bench", &cols);
     let mut sums = vec![Vec::new(); cols.len()];
+    let mut it = results.into_iter();
     for w in workloads {
-        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
+        let base = it.next().expect("job list covers the panel");
         let mut vals = Vec::new();
-        for loop_cycles in [1u64, 2] {
-            for cfg in [
-                RenoConfig::baseline(),
-                RenoConfig::cf_me(),
-                RenoConfig::reno(),
-            ] {
-                let r = run(
-                    w,
-                    MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles),
-                );
-                vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
-            }
+        for _ in 0..cols.len() {
+            let r = it.next().expect("job list covers the panel");
+            vals.push(base.cycles as f64 * 100.0 / r.cycles as f64);
         }
         for (i, v) in vals.iter().enumerate() {
             sums[i].push(*v);

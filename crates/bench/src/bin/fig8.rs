@@ -5,73 +5,13 @@
 //! +12% (SPEC) / +16% (media), RENO_CSE+RA adds +5% / +3.3% (loads);
 //! speedups average 8% (SPEC) and 13% (media) on the 4-wide machine, lower
 //! on the 6-wide one.
+//!
+//! All simulations fan out across cores (`RENO_THREADS` overrides); output
+//! is byte-identical at any thread count and is pinned by
+//! `golden/fig8_tiny.txt` at tiny scale.
 
-use reno_bench::{amean, header, ladder, row, run, scale_from_env};
-use reno_core::RenoConfig;
-use reno_sim::MachineConfig;
-use reno_workloads::{media_suite, spec_suite, Workload};
-
-fn machine(width: usize, reno: RenoConfig) -> MachineConfig {
-    if width == 6 {
-        MachineConfig::six_wide(reno)
-    } else {
-        MachineConfig::four_wide(reno)
-    }
-}
-
-fn suite_panel(suite_name: &str, workloads: &[Workload], width: usize) {
-    println!("\n== Fig 8 [{suite_name}, {width}-wide]: % instructions eliminated ==");
-    header("bench", &["ME", "CF", "RA+CSE", "total"]);
-    let mut totals = Vec::new();
-    let mut me_col = Vec::new();
-    let mut cf_col = Vec::new();
-    let mut cse_col = Vec::new();
-    for w in workloads {
-        let r = run(w, machine(width, RenoConfig::reno()));
-        let renamed = r.reno.renamed.max(1) as f64;
-        let me = r.reno.moves as f64 * 100.0 / renamed;
-        let cf = r.reno.const_folds as f64 * 100.0 / renamed;
-        let cse = (r.reno.load_cse + r.reno.alu_cse) as f64 * 100.0 / renamed;
-        row(w.name, &[me, cf, cse, me + cf + cse]);
-        me_col.push(me);
-        cf_col.push(cf);
-        cse_col.push(cse);
-        totals.push(me + cf + cse);
-    }
-    row(
-        "amean",
-        &[
-            amean(&me_col),
-            amean(&cf_col),
-            amean(&cse_col),
-            amean(&totals),
-        ],
-    );
-
-    println!("\n== Fig 8 [{suite_name}, {width}-wide]: % speedup over BASE ==");
-    header("bench", &["ME", "CF+ME", "RENO"]);
-    let mut cols: [Vec<f64>; 3] = Default::default();
-    for w in workloads {
-        let base = run(w, machine(width, RenoConfig::baseline()));
-        let mut vals = Vec::new();
-        for (i, (_, cfg)) in ladder().into_iter().enumerate().skip(1) {
-            let r = run(w, machine(width, cfg));
-            let s = r.speedup_pct_vs(&base);
-            vals.push(s);
-            cols[i - 1].push(s);
-        }
-        row(w.name, &vals);
-    }
-    row(
-        "amean",
-        &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2])],
-    );
-}
+use reno_bench::{figures, scale_from_env};
 
 fn main() {
-    let scale = scale_from_env();
-    for width in [4usize, 6] {
-        suite_panel("SPECint", &spec_suite(scale), width);
-        suite_panel("MediaBench", &media_suite(scale), width);
-    }
+    print!("{}", figures::fig8(scale_from_env()));
 }

@@ -6,26 +6,41 @@
 //! RENO shifts criticality toward fetch on MediaBench ("ALU criticality
 //! decays into fetch criticality").
 
-use reno_bench::{run, scale_from_env};
+use reno_bench::{run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_cpa::{analyze, Bucket};
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
+fn configs() -> [(&'static str, RenoConfig); 3] {
+    [
+        ("BASE", RenoConfig::baseline()),
+        ("ME+CF", RenoConfig::cf_me()),
+        ("RENO", RenoConfig::reno()),
+    ]
+}
+
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            configs()
+                .into_iter()
+                .map(|(_, cfg)| (w.clone(), MachineConfig::four_wide(cfg).with_cpa()))
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     println!("\n== Fig 9 [{suite_name}]: critical-path breakdown (% of path) ==");
     println!(
         "{:<10} {:<6} {:>7} {:>9} {:>10} {:>9} {:>7}",
         "bench", "config", "fetch", "alu exec", "load exec", "load mem", "commit"
     );
     println!("{}", "-".repeat(64));
+    let mut it = results.into_iter();
     for w in workloads {
-        for (cname, cfg) in [
-            ("BASE", RenoConfig::baseline()),
-            ("ME+CF", RenoConfig::cf_me()),
-            ("RENO", RenoConfig::reno()),
-        ] {
-            let r = run(w, MachineConfig::four_wide(cfg).with_cpa());
+        for (cname, _) in configs() {
+            let r = it.next().expect("job list covers the panel");
             let b = analyze(&r.cpa, 128);
             println!(
                 "{:<10} {:<6} {:>7.1} {:>9.1} {:>10.1} {:>9.1} {:>7.1}",

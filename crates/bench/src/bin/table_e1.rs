@@ -3,13 +3,30 @@
 //! because compilers statically fold the addi pairs that would be close
 //! enough to rename together.
 
-use reno_bench::{amean, run, scale_from_env};
+use reno_bench::{amean, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::all_workloads;
 
 fn main() {
     let scale = scale_from_env();
+    let workloads = all_workloads(scale);
+    let deep_cfg = RenoConfig {
+        allow_dependent_elim: true,
+        ..RenoConfig::reno()
+    };
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                (w.clone(), MachineConfig::four_wide(RenoConfig::baseline())),
+                (w.clone(), MachineConfig::four_wide(RenoConfig::reno())),
+                (w.clone(), MachineConfig::four_wide(deep_cfg)),
+            ]
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     println!("== E1 rule ablation (dependent eliminations per rename group) ==");
     println!(
         "{:<10} {:>12} {:>12} {:>12}",
@@ -17,16 +34,11 @@ fn main() {
     );
     let mut normal = Vec::new();
     let mut deep = Vec::new();
-    for w in all_workloads(scale) {
-        let base = run(&w, MachineConfig::four_wide(RenoConfig::baseline()));
-        let r1 = run(&w, MachineConfig::four_wide(RenoConfig::reno()));
-        let r2 = run(
-            &w,
-            MachineConfig::four_wide(RenoConfig {
-                allow_dependent_elim: true,
-                ..RenoConfig::reno()
-            }),
-        );
+    let mut it = results.into_iter();
+    for w in &workloads {
+        let base = it.next().expect("job list covers the table");
+        let r1 = it.next().expect("job list covers the table");
+        let r2 = it.next().expect("job list covers the table");
         let s1 = r1.speedup_pct_vs(&base);
         let s2 = r2.speedup_pct_vs(&base);
         println!(

@@ -5,12 +5,27 @@
 //! advantage (1–2% absolute) when every fused operation pays one cycle; the
 //! resource/bandwidth benefits remain intact.
 
-use reno_bench::{amean, run, scale_from_env};
+use reno_bench::{amean, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                (w.clone(), MachineConfig::four_wide(RenoConfig::baseline())),
+                (w.clone(), MachineConfig::four_wide(RenoConfig::cf_me())),
+                (
+                    w.clone(),
+                    MachineConfig::four_wide(RenoConfig::cf_me()).with_fused_extra_cycle(),
+                ),
+            ]
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     println!("\n== Fusion-cost sensitivity [{suite_name}] ==");
     println!(
         "{:<10} {:>12} {:>14} {:>12}",
@@ -19,13 +34,11 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     println!("{}", "-".repeat(52));
     let mut free = Vec::new();
     let mut slow = Vec::new();
+    let mut it = results.into_iter();
     for w in workloads {
-        let base = run(w, MachineConfig::four_wide(RenoConfig::baseline()));
-        let fast = run(w, MachineConfig::four_wide(RenoConfig::cf_me()));
-        let paid = run(
-            w,
-            MachineConfig::four_wide(RenoConfig::cf_me()).with_fused_extra_cycle(),
-        );
+        let base = it.next().expect("job list covers the panel");
+        let fast = it.next().expect("job list covers the panel");
+        let paid = it.next().expect("job list covers the panel");
         let s_fast = fast.speedup_pct_vs(&base);
         let s_paid = paid.speedup_pct_vs(&base);
         let kept = if s_fast.abs() < 0.05 {

@@ -7,13 +7,37 @@
 //! the size side is demonstrated by running the loads-only IT at half
 //! capacity.
 
-use reno_bench::{amean, header, row, run, scale_from_env};
+use reno_bench::{amean, header, row, run_jobs, scale_from_env};
 use reno_core::{ItConfig, RenoConfig};
 use reno_sim::MachineConfig;
 use reno_workloads::all_workloads;
 
 fn main() {
     let scale = scale_from_env();
+    let workloads = all_workloads(scale);
+    // Half-size IT (256 entries) in the loads-only configuration.
+    let half_cfg = RenoConfig {
+        it: ItConfig {
+            entries: 256,
+            assoc: 2,
+        },
+        ..RenoConfig::reno()
+    };
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                (w.clone(), MachineConfig::four_wide(RenoConfig::reno())),
+                (
+                    w.clone(),
+                    MachineConfig::four_wide(RenoConfig::reno_full_integration()),
+                ),
+                (w.clone(), MachineConfig::four_wide(half_cfg)),
+            ]
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     println!("== IT division of labor (all workloads) ==");
     header(
         "bench",
@@ -24,21 +48,11 @@ fn main() {
     let mut elim_half = Vec::new();
     let mut acc_r = 0u64;
     let mut acc_fi = 0u64;
-    for w in all_workloads(scale) {
-        let r = run(&w, MachineConfig::four_wide(RenoConfig::reno()));
-        let fi = run(
-            &w,
-            MachineConfig::four_wide(RenoConfig::reno_full_integration()),
-        );
-        // Half-size IT (256 entries) in the loads-only configuration.
-        let half_cfg = RenoConfig {
-            it: ItConfig {
-                entries: 256,
-                assoc: 2,
-            },
-            ..RenoConfig::reno()
-        };
-        let half = run(&w, MachineConfig::four_wide(half_cfg));
+    let mut it = results.into_iter();
+    for w in &workloads {
+        let r = it.next().expect("job list covers the table");
+        let fi = it.next().expect("job list covers the table");
+        let half = it.next().expect("job list covers the table");
         row(
             w.name,
             &[

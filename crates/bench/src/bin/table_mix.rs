@@ -5,20 +5,23 @@
 //! program); register moves average ~4% and exceed 8% only in outliers
 //! (mcf, mesa); loads are a large fraction of SPECint.
 
-use reno_bench::{amean, header, row, scale_from_env};
+use reno_bench::{amean, header, par_map, row, scale_from_env};
 use reno_func::run_to_completion;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
+    let mixes = par_map(workloads, |w| {
+        let (_, r) = run_to_completion(&w.program, 100_000_000).expect("kernel runs");
+        r.mix
+    });
+
     println!("\n== Mix [{suite_name}]: % of dynamic instructions ==");
     header(
         "bench",
         &["moves", "reg+imm", "loads", "stores", "branches"],
     );
     let mut cols: [Vec<f64>; 5] = Default::default();
-    for w in workloads {
-        let (_, r) = run_to_completion(&w.program, 100_000_000).expect("kernel runs");
-        let m = &r.mix;
+    for (w, m) in workloads.iter().zip(&mixes) {
         let vals = [
             m.move_pct(),
             m.reg_imm_add_pct(),

@@ -1,0 +1,142 @@
+//! Figure/table report builders shared by the binaries and the golden
+//! regression tests.
+//!
+//! Reports are built into `String`s (not printed directly) so tests can pin
+//! them byte-for-byte, and all simulations for a report are fanned across
+//! cores with [`crate::par_map`] — results are consumed in job order, so the
+//! report is identical at any thread count.
+
+use crate::{amean, header_str, ladder, row_str, run_jobs};
+use reno_core::RenoConfig;
+use reno_sim::{MachineConfig, SimResult};
+use reno_workloads::{media_suite, spec_suite, Scale, Workload};
+use std::fmt::Write as _;
+
+fn machine(width: usize, reno: RenoConfig) -> MachineConfig {
+    if width == 6 {
+        MachineConfig::six_wide(reno)
+    } else {
+        MachineConfig::four_wide(reno)
+    }
+}
+
+/// Fig 8: elimination rates and speedups for 4- and 6-wide machines over
+/// both suites. Byte-identical to the historical sequential output.
+pub fn fig8(scale: Scale) -> String {
+    struct Panel {
+        suite_name: &'static str,
+        width: usize,
+        workloads: Vec<Workload>,
+    }
+    let mut panels = Vec::new();
+    for width in [4usize, 6] {
+        panels.push(Panel {
+            suite_name: "SPECint",
+            width,
+            workloads: spec_suite(scale),
+        });
+        panels.push(Panel {
+            suite_name: "MediaBench",
+            width,
+            workloads: media_suite(scale),
+        });
+    }
+
+    // One flat job list: per panel, the elimination runs (full RENO per
+    // workload), then the speedup runs (BASE + the ladder tail per
+    // workload).
+    let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
+    for p in &panels {
+        for w in &p.workloads {
+            jobs.push((w.clone(), machine(p.width, RenoConfig::reno())));
+        }
+        for w in &p.workloads {
+            jobs.push((w.clone(), machine(p.width, RenoConfig::baseline())));
+            for (_, cfg) in ladder().into_iter().skip(1) {
+                jobs.push((w.clone(), machine(p.width, cfg)));
+            }
+        }
+    }
+    let results = run_jobs(&jobs);
+
+    let mut out = String::new();
+    let mut cursor = results.into_iter();
+    let mut next = move || -> SimResult { cursor.next().expect("job list covers the report") };
+    for p in &panels {
+        let (suite_name, width) = (p.suite_name, p.width);
+        let _ = writeln!(
+            out,
+            "\n== Fig 8 [{suite_name}, {width}-wide]: % instructions eliminated =="
+        );
+        out.push_str(&header_str("bench", &["ME", "CF", "RA+CSE", "total"]));
+        let mut totals = Vec::new();
+        let mut me_col = Vec::new();
+        let mut cf_col = Vec::new();
+        let mut cse_col = Vec::new();
+        for w in &p.workloads {
+            let r = next();
+            let renamed = r.reno.renamed.max(1) as f64;
+            let me = r.reno.moves as f64 * 100.0 / renamed;
+            let cf = r.reno.const_folds as f64 * 100.0 / renamed;
+            let cse = (r.reno.load_cse + r.reno.alu_cse) as f64 * 100.0 / renamed;
+            out.push_str(&row_str(w.name, &[me, cf, cse, me + cf + cse]));
+            me_col.push(me);
+            cf_col.push(cf);
+            cse_col.push(cse);
+            totals.push(me + cf + cse);
+        }
+        out.push_str(&row_str(
+            "amean",
+            &[
+                amean(&me_col),
+                amean(&cf_col),
+                amean(&cse_col),
+                amean(&totals),
+            ],
+        ));
+
+        let _ = writeln!(
+            out,
+            "\n== Fig 8 [{suite_name}, {width}-wide]: % speedup over BASE =="
+        );
+        out.push_str(&header_str("bench", &["ME", "CF+ME", "RENO"]));
+        let mut cols: [Vec<f64>; 3] = Default::default();
+        for w in &p.workloads {
+            let base = next();
+            let mut vals = Vec::new();
+            for (i, _) in ladder().into_iter().enumerate().skip(1) {
+                let r = next();
+                let s = r.speedup_pct_vs(&base);
+                vals.push(s);
+                cols[i - 1].push(s);
+            }
+            out.push_str(&row_str(w.name, &vals));
+        }
+        out.push_str(&row_str(
+            "amean",
+            &[amean(&cols[0]), amean(&cols[1]), amean(&cols[2])],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed golden table (tiny scale) guards three properties at
+    /// once: the simulator's timing (any drift moves the speedup columns),
+    /// the table formatting, and determinism of the parallel runner (the
+    /// report must not depend on scheduling). CI re-checks the same golden
+    /// against the `fig8` binary under a forced multi-threaded run.
+    #[test]
+    fn fig8_tiny_matches_golden() {
+        let got = fig8(Scale::Tiny);
+        let want = include_str!("../golden/fig8_tiny.txt");
+        assert!(
+            got == want,
+            "fig8 tiny output drifted from golden/fig8_tiny.txt;\n\
+             regenerate with: RENO_SCALE=tiny cargo run --release -p reno-bench --bin fig8"
+        );
+    }
+}

@@ -15,14 +15,29 @@
 //! | `table_it` | §2.4/§4.4 — IT size/bandwidth division of labor |
 //! | `table_fusion` | §3.3 — fusion-latency sensitivity |
 //! | `table_e1` | §3.2 — dependent-elimination rule ablation |
+//! | `bench_snapshot` | perf trajectory — appends to `BENCH_sim.json` |
 //!
 //! Each binary prints a plain-text table whose rows correspond to the
 //! paper's bars/series. `RENO_SCALE=tiny|small|default` selects workload
 //! size (default: `default`).
+//!
+//! ## The parallel sweep runner
+//!
+//! Every (workload × configuration) simulation in a figure is independent,
+//! so the binaries build their full job list up front and fan it across
+//! cores with [`par_map`] (a work-stealing-free atomic-cursor pool on
+//! `std::thread::scope` — no dependencies). Results come back in job order,
+//! so **output is byte-identical regardless of thread count or scheduling**;
+//! `RENO_THREADS` overrides the worker count (`RENO_THREADS=1` forces the
+//! sequential path).
 
 use reno_core::RenoConfig;
 use reno_sim::{MachineConfig, SimResult, Simulator};
 use reno_workloads::{Scale, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod figures;
 
 /// Dynamic-instruction cap per simulation (bounds harness runtime while
 /// leaving every kernel's steady state well represented).
@@ -40,9 +55,62 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
+/// Worker threads for [`par_map`]: the `RENO_THREADS` override if set (>= 1),
+/// otherwise the host's available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RENO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item, fanning the work across [`thread_count`]
+/// scoped threads. Results are returned in item order, so callers produce
+/// identical output whether this runs on 1 core or 64.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
 /// Runs one workload under one machine configuration.
 pub fn run(w: &Workload, cfg: MachineConfig) -> SimResult {
     Simulator::with_fuel(&w.program, cfg, FUEL).run(MAX_CYCLES)
+}
+
+/// Runs every `(workload, machine)` job across cores; results in job order.
+pub fn run_jobs(jobs: &[(Workload, MachineConfig)]) -> Vec<SimResult> {
+    par_map(jobs, |(w, m)| run(w, m.clone()))
 }
 
 /// The standard config ladder used by most figures:
@@ -56,23 +124,39 @@ pub fn ladder() -> [(&'static str, RenoConfig); 4] {
     ]
 }
 
+/// Formats a table header row (see [`header`]).
+pub fn header_str(first: &str, cols: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{first:<10}");
+    for c in cols {
+        let _ = write!(out, " {c:>10}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(10 + 11 * cols.len()));
+    out
+}
+
+/// Formats one data row of percentages (see [`row`]).
+pub fn row_str(name: &str, vals: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{name:<10}");
+    for v in vals {
+        let _ = write!(out, " {v:>10.1}");
+    }
+    out.push('\n');
+    out
+}
+
 /// Prints a table header row.
 pub fn header(first: &str, cols: &[&str]) {
-    print!("{first:<10}");
-    for c in cols {
-        print!(" {c:>10}");
-    }
-    println!();
-    println!("{}", "-".repeat(10 + 11 * cols.len()));
+    print!("{}", header_str(first, cols));
 }
 
 /// Prints one data row of percentages.
 pub fn row(name: &str, vals: &[f64]) {
-    print!("{name:<10}");
-    for v in vals {
-        print!(" {v:>10.1}");
-    }
-    println!();
+    print!("{}", row_str(name, vals));
 }
 
 /// Arithmetic mean.
@@ -100,5 +184,19 @@ mod tests {
     fn amean_basics() {
         assert_eq!(amean(&[]), 0.0);
         assert!((amean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let par = par_map(&items, |x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        // Runs in-process: only assert the parsing contract on the default.
+        assert!(thread_count() >= 1);
     }
 }
