@@ -54,9 +54,17 @@ fn throughput(ws: &[Workload], cfg: RenoConfig) -> (u64, f64) {
 }
 
 fn main() {
-    let label = std::env::args()
+    let label: String = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "snapshot".to_string());
+        .unwrap_or_else(|| "snapshot".to_string())
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .collect();
+    let label = if label.is_empty() {
+        "snapshot".to_string()
+    } else {
+        label
+    };
     let ws = workloads();
     println!(
         "bench_snapshot: {} workloads, fuel {FUEL}, {REPS} reps (best kept)",

@@ -6,27 +6,19 @@
 //! Paper shape: CF+ME alone compensates for a 30% reduction (160 -> 112);
 //! adding RENO_CSE+RA tolerates 96 registers.
 
-use reno_bench::{amean, header, row, run_jobs, scale_from_env};
+use reno_bench::{amean, cfg_trio, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
 const PREGS: [usize; 4] = [96, 112, 128, 160];
 
-fn sweep_configs() -> [RenoConfig; 3] {
-    [
-        RenoConfig::baseline(),
-        RenoConfig::cf_me(),
-        RenoConfig::reno(),
-    ]
-}
-
 fn panel(suite_name: &str, workloads: &[Workload]) {
     let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
     for w in workloads {
         jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
         for &p in &PREGS {
-            for cfg in sweep_configs() {
+            for cfg in cfg_trio() {
                 jobs.push((w.clone(), MachineConfig::four_wide(cfg).with_pregs(p)));
             }
         }

@@ -9,7 +9,7 @@
 //! at i2t3 with CF+ME runs ~2% faster than the RENO-less 4-wide machine;
 //! at i2t2 RENO recoups only part of the loss.
 
-use reno_bench::{amean, header, row, run_jobs, scale_from_env};
+use reno_bench::{amean, cfg_trio, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
@@ -24,20 +24,12 @@ fn widths() -> [(&'static str, Shrinker); 3] {
     ]
 }
 
-fn sweep_configs() -> [RenoConfig; 3] {
-    [
-        RenoConfig::baseline(),
-        RenoConfig::cf_me(),
-        RenoConfig::reno(),
-    ]
-}
-
 fn panel(suite_name: &str, workloads: &[Workload]) {
     let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
     for w in workloads {
         jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
         for (_, shrink) in widths() {
-            for cfg in sweep_configs() {
+            for cfg in cfg_trio() {
                 jobs.push((w.clone(), shrink(MachineConfig::four_wide(cfg))));
             }
         }

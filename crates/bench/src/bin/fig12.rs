@@ -9,25 +9,17 @@
 //! baseline; RENO compensates on SPEC and gains ~2.5% over the 1-cycle
 //! baseline on MediaBench.
 
-use reno_bench::{amean, header, row, run_jobs, scale_from_env};
+use reno_bench::{amean, cfg_trio, header, row, run_jobs, scale_from_env};
 use reno_core::RenoConfig;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
-
-fn sweep_configs() -> [RenoConfig; 3] {
-    [
-        RenoConfig::baseline(),
-        RenoConfig::cf_me(),
-        RenoConfig::reno(),
-    ]
-}
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
     let mut jobs: Vec<(Workload, MachineConfig)> = Vec::new();
     for w in workloads {
         jobs.push((w.clone(), MachineConfig::four_wide(RenoConfig::baseline())));
         for loop_cycles in [1u64, 2] {
-            for cfg in sweep_configs() {
+            for cfg in cfg_trio() {
                 jobs.push((
                     w.clone(),
                     MachineConfig::four_wide(cfg).with_sched_loop(loop_cycles),

@@ -6,27 +6,20 @@
 //! RENO shifts criticality toward fetch on MediaBench ("ALU criticality
 //! decays into fetch criticality").
 
-use reno_bench::{run_jobs, scale_from_env};
-use reno_core::RenoConfig;
+use reno_bench::{cfg_trio, run_jobs, scale_from_env};
 use reno_cpa::{analyze, Bucket};
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Workload};
 
-fn configs() -> [(&'static str, RenoConfig); 3] {
-    [
-        ("BASE", RenoConfig::baseline()),
-        ("ME+CF", RenoConfig::cf_me()),
-        ("RENO", RenoConfig::reno()),
-    ]
-}
+const LABELS: [&str; 3] = ["BASE", "ME+CF", "RENO"];
 
 fn panel(suite_name: &str, workloads: &[Workload]) {
     let jobs: Vec<_> = workloads
         .iter()
         .flat_map(|w| {
-            configs()
+            cfg_trio()
                 .into_iter()
-                .map(|(_, cfg)| (w.clone(), MachineConfig::four_wide(cfg).with_cpa()))
+                .map(|cfg| (w.clone(), MachineConfig::four_wide(cfg).with_cpa()))
         })
         .collect();
     let results = run_jobs(&jobs);
@@ -39,7 +32,7 @@ fn panel(suite_name: &str, workloads: &[Workload]) {
     println!("{}", "-".repeat(64));
     let mut it = results.into_iter();
     for w in workloads {
-        for (cname, _) in configs() {
+        for cname in LABELS {
             let r = it.next().expect("job list covers the panel");
             let b = analyze(&r.cpa, 128);
             println!(

@@ -113,6 +113,16 @@ pub fn run_jobs(jobs: &[(Workload, MachineConfig)]) -> Vec<SimResult> {
     par_map(jobs, |(w, m)| run(w, m.clone()))
 }
 
+/// The three-config sweep (BASE, CF+ME, full RENO) shared by the Fig 9,
+/// 11, and 12 panels.
+pub fn cfg_trio() -> [RenoConfig; 3] {
+    [
+        RenoConfig::baseline(),
+        RenoConfig::cf_me(),
+        RenoConfig::reno(),
+    ]
+}
+
 /// The standard config ladder used by most figures:
 /// baseline, ME-only, CF+ME, full RENO.
 pub fn ladder() -> [(&'static str, RenoConfig); 4] {

@@ -24,6 +24,32 @@
 //! * retire: in-order, stores and integrated-load re-executions share the
 //!   D$ store port; failed re-executions squash and re-rename.
 //!
+//! # Host performance: the event-driven scheduler
+//!
+//! The steady-state `run()` loop never scans the reorder buffer and never
+//! allocates:
+//!
+//! * execution events live on a tiny cycle-indexed calendar wheel filled at
+//!   select (the select-to-execute latency ahead) and drained at execute;
+//! * select examines only issue-queue entries whose wakeup promises have
+//!   matured: a program-ordered ready list, a 512-slot wakeup wheel (plus a
+//!   far heap past its horizon) for operands with a known completion cycle,
+//!   and per-physical-register waiter lists for operands whose producer has
+//!   not issued yet;
+//! * store-to-load forwarding and memory-ordering violation checks walk
+//!   compact program-ordered load/store queue mirrors instead of the ROB;
+//! * ROB entries are split hot/cold: a compact 80-byte scheduling record
+//!   per entry, with the `DynInst`/`Renamed` payloads in a parallel deque and
+//!   the dynamic instruction stream stored once in a sequence-indexed ring;
+//! * every scratch structure is reused with retained capacity, so after
+//!   warm-up the hot loop performs no heap allocation (verified by the
+//!   `reno-alloctrack` counting-allocator test).
+//!
+//! All of this is *timing-invisible*: the reference whole-ROB polling
+//! scheduler is kept behind [`MachineConfig::naive_sched`], and the
+//! `sched_equivalence` property test plus the `pinned_timing` snapshots
+//! enforce cycle-for-cycle, counter-for-counter equality between the two.
+//!
 //! ```no_run
 //! use reno_isa::{Asm, Reg};
 //! use reno_core::RenoConfig;

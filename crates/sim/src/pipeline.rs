@@ -71,9 +71,10 @@ const NO_SRC: SrcP = SrcP {
 
 /// The *hot* per-ROB-entry state: everything the per-cycle scheduler loops
 /// (retire's completion peek, select's eligibility exam, execute's guards
-/// and latency model) need, packed into a single cache line. The bulky
-/// [`DynInst`]/[`Renamed`] payloads live in the parallel [`SlotAux`] deque
-/// and are touched only at stage boundaries (rename, retire, squash, CPA).
+/// and latency model) need, packed into a compact 80-byte record (the full
+/// slot used to be ~200 bytes). The bulky [`DynInst`]/[`Renamed`] payloads
+/// live in the parallel [`SlotAux`] deque and are touched only at stage
+/// boundaries (rename, retire, squash, CPA).
 #[repr(C)]
 #[derive(Clone, Copy, Debug)]
 struct Slot {
@@ -325,7 +326,10 @@ impl<'p> Simulator<'p> {
             total
         ];
         pregs[Reg::SP.index()].val = STACK_TOP as i64;
-        let dyn_ring_size = (cfg.rob_size + cfg.fetch_width * 4 + 2).next_power_of_two();
+        // The live seq window spans the ROB plus the fetch buffer; fetch_stage
+        // gates on `len >= fetch_width * 4` *before* fetching up to another
+        // `fetch_width`, so the buffer legally peaks at `5 * fetch_width - 1`.
+        let dyn_ring_size = (cfg.rob_size + cfg.fetch_width * 5).next_power_of_two();
         Simulator {
             frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
             reno: Reno::new(cfg.reno),
@@ -1483,6 +1487,12 @@ impl<'p> Simulator<'p> {
         match self.oracle.next() {
             Some(d) => {
                 let seq = d.seq;
+                if let Some(front) = self.rob.front() {
+                    debug_assert!(
+                        seq - front.seq <= self.dyn_mask,
+                        "dyn_ring too small for the live window"
+                    );
+                }
                 self.dyn_ring[(seq & self.dyn_mask) as usize] = d;
                 Some((seq, false))
             }
@@ -1590,7 +1600,7 @@ mod tests {
     }
 
     #[test]
-    fn slot_is_one_cache_line() {
+    fn hot_slot_stays_compact() {
         assert!(
             std::mem::size_of::<Slot>() <= 80,
             "hot slot stays compact: {} bytes",
