@@ -3,19 +3,28 @@
 //! Measures *simulated cycles per host second* for the baseline, CF+ME and
 //! full-RENO configurations over one SPEC-like and one media-like kernel,
 //! and appends one labelled entry to the repo-root `BENCH_sim.json` so the
-//! perf trajectory across PRs is recorded in-tree.
+//! perf trajectory across PRs is recorded in-tree. Each entry also records
+//! its run metadata — workload scale, worker-thread setting, and whether
+//! the measurement ran the full detailed simulator or the `reno-sample`
+//! sampled pipeline — so trajectories stay comparable across PRs.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p reno-bench --bin bench_snapshot -- <label>
+//! cargo run --release -p reno-bench --bin bench_snapshot -- <label> [full|sampled]
 //! ```
+//!
+//! In `sampled` mode the throughput numerator is the sampled run's
+//! *estimated* whole-run cycles (its denominator is the wall clock of the
+//! whole sampled pipeline: fast-forward, checkpoints, and detailed
+//! windows), so full and sampled entries share a unit.
 //!
 //! The label defaults to `snapshot`. Entries are stored one per line so that
 //! appends never need a JSON parser; the file as a whole stays valid JSON.
 
-use reno_bench::{run, FUEL};
+use reno_bench::{run, thread_count, FUEL};
 use reno_core::RenoConfig;
+use reno_sample::run_sampled_auto;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Scale, Workload};
 use std::fmt::Write as _;
@@ -34,15 +43,18 @@ fn workloads() -> Vec<Workload> {
 }
 
 /// Best-of-`REPS` throughput (simulated cycles per host second) for `cfg`.
-fn throughput(ws: &[Workload], cfg: RenoConfig) -> (u64, f64) {
+fn throughput(ws: &[Workload], cfg: RenoConfig, sampled: bool) -> (u64, f64) {
     let mut best = 0.0f64;
     let mut cycles = 0u64;
     for _ in 0..REPS {
         let start = Instant::now();
         let mut total_cycles = 0u64;
         for w in ws {
-            let r = run(w, MachineConfig::four_wide(cfg));
-            total_cycles += r.cycles;
+            total_cycles += if sampled {
+                run_sampled_auto(&w.program, MachineConfig::four_wide(cfg), FUEL).est_cycles()
+            } else {
+                run(w, MachineConfig::four_wide(cfg)).cycles
+            };
         }
         let secs = start.elapsed().as_secs_f64();
         cycles = total_cycles;
@@ -65,19 +77,31 @@ fn main() {
     } else {
         label
     };
+    let sampled = match std::env::args().nth(2).as_deref() {
+        None | Some("full") => false,
+        Some("sampled") => true,
+        Some(other) => {
+            eprintln!("unknown mode '{other}' (expected 'full' or 'sampled')");
+            std::process::exit(2);
+        }
+    };
+    let mode = if sampled { "sampled" } else { "full" };
     let ws = workloads();
     println!(
-        "bench_snapshot: {} workloads, fuel {FUEL}, {REPS} reps (best kept)",
+        "bench_snapshot: {} workloads, fuel {FUEL}, mode {mode}, {REPS} reps (best kept)",
         ws.len()
     );
 
-    let mut entry = format!("{{\"label\":\"{label}\"");
+    let mut entry = format!(
+        "{{\"label\":\"{label}\",\"scale\":\"default\",\"threads\":{},\"mode\":\"{mode}\"",
+        thread_count()
+    );
     for (name, cfg) in [
         ("baseline", RenoConfig::baseline()),
         ("cf_me", RenoConfig::cf_me()),
         ("reno", RenoConfig::reno()),
     ] {
-        let (cycles, cps) = throughput(&ws, cfg);
+        let (cycles, cps) = throughput(&ws, cfg, sampled);
         println!("  {name:<10} {cycles:>12} sim cycles  {cps:>14.0} sim cycles/s");
         let _ = write!(entry, ",\"{name}_cycles_per_sec\":{cps:.0}");
     }

@@ -1,0 +1,27 @@
+//! Sampled-vs-full validation table (see `reno_bench::sampling`).
+//!
+//! Prints the deterministic comparison table on stdout — CI diffs it against
+//! the committed goldens at tiny and small scale — and the wall-clock
+//! split (full vs sampled harness time, and the speedup) on stderr, where
+//! nondeterministic numbers cannot poison the golden.
+//!
+//! Usage:
+//!
+//! ```text
+//! RENO_SCALE=tiny|small|default|large cargo run --release -p reno-bench --bin table_sample
+//! ```
+
+use reno_bench::sampling::table_sample;
+use reno_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    let (report, timing) = table_sample(scale);
+    print!("{report}");
+    eprintln!(
+        "table_sample [{scale:?}]: full {:.2}s, sampled {:.2}s, wall-clock speedup {:.2}x",
+        timing.full_secs,
+        timing.sampled_secs,
+        timing.speedup()
+    );
+}

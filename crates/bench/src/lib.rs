@@ -15,6 +15,7 @@
 //! | `table_it` | §2.4/§4.4 — IT size/bandwidth division of labor |
 //! | `table_fusion` | §3.3 — fusion-latency sensitivity |
 //! | `table_e1` | §3.2 — dependent-elimination rule ablation |
+//! | `table_sample` | sampled-vs-full validation of the `reno-sample` subsystem |
 //! | `bench_snapshot` | perf trajectory — appends to `BENCH_sim.json` |
 //!
 //! Each binary prints a plain-text table whose rows correspond to the
@@ -38,6 +39,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod figures;
+pub mod sampling;
 
 /// Dynamic-instruction cap per simulation (bounds harness runtime while
 /// leaving every kernel's steady state well represented).
@@ -51,6 +53,7 @@ pub fn scale_from_env() -> Scale {
     match std::env::var("RENO_SCALE").as_deref() {
         Ok("tiny") => Scale::Tiny,
         Ok("small") => Scale::Small,
+        Ok("large") => Scale::Large,
         _ => Scale::Default,
     }
 }

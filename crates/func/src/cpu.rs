@@ -43,13 +43,13 @@ pub struct RunResult {
 /// [`STACK_TOP`]. See the crate docs for a usage example.
 #[derive(Clone, Debug)]
 pub struct Cpu {
-    regs: [i64; Reg::COUNT],
-    pc: usize,
-    halted: bool,
-    checksum: u64,
-    executed: u64,
-    mem: Memory,
-    mix: MixStats,
+    pub(crate) regs: [i64; Reg::COUNT],
+    pub(crate) pc: usize,
+    pub(crate) halted: bool,
+    pub(crate) checksum: u64,
+    pub(crate) executed: u64,
+    pub(crate) mem: Memory,
+    pub(crate) mix: MixStats,
 }
 
 impl Cpu {

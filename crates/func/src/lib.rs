@@ -34,6 +34,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! [`Checkpoint`] snapshots the architectural machine at any
+//! dynamic-instruction boundary — registers, a memory-image delta against
+//! the program's initial data segments, and all digest/counter state — and
+//! restores it bit-identically. `reno-sample` builds its checkpointed
+//! fast-forward on top of it, and [`Oracle::from_cpu`] turns any restored
+//! machine into a trace feed so the timing simulator can resume mid-program.
+//!
 //! [`Oracle`] is the same machine exposed as an iterator: each step yields a
 //! [`DynInst`] carrying the resolved destination value, effective address,
 //! and taken/not-taken outcome, so the timing model never re-executes
@@ -57,12 +64,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod checkpoint;
 mod cpu;
 mod memory;
 mod mix;
 mod trace;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use cpu::{run_to_completion, Cpu, ExecError, RunResult};
-pub use memory::Memory;
+pub use memory::{Memory, PAGE_BYTES};
 pub use mix::MixStats;
 pub use trace::{DynInst, Oracle};

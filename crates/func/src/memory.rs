@@ -4,6 +4,9 @@ const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// Page granularity of [`Memory::delta_from`] / [`Memory::apply_page`].
+pub const PAGE_BYTES: usize = PAGE_SIZE;
+
 /// Sparse, byte-addressed, little-endian memory.
 ///
 /// Pages are allocated on first touch; reads of untouched memory return zero.
@@ -55,19 +58,47 @@ impl Memory {
     #[inline]
     pub fn read_le(&self, addr: u64, n: u64) -> u64 {
         debug_assert!(n <= 8);
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        let off = (addr & PAGE_MASK) as usize;
+        // Fast path: the access stays inside one page — a single page
+        // lookup instead of one per byte (this is the simulator's
+        // load/store hot path).
+        if off + n as usize <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut v = 0u64;
+                    for (i, b) in p[off..off + n as usize].iter().enumerate() {
+                        v |= (*b as u64) << (8 * i);
+                    }
+                    v
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes the low `n <= 8` bytes of `val` little-endian.
     #[inline]
     pub fn write_le(&mut self, addr: u64, n: u64, val: u64) {
         debug_assert!(n <= 8);
-        for i in 0..n {
-            self.write_u8(addr + i, (val >> (8 * i)) as u8);
+        let off = (addr & PAGE_MASK) as usize;
+        if off + n as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            for (i, b) in page[off..off + n as usize].iter_mut().enumerate() {
+                *b = (val >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i, (val >> (8 * i)) as u8);
+            }
         }
     }
 
@@ -83,16 +114,75 @@ impl Memory {
         self.write_le(addr, 8, val)
     }
 
-    /// Copies a byte slice into memory at `addr`.
+    /// Copies a byte slice into memory at `addr`, page-chunked (loading a
+    /// megabyte data segment or restoring a checkpoint page is a handful of
+    /// `memcpy`s, not a per-byte walk).
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE - off);
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
         }
     }
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// The pages whose *contents* differ from `base`, as sorted
+    /// `(page_number, PAGE_BYTES bytes)` records — the delta a checkpoint
+    /// stores against a program's initial memory image.
+    ///
+    /// Residency is irrelevant: an untouched page reads as zeros on either
+    /// side, so only byte content participates in the comparison. Applying
+    /// the delta to a copy of `base` with [`Memory::apply_page`] reproduces
+    /// this memory's architectural content exactly.
+    pub fn delta_from(&self, base: &Memory) -> Vec<(u64, Vec<u8>)> {
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(base.pages.keys())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZEROS: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+        let mut out = Vec::new();
+        for pno in pages {
+            let ours: &[u8] = self.pages.get(&pno).map_or(&ZEROS, |p| &p[..]);
+            let theirs: &[u8] = base.pages.get(&pno).map_or(&ZEROS, |p| &p[..]);
+            if ours != theirs {
+                out.push((pno, ours.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// One page's full contents (zeros when untouched).
+    pub(crate) fn page_contents(&self, page_number: u64) -> Vec<u8> {
+        match self.pages.get(&page_number) {
+            Some(p) => p.to_vec(),
+            None => vec![0u8; PAGE_SIZE],
+        }
+    }
+
+    /// Overwrites one whole page with `bytes` (see [`PAGE_BYTES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`PAGE_BYTES`] long.
+    pub fn apply_page(&mut self, page_number: u64, bytes: &[u8]) {
+        assert_eq!(bytes.len(), PAGE_SIZE, "a page delta is a whole page");
+        self.write_bytes(page_number << PAGE_SHIFT, bytes);
     }
 }
 
@@ -138,5 +228,39 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(5000, &[9, 8, 7]);
         assert_eq!(m.read_bytes(5000, 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn delta_tracks_content_not_residency() {
+        let mut base = Memory::new();
+        base.write_u64(0x1000, 77);
+        let mut m = base.clone();
+        m.read_u8(0x9000); // reads never create pages
+        assert!(m.delta_from(&base).is_empty(), "identical content");
+        m.write_u64(0x1000, 78); // change an existing page
+        m.write_u64(0x5008, 99); // touch a new page
+        m.write_u64(0x7000, 0); // new page, still all zeros: no delta
+        let delta = m.delta_from(&base);
+        assert_eq!(
+            delta.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![0x1, 0x5],
+            "only content-changed pages, sorted"
+        );
+    }
+
+    #[test]
+    fn delta_round_trips_through_apply() {
+        let mut base = Memory::new();
+        base.write_bytes(0x2000, &[1, 2, 3, 4]);
+        let mut m = base.clone();
+        m.write_u64(0x2000, u64::MAX);
+        m.write_u64(0xabc0, 0x5a5a);
+        let mut restored = base.clone();
+        for (pno, bytes) in m.delta_from(&base) {
+            restored.apply_page(pno, &bytes);
+        }
+        assert_eq!(restored.read_u64(0x2000), u64::MAX);
+        assert_eq!(restored.read_u64(0xabc0), 0x5a5a);
+        assert!(restored.delta_from(&m).is_empty());
     }
 }

@@ -61,8 +61,15 @@ pub struct Oracle<'p> {
 impl<'p> Oracle<'p> {
     /// Creates an oracle over `program` with an instruction budget.
     pub fn new(program: &'p Program, fuel: u64) -> Oracle<'p> {
+        Oracle::from_cpu(Cpu::new(program), program, fuel)
+    }
+
+    /// Creates an oracle resuming from an existing machine state (e.g. a
+    /// restored [`crate::Checkpoint`]): the stream continues from `cpu`'s
+    /// current pc with `fuel` more instructions of budget.
+    pub fn from_cpu(cpu: Cpu, program: &'p Program, fuel: u64) -> Oracle<'p> {
         Oracle {
-            cpu: Cpu::new(program),
+            cpu,
             program,
             fuel,
             error: None,

@@ -172,6 +172,13 @@ impl Cache {
             .any(|l| l.valid && l.tag == tag)
     }
 
+    /// Zeroes the hit/miss counters (keeps directory contents) — used when a
+    /// functionally warmed directory is handed to a measurement run whose
+    /// statistics must not include the warming accesses.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
     /// Invalidates everything (keeps statistics).
     pub fn flush(&mut self) {
         for l in &mut self.lines {

@@ -199,6 +199,55 @@ impl MemHierarchy {
         (done, ServedBy::Mem)
     }
 
+    /// Functionally warms the data-side directories for `addr` without
+    /// advancing any timing state: the same lines [`MemHierarchy::access_data`]
+    /// would fill are filled (L1 probe-and-fill, then L2 on an L1 miss), but
+    /// no in-flight miss, bus-occupancy, or queue accounting happens.
+    ///
+    /// This is the fast-forward warming hook of the sampling subsystem:
+    /// long-lived cache state stays realistic across skipped program regions
+    /// at functional-simulation cost. Returns which level served the access,
+    /// so the caller can also use the probe as a miss-profile feature source.
+    pub fn warm_data(&mut self, addr: u64, write: bool) -> ServedBy {
+        if self.l1d.probe_and_fill(addr, write) {
+            ServedBy::L1
+        } else if self.l2.probe_and_fill(addr, write) {
+            ServedBy::L2
+        } else {
+            ServedBy::Mem
+        }
+    }
+
+    /// Instruction-side counterpart of [`MemHierarchy::warm_data`].
+    pub fn warm_inst(&mut self, addr: u64) -> ServedBy {
+        if self.l1i.probe_and_fill(addr, false) {
+            ServedBy::L1
+        } else if self.l2.probe_and_fill(addr, false) {
+            ServedBy::L2
+        } else {
+            ServedBy::Mem
+        }
+    }
+
+    /// Zeroes every hit/miss and queue counter (directory contents are
+    /// kept), so a warmed hierarchy reports only the measurement interval's
+    /// own accesses.
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Clears transient timing state (in-flight misses, bus occupancy) so a
+    /// warmed hierarchy can serve a new run that starts at cycle 0. Without
+    /// this, completion times from a previous measurement interval would
+    /// leak into the next one as phantom bus backpressure.
+    pub fn reset_timing(&mut self) {
+        self.inflight.clear();
+        self.bus_free = 0;
+    }
+
     /// Instruction fetch access at cycle `now`; same contract as
     /// [`MemHierarchy::access_data`].
     pub fn access_inst(&mut self, addr: u64, now: u64) -> (u64, ServedBy) {
@@ -298,6 +347,39 @@ mod tests {
         m.access_data(0x4000, 0, false); // fills L2 line
         let (_, by) = m.access_inst(0x4000, 500);
         assert_eq!(by, ServedBy::L2, "I-side miss hits in unified L2");
+    }
+
+    #[test]
+    fn warming_fills_directories_without_timing_state() {
+        let mut m = hier();
+        m.warm_data(0x4000, false);
+        m.warm_inst(0x8000);
+        // Warmed lines now hit at L1 latency from cycle 0: no bus or
+        // in-flight state was created by the warming accesses.
+        let (ready, by) = m.access_data(0x4000, 0, false);
+        assert_eq!(by, ServedBy::L1);
+        assert_eq!(ready, m.l1d_latency());
+        let (_, by) = m.access_inst(0x8000, 0);
+        assert_eq!(by, ServedBy::L1);
+        assert_eq!(
+            m.stats().mem_accesses,
+            0,
+            "warming never touches memory timing"
+        );
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents_reset_timing_clears_bus() {
+        let mut m = hier();
+        m.access_data(0, 0, false); // real miss: stats + bus state
+        assert!(m.cache_stats().1.accesses > 0);
+        m.reset_stats();
+        m.reset_timing();
+        assert_eq!(m.cache_stats().1.accesses, 0);
+        assert_eq!(m.stats().mem_accesses, 0);
+        let (ready, by) = m.access_data(0, 0, false);
+        assert_eq!(by, ServedBy::L1, "directory contents survive the resets");
+        assert_eq!(ready, m.l1d_latency(), "no stale bus backpressure");
     }
 
     #[test]

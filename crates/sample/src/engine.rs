@@ -1,0 +1,1021 @@
+use crate::{IntervalStat, SampledResult};
+use reno_func::{Checkpoint, Cpu, DynInst, ExecError};
+use reno_isa::Program;
+use reno_mem::MemHierarchy;
+use reno_sim::{classify_control, MachineConfig, Simulator, WarmState};
+use reno_uarch::FrontEnd;
+
+/// Extra fuel past the measure-window end so the end-boundary instruction
+/// retires with the pipeline still in full flight (covers the ROB plus the
+/// fetch buffer of any supported machine shape).
+const DRAIN_PAD: u64 = 256;
+
+/// Cycle safety net per detailed interval (the deadlock guard inside the
+/// simulator fires long before this).
+const INTERVAL_MAX_CYCLES: u64 = 1 << 26;
+
+/// Shape of a sampled run: how much is simulated in detail, and how often.
+///
+/// Instruction counts are dynamic instructions. Every `period` instructions,
+/// the engine runs one detailed window of `warmup + interval` instructions:
+/// the first `warmup` refill the pipeline and are discarded, the next
+/// `interval` are measured. Everything else runs functionally with
+/// microarchitectural warming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Detailed instructions before each measure window whose statistics
+    /// are discarded (pipeline refill after the functional gap).
+    pub warmup: u64,
+    /// Measured instructions per interval.
+    pub interval: u64,
+    /// One detailed window begins every `period` instructions.
+    pub period: u64,
+    /// Detailed **head stratum**: the first `head` instructions are measured
+    /// as one window, cold start included, before periodic sampling begins.
+    /// Program startup (data-structure initialization, cold caches) is a
+    /// one-time phase whose CPI can be several times the steady state;
+    /// sparse windows either hit or miss it, swinging the whole-run estimate.
+    /// Measuring it exactly and extrapolating only the steady remainder
+    /// removes that failure mode (stratified sampling).
+    pub head: u64,
+    /// Hard cap on dynamic instructions (the fast-forward stops here as if
+    /// the program had halted); `u64::MAX` = run to `halt`.
+    pub max_insts: u64,
+    /// Hard cap on measured intervals; `None` = one per period boundary.
+    pub max_intervals: Option<usize>,
+    /// Place each detailed window at a deterministic pseudo-random offset
+    /// inside its period (default), instead of always at the period start.
+    /// Strictly systematic placement aliases with loop phase structure —
+    /// when the period is near-commensurate with a program phase, every
+    /// window lands on the same phase point and the estimate inherits its
+    /// bias; the jitter breaks the resonance. Offsets come from a fixed
+    /// SplitMix64 hash of the period index, so runs stay bit-reproducible.
+    pub jitter: bool,
+}
+
+impl SampleConfig {
+    /// Builds a configuration measuring `interval` instructions after
+    /// `warmup` detailed-warmup instructions, once every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `warmup + interval > period`.
+    pub fn new(warmup: u64, interval: u64, period: u64) -> SampleConfig {
+        let sc = SampleConfig {
+            warmup,
+            interval,
+            period,
+            head: 0,
+            max_insts: u64::MAX,
+            max_intervals: None,
+            jitter: true,
+        };
+        sc.validate();
+        sc
+    }
+
+    /// Disables window-offset jitter (windows then start exactly at period
+    /// boundaries — useful for tiling tests and debugging).
+    #[must_use]
+    pub fn without_jitter(mut self) -> SampleConfig {
+        self.jitter = false;
+        self
+    }
+
+    /// Measures the first `head` instructions in detail as a dedicated
+    /// stratum (see [`SampleConfig::head`]).
+    #[must_use]
+    pub fn with_head(mut self, head: u64) -> SampleConfig {
+        self.head = head;
+        self
+    }
+
+    /// Caps the dynamic instruction count (for comparisons against fueled
+    /// full runs).
+    #[must_use]
+    pub fn with_max_insts(mut self, max_insts: u64) -> SampleConfig {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Caps the number of measured intervals.
+    #[must_use]
+    pub fn with_max_intervals(mut self, n: usize) -> SampleConfig {
+        self.max_intervals = Some(n);
+        self
+    }
+
+    /// Detailed instructions per period (warmup + measure, before drain
+    /// padding).
+    pub fn detailed_per_period(&self) -> u64 {
+        self.warmup + self.interval
+    }
+
+    fn validate(&self) {
+        assert!(self.interval > 0, "a measure interval needs instructions");
+        assert!(
+            self.detailed_per_period() <= self.period,
+            "warmup + interval must fit inside the sampling period"
+        );
+    }
+}
+
+impl Default for SampleConfig {
+    /// The tuning used by the validation harness at default workload scale:
+    /// 1/8 of the program in detail, intervals of 1.5k instructions.
+    fn default() -> SampleConfig {
+        SampleConfig::new(500, 1500, 16_000)
+    }
+}
+
+/// Feeds one functional instruction to the warming hooks, mirroring what
+/// the detailed front end and memory pipeline would have touched on the
+/// correct path.
+struct Warmer {
+    line_bytes: u64,
+    last_line: u64,
+}
+
+impl Warmer {
+    fn new(cfg: &MachineConfig) -> Warmer {
+        Warmer {
+            line_bytes: cfg.hier.l1i.line_bytes as u64,
+            last_line: u64::MAX,
+        }
+    }
+
+    fn observe(&mut self, d: &DynInst, warm: &mut WarmState) {
+        let addr = Program::inst_addr(d.pc);
+        let line = addr / self.line_bytes;
+        if line != self.last_line {
+            warm.mem.warm_inst(addr);
+            self.last_line = line;
+        }
+        let op = d.inst.op;
+        if op.is_load() {
+            warm.mem.warm_data(d.mem_addr, false);
+        } else if op.is_store() {
+            warm.mem.warm_data(d.mem_addr, true);
+        }
+        if op.is_control() {
+            let _ =
+                warm.frontend
+                    .process(d.pc as u64, classify_control(d), d.taken, d.next_pc as u64);
+        }
+    }
+}
+
+/// SplitMix64 finalizer: hashes the period index into that period's window
+/// offset. Fixed constants, no state — sampled runs are bit-reproducible.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Cumulative cost features over a dynamic-instruction prefix, collected by
+/// the shadow profile: the drivers of cycle cost a functional pass can see.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Features {
+    insts: u64,
+    /// Data accesses served by the L2 (L1 misses).
+    l2: u64,
+    /// Data accesses served by memory (L2 misses).
+    mem: u64,
+    /// Mispredicted control instructions.
+    mispred: u64,
+}
+
+impl Features {
+    fn minus(&self, o: &Features) -> Features {
+        Features {
+            insts: self.insts - o.insts,
+            l2: self.l2 - o.l2,
+            mem: self.mem - o.mem,
+            mispred: self.mispred - o.mispred,
+        }
+    }
+
+    fn vec(&self) -> [f64; 4] {
+        [
+            self.insts as f64,
+            self.l2 as f64,
+            self.mem as f64,
+            self.mispred as f64,
+        ]
+    }
+}
+
+/// Shadow microarchitectural structures observing **every** dynamic
+/// instruction uniformly. They are never handed to the simulator and never
+/// reset, so the feature counts of any two instruction ranges are directly
+/// comparable — unlike the warming structures, which detailed intervals
+/// train more precisely over the regions they cover.
+struct Shadow {
+    mem: MemHierarchy,
+    frontend: FrontEnd,
+    cum: Features,
+}
+
+impl Shadow {
+    fn new(cfg: &MachineConfig) -> Shadow {
+        Shadow {
+            mem: MemHierarchy::new(cfg.hier),
+            frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
+            cum: Features::default(),
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, d: &DynInst) {
+        self.cum.insts += 1;
+        let op = d.inst.op;
+        if op.is_load() || op.is_store() {
+            match self.mem.warm_data(d.mem_addr, op.is_store()) {
+                reno_mem::ServedBy::L1 => {}
+                reno_mem::ServedBy::L2 => self.cum.l2 += 1,
+                reno_mem::ServedBy::Mem => self.cum.mem += 1,
+            }
+        }
+        if op.is_control() {
+            let ok =
+                self.frontend
+                    .process(d.pc as u64, classify_control(d), d.taken, d.next_pc as u64);
+            self.cum.mispred += u64::from(!ok);
+        }
+    }
+}
+
+/// Snapshot points of the shadow feature counters: every stratum boundary
+/// (periodic) plus explicitly registered instants (measure-window edges).
+struct Boundaries {
+    explicit: std::collections::VecDeque<u64>,
+    next_periodic: u64,
+    period: u64,
+    snaps: Vec<(u64, Features)>,
+}
+
+impl Boundaries {
+    fn new(grid_start: u64, period: u64) -> Boundaries {
+        Boundaries {
+            explicit: std::collections::VecDeque::new(),
+            next_periodic: grid_start,
+            period: period.max(1),
+            snaps: Vec::new(),
+        }
+    }
+
+    /// Registers a future snapshot instant (must not lie in the past).
+    fn insert(&mut self, inst: u64) {
+        let pos = self.explicit.partition_point(|&x| x < inst);
+        if self.explicit.get(pos) != Some(&inst) {
+            self.explicit.insert(pos, inst);
+        }
+    }
+
+    /// Takes any snapshots whose instant has been reached.
+    #[inline]
+    fn cross(&mut self, executed: u64, cum: &Features) {
+        while self.explicit.front().is_some_and(|&b| b <= executed)
+            || self.next_periodic <= executed
+        {
+            let e = self.explicit.front().copied().unwrap_or(u64::MAX);
+            let b = e.min(self.next_periodic);
+            if b == self.next_periodic {
+                self.next_periodic += self.period;
+            }
+            if b == e {
+                self.explicit.pop_front();
+            }
+            if self.snaps.last().map(|&(i, _)| i) != Some(b) {
+                self.snaps.push((b, *cum));
+            }
+        }
+    }
+
+    /// The cumulative features at `inst`, if it was snapped (or the final
+    /// totals when `inst` is at/past the end of the run).
+    fn at(&self, inst: u64, total: u64, final_cum: &Features) -> Option<Features> {
+        if inst >= total {
+            return Some(*final_cum);
+        }
+        self.snaps
+            .binary_search_by_key(&inst, |&(i, _)| i)
+            .ok()
+            .map(|k| self.snaps[k].1)
+    }
+}
+
+/// The shadow profile of one sampling pass.
+struct Profile {
+    shadow: Shadow,
+    bounds: Boundaries,
+}
+
+/// Tracks the pages the program has written since its initial image, from
+/// the observed store stream — checkpoints then snapshot exactly these
+/// pages instead of scanning the whole resident image.
+#[derive(Default)]
+struct DirtyPages {
+    pages: std::collections::HashSet<u64>,
+    last: u64,
+    sorted: Vec<u64>,
+}
+
+impl DirtyPages {
+    fn new() -> DirtyPages {
+        DirtyPages {
+            pages: std::collections::HashSet::new(),
+            last: u64::MAX,
+            sorted: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn note_store(&mut self, addr: u64, width: u64) {
+        // A store may straddle a page boundary; cover both ends.
+        for a in [addr, addr + width.saturating_sub(1)] {
+            let pno = a / reno_func::PAGE_BYTES as u64;
+            if pno != self.last {
+                self.last = pno;
+                self.pages.insert(pno);
+            }
+        }
+    }
+
+    /// Current dirty set, sorted (cached between checkpoints when no new
+    /// page appeared).
+    fn sorted(&mut self) -> &[u64] {
+        if self.sorted.len() != self.pages.len() {
+            self.sorted.clear();
+            self.sorted.extend(self.pages.iter().copied());
+            self.sorted.sort_unstable();
+        }
+        &self.sorted
+    }
+}
+
+/// Functionally advances `cpu` to dynamic instruction `until` (or `halt`),
+/// warming `warm` for every instruction at or past `warm_from`, noting
+/// every written page in `dirty`, and feeding the shadow profile (which
+/// observes *every* instruction, skip region or not).
+#[allow(clippy::too_many_arguments)]
+fn fast_forward(
+    cpu: &mut Cpu,
+    program: &Program,
+    warm: &mut WarmState,
+    warmer: &mut Warmer,
+    dirty: &mut DirtyPages,
+    mut profile: Option<&mut Profile>,
+    until: u64,
+    warm_from: u64,
+) -> Result<(), ExecError> {
+    while !cpu.halted() && cpu.executed() < until {
+        let pre = cpu.executed();
+        if let Some(p) = profile.as_deref_mut() {
+            p.bounds.cross(pre, &p.shadow.cum);
+        }
+        let Some(d) = cpu.step(program)? else { break };
+        if d.inst.op.is_store() {
+            dirty.note_store(d.mem_addr, d.inst.op.mem_width().map_or(0, |w| w.bytes()));
+        }
+        if let Some(p) = profile.as_deref_mut() {
+            p.shadow.observe(&d);
+        }
+        if pre >= warm_from {
+            warmer.observe(&d, warm);
+        }
+    }
+    Ok(())
+}
+
+/// One sampling pass: functional execution of the whole program with
+/// warming and dirty-page tracking, measuring a detailed window at each
+/// requested checkpoint position.
+struct PassOutput {
+    head: Option<IntervalStat>,
+    /// `(checkpoint position, window)` pairs, in program order.
+    windows: Vec<(u64, IntervalStat)>,
+    total_insts: u64,
+    halted: bool,
+    checksum: u64,
+    digest: u64,
+    detailed_insts: u64,
+    error: Option<ExecError>,
+}
+
+/// Runs one pass over the program. `positions` yields checkpoint positions
+/// in increasing order (an infinite grid iterator or an explicit list);
+/// positions at or past halt / `max_insts` end the measuring.
+fn sample_pass(
+    program: &Program,
+    cfg: &MachineConfig,
+    sc: &SampleConfig,
+    measure_head: bool,
+    positions: &mut dyn Iterator<Item = u64>,
+    mut profile: Option<&mut Profile>,
+) -> PassOutput {
+    let mut cpu = Cpu::new(program);
+    // The initial memory image checkpoints delta against; built once.
+    let base_mem = cpu.mem().clone();
+    let mut warm = WarmState::cold(cfg);
+    let mut warmer = Warmer::new(cfg);
+    let mut dirty = DirtyPages::new();
+    let mut head: Option<IntervalStat> = None;
+    let mut windows: Vec<(u64, IntervalStat)> = Vec::new();
+    let mut detailed_insts = 0u64;
+    // Instructions below this index were already warmed by a detailed
+    // interval (which trains the same structures more precisely).
+    let mut warmed_until = 0u64;
+    let mut error: Option<ExecError> = None;
+
+    // Head stratum: one detailed window over the program start, cold
+    // structures and pipeline fill included — exactly what the full run
+    // experiences there.
+    if measure_head && sc.head > 0 && sc.max_insts > 0 {
+        let budget = (sc.head + DRAIN_PAD).min(sc.max_insts);
+        let end = sc.head.min(budget);
+        let sim = Simulator::from_cpu(program, cfg.clone(), Cpu::new(program), budget)
+            .with_warm_state(warm)
+            .with_measure_window(0, end);
+        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
+        warm = trained;
+        warm.mem.reset_timing();
+        if let Some((s, e)) = r.measured() {
+            if e.retired > s.retired {
+                head = Some(IntervalStat::from_marks(0, 0, &s, &e));
+            }
+        }
+        detailed_insts += r.retired;
+        warmed_until = r.retired;
+    }
+
+    for target in positions {
+        let target = target.min(sc.max_insts);
+        if let Err(e) = fast_forward(
+            &mut cpu,
+            program,
+            &mut warm,
+            &mut warmer,
+            &mut dirty,
+            profile.as_deref_mut(),
+            target,
+            warmed_until,
+        ) {
+            error = Some(e);
+            break;
+        }
+        if cpu.halted() || cpu.executed() >= sc.max_insts {
+            break;
+        }
+        if sc.max_intervals.is_some_and(|m| windows.len() >= m) {
+            break;
+        }
+
+        // Checkpoint boundary: snapshot, serialize, restore — every interval
+        // exercises the full save/restore path.
+        let here = cpu.executed();
+        let ck = Checkpoint::take_with_dirty_pages(&cpu, dirty.sorted());
+        debug_assert_eq!(ck.executed(), here);
+        let restored = Checkpoint::from_bytes(&ck.to_bytes())
+            .expect("a just-serialized checkpoint deserializes")
+            .restore_with_base(&base_mem);
+        // The dirty-page set must cover every written page; in debug builds,
+        // verify the restored image against the live machine byte for byte.
+        debug_assert!(restored.mem().delta_from(cpu.mem()).is_empty());
+        debug_assert_eq!(restored.state_digest(), cpu.state_digest());
+
+        // Detailed window: warmup + measure + drain pad, clipped to the
+        // instruction cap.
+        let budget = (sc.detailed_per_period() + DRAIN_PAD).min(sc.max_insts - here);
+        let end = sc.detailed_per_period().min(budget);
+        let start = sc.warmup.min(end);
+        warm.mem.reset_timing();
+        warm.mem.reset_stats();
+        warm.frontend.reset_stats();
+        let sim = Simulator::from_cpu(program, cfg.clone(), restored, budget)
+            .with_warm_state(warm)
+            .with_measure_window(start, end);
+        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
+        warm = trained;
+        warm.mem.reset_timing();
+        if let Some((s, e)) = r.measured() {
+            if e.retired > s.retired {
+                if let Some(p) = profile.as_deref_mut() {
+                    // Snapshot the shadow counters at the window's exact
+                    // edges when the functional pass reaches them.
+                    p.bounds.insert(here + s.retired);
+                    p.bounds.insert(here + e.retired);
+                }
+                windows.push((here, IntervalStat::from_marks(here + s.retired, 0, &s, &e)));
+            }
+        }
+        detailed_insts += r.retired;
+        warmed_until = here + r.retired;
+    }
+
+    // Finish the functional pass for the exact architectural totals (no
+    // further warming needed: nothing detailed runs past this point).
+    if error.is_none() {
+        if let Err(e) = fast_forward(
+            &mut cpu,
+            program,
+            &mut warm,
+            &mut warmer,
+            &mut dirty,
+            profile.as_deref_mut(),
+            sc.max_insts,
+            u64::MAX,
+        ) {
+            error = Some(e);
+        }
+    }
+
+    PassOutput {
+        head,
+        windows,
+        total_insts: cpu.executed(),
+        halted: cpu.halted(),
+        checksum: cpu.checksum(),
+        digest: cpu.state_digest(),
+        detailed_insts,
+        error,
+    }
+}
+
+/// The jittered checkpoint position for stratum `s` of width `period`
+/// starting at `grid_start`: a deterministic offset within the stratum's
+/// slack (so the whole window fits inside the stratum).
+fn stratum_position(sc: &SampleConfig, grid_start: u64, period: u64, s: u64) -> u64 {
+    let slack = period.saturating_sub(sc.detailed_per_period() + DRAIN_PAD);
+    let offset = if sc.jitter && slack > 0 {
+        // Salt with the period so refinement rounds draw fresh offsets.
+        mix64(s ^ period) % (slack + 1)
+    } else {
+        0
+    };
+    grid_start
+        .saturating_add(s.saturating_mul(period))
+        .saturating_add(offset)
+}
+
+fn assemble(sc: &SampleConfig, period: u64, out: PassOutput) -> SampledResult {
+    let mut intervals: Vec<IntervalStat> = out
+        .windows
+        .into_iter()
+        .map(|(pos, mut iv)| {
+            iv.stratum = pos.saturating_sub(sc.head) / period.max(1);
+            iv
+        })
+        .collect();
+    intervals.sort_by_key(|iv| iv.start_inst);
+    SampledResult {
+        head: out.head,
+        intervals,
+        grid_start: sc.head,
+        period,
+        total_insts: out.total_insts,
+        halted: out.halted,
+        checksum: out.checksum,
+        digest: out.digest,
+        detailed_insts: out.detailed_insts,
+        error: out.error,
+        model_cycles: None,
+        model_r2: None,
+    }
+}
+
+#[inline]
+fn dot4(a: &[f64; 4], b: &[f64; 4]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3]
+}
+
+/// Least-squares fit of `y ≈ β · x` via ridge-stabilized normal equations
+/// (4×4 Gaussian elimination with partial pivoting).
+fn ls_fit(xs: &[[f64; 4]], ys: &[f64]) -> Option<[f64; 4]> {
+    let mut a = [[0.0f64; 4]; 4];
+    let mut b = [0.0f64; 4];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..4 {
+            for j in 0..4 {
+                a[i][j] += x[i] * x[j];
+            }
+            b[i] += x[i] * y;
+        }
+    }
+    let ridge = 1e-9 * (a[0][0] + a[1][1] + a[2][2] + a[3][3]).max(1.0);
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..4 {
+        let piv = (col..4).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..4 {
+            let f = a[row][col] / a[col][col];
+            for k in col..4 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut beta = [0.0f64; 4];
+    for col in (0..4).rev() {
+        let mut v = b[col];
+        for k in col + 1..4 {
+            v -= a[col][k] * beta[k];
+        }
+        beta[col] = v / a[col][col];
+    }
+    Some(beta)
+}
+
+/// Minimum R² on the measured windows for the cycle model to be trusted
+/// with extrapolating unmeasured strata.
+const MODEL_MIN_R2: f64 = 0.85;
+/// Minimum measured windows before fitting a 4-parameter model.
+const MODEL_MIN_WINDOWS: usize = 8;
+
+/// Model-assisted estimation: fit `cycles ≈ β · (insts, L2-served,
+/// mem-served, mispredicts)` on the measured windows against the shadow
+/// profile's exact per-range features, then estimate every stratum from its
+/// own features — measured strata keep their measurement as a local
+/// multiplicative correction, unmeasured strata use the model outright.
+/// The whole-run profile is exact (the shadow sees every instruction), so
+/// phase structure that never lined up with a window still lands in the
+/// estimate through its features.
+fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof: &Profile) {
+    if result.intervals.len() < MODEL_MIN_WINDOWS || result.total_insts == 0 || period == 0 {
+        return;
+    }
+    let total = result.total_insts;
+    let final_cum = &prof.shadow.cum;
+    let feat = |a: u64, b: u64| -> Option<Features> {
+        let fa = prof.bounds.at(a, total, final_cum)?;
+        let fb = prof.bounds.at(b, total, final_cum)?;
+        Some(fb.minus(&fa))
+    };
+
+    let mut xs: Vec<[f64; 4]> = Vec::with_capacity(result.intervals.len());
+    let mut ys: Vec<f64> = Vec::with_capacity(result.intervals.len());
+    for iv in &result.intervals {
+        let Some(f) = feat(iv.start_inst, iv.start_inst + iv.insts) else {
+            return;
+        };
+        xs.push(f.vec());
+        ys.push(iv.cycles as f64);
+    }
+    let Some(beta) = ls_fit(&xs, &ys) else { return };
+
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let sst: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ssr: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            let e = y - dot4(&beta, x);
+            e * e
+        })
+        .sum();
+    let r2 = if sst <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ssr / sst
+    };
+    result.model_r2 = Some(r2);
+    if r2 < MODEL_MIN_R2 {
+        return;
+    }
+
+    let steady = result.steady_cpi();
+    let by_stratum: std::collections::HashMap<u64, &crate::IntervalStat> =
+        result.intervals.iter().map(|iv| (iv.stratum, iv)).collect();
+    let mut cycles = 0.0f64;
+    // The head window covers [0, grid_start) exactly; without one, the
+    // region is extrapolated through the model like any other.
+    let grid_start = sc.head.min(total);
+    match &result.head {
+        Some(h) => cycles += h.cycles as f64,
+        None => {
+            if grid_start > 0 {
+                let Some(f) = feat(0, grid_start) else { return };
+                let pred = dot4(&beta, &f.vec());
+                cycles += if pred > 0.0 {
+                    pred
+                } else {
+                    steady * f.insts as f64
+                };
+            }
+        }
+    }
+    let strata = total.saturating_sub(grid_start).div_ceil(period.max(1));
+    for s in 0..strata {
+        let s0 = grid_start + s * period;
+        let s1 = (s0 + period).min(total);
+        let Some(f) = feat(s0, s1) else { return };
+        let pred = dot4(&beta, &f.vec());
+        let est = match by_stratum.get(&s) {
+            Some(iv) => {
+                let Some(fw) = feat(iv.start_inst, iv.start_inst + iv.insts) else {
+                    return;
+                };
+                let predw = dot4(&beta, &fw.vec());
+                if pred > 0.0 && predw > 1e-6 {
+                    // Local multiplicative correction: how the measured
+                    // window actually performed vs. what the model said.
+                    pred * (iv.cycles as f64 / predw).clamp(0.5, 2.0)
+                } else {
+                    iv.cpi() * (s1 - s0) as f64
+                }
+            }
+            None if pred > 0.0 => pred,
+            None => steady * (s1 - s0) as f64,
+        };
+        cycles += est;
+    }
+    result.model_cycles = Some(cycles);
+}
+
+/// Runs `program` under `cfg` with checkpointed fast-forward and sampled
+/// detailed measurement (see the crate docs for the phase structure and the
+/// estimation methodology).
+///
+/// Architectural results ([`SampledResult::checksum`],
+/// [`SampledResult::digest`], [`SampledResult::total_insts`]) are exact —
+/// the whole program executes functionally. Timing statistics are estimates
+/// extrapolated from the measured intervals.
+///
+/// # Panics
+///
+/// Panics if `sc` is inconsistent (see [`SampleConfig::new`]).
+pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> SampledResult {
+    sc.validate();
+    let mut profile = Profile {
+        shadow: Shadow::new(&cfg),
+        bounds: Boundaries::new(sc.head, sc.period),
+    };
+    let mut grid = (0u64..).map(|s| stratum_position(sc, sc.head, sc.period, s));
+    let out = sample_pass(program, &cfg, sc, true, &mut grid, Some(&mut profile));
+    let mut result = assemble(sc, sc.period, out);
+    model_assist(sc, sc.period, &mut result, &profile);
+    result
+}
+
+/// Runs `program` fully detailed and reports it as a degenerate
+/// [`SampledResult`]: one "head" window covering the entire run, estimate
+/// == measurement. The honest escape hatch of [`run_sampled_auto`] for
+/// programs sampling cannot serve.
+fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> SampledResult {
+    let r = Simulator::with_fuel(program, cfg, max_insts)
+        .with_measure_window(0, u64::MAX)
+        .run(u64::MAX);
+    let (s, e) = r.measured().expect("the start mark fires at cycle 0");
+    SampledResult {
+        head: Some(IntervalStat::from_marks(0, 0, &s, &e)),
+        intervals: Vec::new(),
+        grid_start: r.retired,
+        period: 1,
+        total_insts: r.retired,
+        halted: r.halted,
+        checksum: r.checksum,
+        digest: r.digest,
+        detailed_insts: r.retired,
+        error: None,
+        model_cycles: None,
+        model_r2: None,
+    }
+}
+
+/// The production entry point: sampled simulation with an accuracy
+/// escalation ladder.
+///
+/// * **Round 0** — sparse sampling (32k-instruction periods, 1k detailed
+///   warmup per window). Accepted when enough windows were measured, the
+///   shadow-profile cycle model fit them well, and their dispersion
+///   (95% bound) is moderate — the common case for phase-stable programs,
+///   at a few percent detailed cost.
+/// * **Round 1** — dense sampling (8k periods) with a 2k warmup. The long
+///   warmup matters: window restarts lose long-range microarchitectural
+///   state (RENO's integration table most of all), and bursty programs
+///   need both the density and the deeper refill. Accepted under the same
+///   window-count/model gates with a tightened R² requirement.
+/// * **Fallback** — full detailed simulation. Programs too short or too
+///   irregular to sample (every window gate failed) are simply measured;
+///   sampling is a bargain for long programs, not a mandate for short ones.
+///
+/// The gates only ever consult a cheap functional length probe and the
+/// runs' own diagnostics (window count, model R², window dispersion), so
+/// the choice is deterministic.
+pub fn run_sampled_auto(program: &Program, cfg: MachineConfig, max_insts: u64) -> SampledResult {
+    const HEAD: u64 = 16384;
+    const MIN_WINDOWS: u64 = 12;
+    /// Detailed warmup per window: deep enough to rebuild the long-range
+    /// state a restart loses (RENO's integration table above all).
+    const WARMUP: u64 = 2048;
+    const INTERVAL: u64 = 768;
+
+    // Length probe: a bare functional pass (several times cheaper than even
+    // the warming fast-forward) so rungs that cannot field enough windows
+    // are skipped instead of run and discarded.
+    let total = {
+        let mut cpu = Cpu::new(program);
+        match cpu.run_program(program, max_insts) {
+            Ok(r) => r.executed,
+            Err(_) => cpu.executed(),
+        }
+    };
+
+    let diag = |r: &SampledResult| {
+        (
+            r.intervals.len() as u64,
+            r.model_r2
+                .filter(|_| r.model_cycles.is_some())
+                .unwrap_or(-1.0),
+            r.cpi_ci95_rel_pct(),
+        )
+    };
+
+    // Round 0: sparse (~48 windows on long programs). Accept on a tight
+    // dispersion bound alone, or on a trusted model with moderate
+    // dispersion — the better the model fits, the more window dispersion it
+    // has already explained away.
+    let p0 = (total / 48).max(32768);
+    if total.saturating_sub(HEAD) / p0 >= MIN_WINDOWS {
+        let sc0 = SampleConfig::new(WARMUP, INTERVAL, p0)
+            .with_head(HEAD)
+            .with_max_insts(max_insts);
+        let r0 = run_sampled(program, cfg.clone(), &sc0);
+        let (iv, r2, ci) = diag(&r0);
+        if iv >= MIN_WINDOWS
+            && (ci <= 1.0
+                || (r2 >= 0.90 && ci <= 4.5)
+                || (r2 >= 0.95 && ci <= 6.5)
+                || (r2 >= 0.99 && ci <= 8.0))
+        {
+            return r0;
+        }
+    }
+
+    // Round 1: dense. A trusted model is mandatory here — programs that
+    // reach this rung have dispersion only a model can tame.
+    let p1 = 12288u64;
+    if total.saturating_sub(HEAD) / p1 >= MIN_WINDOWS {
+        let sc1 = SampleConfig::new(WARMUP, INTERVAL, p1)
+            .with_head(HEAD)
+            .with_max_insts(max_insts);
+        let r1 = run_sampled(program, cfg.clone(), &sc1);
+        let (iv, r2, ci) = diag(&r1);
+        if iv >= MIN_WINDOWS && ((r2 >= 0.93 && ci <= 8.0) || (r2 >= 0.99 && ci <= 12.0)) {
+            return r1;
+        }
+    }
+
+    full_detail(program, cfg, max_insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reno_core::RenoConfig;
+    use reno_isa::{Asm, Reg};
+
+    /// A mixed kernel (loads, stores, folds, a data-dependent walk) whose
+    /// working set is `8 * (mask + 1)` bytes, so tests can dial the cold-start
+    /// cost independently of the run length.
+    fn kernel_with(iters: i64, mask: i16) -> Program {
+        let mut a = Asm::new();
+        let buf = a.zeros("buf", 8 * (mask as usize + 1));
+        a.li(Reg::S0, buf as i64);
+        a.li(Reg::T0, iters);
+        a.li(Reg::V0, 0);
+        a.label("outer");
+        a.andi(Reg::T1, Reg::T0, mask);
+        a.slli(Reg::T1, Reg::T1, 3);
+        a.add(Reg::T1, Reg::T1, Reg::S0);
+        a.ld(Reg::T2, Reg::T1, 0);
+        a.add(Reg::V0, Reg::V0, Reg::T2);
+        a.st(Reg::V0, Reg::T1, 0);
+        a.addi(Reg::V0, Reg::V0, 5);
+        a.addi(Reg::V0, Reg::V0, -3);
+        a.xor(Reg::V0, Reg::V0, Reg::T0);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "outer");
+        a.out(Reg::V0);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn kernel(iters: i64) -> Program {
+        kernel_with(iters, 255)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::four_wide(RenoConfig::reno())
+    }
+
+    #[test]
+    fn architectural_results_are_exact() {
+        let p = kernel(900);
+        let (ref_cpu, ref_run) = reno_func::run_to_completion(&p, 1 << 22).unwrap();
+        let s = run_sampled(&p, cfg(), &SampleConfig::new(64, 128, 1024));
+        assert!(s.halted);
+        assert!(s.error.is_none());
+        assert_eq!(s.total_insts, ref_run.executed);
+        assert_eq!(s.checksum, ref_cpu.checksum());
+        assert_eq!(s.digest, ref_cpu.state_digest());
+        assert!(!s.intervals.is_empty());
+    }
+
+    #[test]
+    fn continuous_sampling_tracks_full_run_closely() {
+        // period == warmup + interval: detailed windows tile the program, so
+        // the estimate must land very close to the full detailed run. The
+        // small working set (256B) keeps the one-time cold-start cost — which
+        // sampling deliberately leaves out of the measured windows — in the
+        // noise of this short run.
+        let p = kernel_with(3000, 31);
+        let full = Simulator::new(&p, cfg()).run(1 << 24);
+        let s = run_sampled(&p, cfg(), &SampleConfig::new(256, 768, 1024));
+        let full_cpi = full.cycles as f64 / full.retired as f64;
+        let err = (s.est_cpi() - full_cpi).abs() / full_cpi;
+        assert!(
+            err < 0.05,
+            "continuous sampling drifted {:.2}% from full CPI {:.4} (est {:.4})",
+            err * 100.0,
+            full_cpi,
+            s.est_cpi()
+        );
+        assert!(s.detailed_fraction() > 0.9, "windows tile the whole run");
+    }
+
+    #[test]
+    fn interval_bookkeeping_is_consistent() {
+        let p = kernel(1500);
+        let sc = SampleConfig::new(100, 300, 2048);
+        let s = run_sampled(&p, cfg(), &sc);
+        for (k, i) in s.intervals.iter().enumerate() {
+            // Boundaries land on retire-bundle edges, so a window may run a
+            // few instructions long.
+            assert!(i.insts > 0 && i.insts <= sc.interval + 8);
+            assert!(i.cycles >= i.insts / 8, "4-wide bounds the IPC");
+            // Interval k starts inside period k, after its warmup.
+            let period_base = k as u64 * sc.period;
+            assert!(
+                i.start_inst >= period_base + sc.warmup && i.start_inst < period_base + sc.period,
+                "interval {k} starts at {} (period base {period_base})",
+                i.start_inst
+            );
+        }
+        assert_eq!(
+            s.measured_insts(),
+            s.intervals.iter().map(|i| i.insts).sum()
+        );
+        assert!(s.detailed_insts >= s.measured_insts());
+        assert!(s.detailed_fraction() < 0.5, "most of the run fast-forwards");
+    }
+
+    #[test]
+    fn max_intervals_and_max_insts_cap_the_run() {
+        let p = kernel(2000);
+        let s = run_sampled(
+            &p,
+            cfg(),
+            &SampleConfig::new(32, 64, 512).with_max_intervals(3),
+        );
+        assert_eq!(s.intervals.len(), 3);
+        assert!(s.halted, "functional pass still finishes the program");
+
+        let s = run_sampled(
+            &p,
+            cfg(),
+            &SampleConfig::new(32, 64, 512).with_max_insts(1000),
+        );
+        assert!(!s.halted);
+        assert_eq!(s.total_insts, 1000);
+    }
+
+    #[test]
+    fn program_shorter_than_warmup_measures_nothing() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 1);
+        a.out(Reg::T0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let s = run_sampled(&p, cfg(), &SampleConfig::new(64, 64, 1024));
+        assert!(s.halted);
+        assert_eq!(s.est_cpi(), 0.0);
+        assert!(s.intervals.is_empty());
+        assert_eq!(s.total_insts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit inside the sampling period")]
+    fn oversized_window_rejected() {
+        let _ = SampleConfig::new(600, 600, 1000);
+    }
+}

@@ -1,0 +1,87 @@
+//! # reno-sample — checkpointed fast-forward and sampled simulation
+//!
+//! The paper evaluates RENO over full SPEC2000/MediaBench runs — hundreds of
+//! millions of dynamic instructions — which a cycle-level simulator cannot
+//! afford end-to-end. This crate implements the standard answer from the
+//! SimPoint/SMARTS tradition: execute most of the program *functionally*
+//! (fast), keep long-lived microarchitectural state *warm* while doing so,
+//! and pay detailed cycle-level cost only inside short, periodic
+//! **measurement intervals** whose statistics extrapolate to the whole run
+//! with a quantified error bound.
+//!
+//! Each sampling period walks through three phases:
+//!
+//! ```text
+//!  |<---------------------------- period ----------------------------->|
+//!  | fast-forward (functional + warming)     | warmup   | measure      |
+//!  |  reno_func::Cpu steps the program;      | detailed | detailed,    |
+//!  |  caches, branch predictor and BTB/RAS   | pipeline | counters     |
+//!  |  train at functional cost               | (stats   | recorded     |
+//!  |                                         | dropped) | via marks    |
+//! ```
+//!
+//! * **Fast-forward** uses [`reno_func::Cpu`] alone and feeds every dynamic
+//!   instruction to the warming hooks: cache directories via
+//!   [`reno_mem::MemHierarchy::warm_data`] / `warm_inst`, and the direction
+//!   predictor, BTB and RAS via [`reno_uarch::FrontEnd::process`] (classified
+//!   exactly as the fetch stage would, via [`reno_sim::classify_control`]).
+//! * **Checkpoint**: at each interval boundary the architectural state is
+//!   snapshotted with [`reno_func::Checkpoint`], serialized, restored, and
+//!   handed to [`reno_sim::Simulator::from_cpu`] — every interval exercises
+//!   the full save/restore path, which a differential property suite pins as
+//!   bit-identical to uninterrupted execution.
+//! * **Warmup → measure**: the detailed simulator runs `warmup + interval`
+//!   instructions with [`reno_sim::Simulator::with_measure_window`] marking
+//!   the two boundaries; the pipeline is in full flight at both marks, so
+//!   the delta has neither fill nor drain edges. The trained structures come
+//!   back via [`reno_sim::Simulator::run_with_state`] and carry into the
+//!   next period.
+//!
+//! The whole-run estimate uses the ratio estimator (total measured cycles /
+//! total measured instructions) and reports a 95% confidence bound from the
+//! dispersion of per-interval CPI samples ([`SampledResult::cpi_ci95_rel_pct`]).
+//! Measure intervals inherit the simulator's zero-allocation steady state
+//! (enforced by the `reno-alloctrack` counting-allocator suite).
+//!
+//! ```
+//! use reno_core::RenoConfig;
+//! use reno_isa::{Asm, Reg};
+//! use reno_sample::{run_sampled, SampleConfig};
+//! use reno_sim::{MachineConfig, Simulator};
+//!
+//! let mut a = Asm::new();
+//! let buf = a.zeros("buf", 256);
+//! a.li(Reg::S0, buf as i64);
+//! a.li(Reg::T0, 2000);
+//! a.label("loop");
+//! a.andi(Reg::T1, Reg::T0, 31);
+//! a.slli(Reg::T1, Reg::T1, 3);
+//! a.add(Reg::T1, Reg::T1, Reg::S0);
+//! a.ld(Reg::T2, Reg::T1, 0);
+//! a.addi(Reg::T2, Reg::T2, 3);
+//! a.st(Reg::T2, Reg::T1, 0);
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, "loop");
+//! a.out(Reg::T2);
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! let cfg = MachineConfig::four_wide(RenoConfig::reno());
+//! let sampled = run_sampled(&prog, cfg.clone(), &SampleConfig::new(128, 384, 1024));
+//! let full = Simulator::new(&prog, cfg).run(1 << 24);
+//!
+//! // The sampled run executes the same program: identical architectural
+//! // results, and a CPI estimate close to the full detailed run's.
+//! assert!(sampled.halted);
+//! assert_eq!(sampled.checksum, full.checksum);
+//! assert_eq!(sampled.total_insts, full.retired);
+//! let full_cpi = full.cycles as f64 / full.retired as f64;
+//! assert!((sampled.est_cpi() - full_cpi).abs() / full_cpi < 0.10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod result;
+
+pub use engine::{run_sampled, run_sampled_auto, SampleConfig};
+pub use result::{IntervalStat, SampledResult};

@@ -1,0 +1,406 @@
+use reno_func::ExecError;
+use reno_sim::{SampleMark, SimStats};
+
+/// Statistics of one detailed measurement interval, as the delta between
+/// its two [`SampleMark`]s (pipeline in full flight at both edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalStat {
+    /// Dynamic index (whole-run instruction number) of the first measured
+    /// instruction.
+    pub start_inst: u64,
+    /// Index of the sampling-period stratum this window represents (the
+    /// head stratum uses 0 and is kept separately in
+    /// [`SampledResult::head`]).
+    pub stratum: u64,
+    /// Instructions measured.
+    pub insts: u64,
+    /// Cycles the measured instructions took to retire.
+    pub cycles: u64,
+    /// Instructions renamed inside the window (eliminated + issued).
+    pub renamed: u64,
+    /// Instructions RENO eliminated or folded inside the window.
+    pub eliminated: u64,
+    /// Pipeline event counters inside the window.
+    pub stats: SimStats,
+}
+
+impl IntervalStat {
+    /// Builds the delta record between a window's start and end marks.
+    pub fn from_marks(
+        start_inst: u64,
+        stratum: u64,
+        s: &SampleMark,
+        e: &SampleMark,
+    ) -> IntervalStat {
+        IntervalStat {
+            start_inst,
+            stratum,
+            insts: e.retired - s.retired,
+            cycles: e.cycles - s.cycles,
+            renamed: e.reno.renamed - s.reno.renamed,
+            eliminated: e.reno.eliminated() - s.reno.eliminated(),
+            stats: stats_delta(&e.stats, &s.stats),
+        }
+    }
+
+    /// Cycles per instruction inside this interval.
+    pub fn cpi(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.insts as f64
+        }
+    }
+}
+
+fn stats_delta(e: &SimStats, s: &SimStats) -> SimStats {
+    SimStats {
+        replays: e.replays - s.replays,
+        violations: e.violations - s.violations,
+        misintegrations: e.misintegrations - s.misintegrations,
+        reexec_loads: e.reexec_loads - s.reexec_loads,
+        squashed: e.squashed - s.squashed,
+        preg_stall_cycles: e.preg_stall_cycles - s.preg_stall_cycles,
+        queue_stall_cycles: e.queue_stall_cycles - s.queue_stall_cycles,
+        store_forwards: e.store_forwards - s.store_forwards,
+        replay_renamed: e.replay_renamed - s.replay_renamed,
+        issued: e.issued - s.issued,
+        iq_occ_sum: e.iq_occ_sum - s.iq_occ_sum,
+        rob_occ_sum: e.rob_occ_sum - s.rob_occ_sum,
+    }
+}
+
+/// The outcome of a sampled run: exact architectural results (the whole
+/// program executed functionally) plus timing *estimates* extrapolated from
+/// the measurement intervals.
+#[derive(Clone, Debug)]
+pub struct SampledResult {
+    /// The detailed head stratum (program start measured exactly, cold
+    /// start included), when [`crate::SampleConfig::head`] was nonzero.
+    pub head: Option<IntervalStat>,
+    /// Per-interval steady-state measurements, in program order.
+    pub intervals: Vec<IntervalStat>,
+    /// Where the periodic stratum grid begins (the configured head length).
+    pub grid_start: u64,
+    /// The sampling period (stratum width); 0 disables stratified
+    /// extrapolation and falls back to the pooled ratio estimator.
+    pub period: u64,
+    /// Dynamic instructions the program executed (exact).
+    pub total_insts: u64,
+    /// Whether the program ran to its `halt` (exact).
+    pub halted: bool,
+    /// Output checksum (exact — sampling never changes results).
+    pub checksum: u64,
+    /// Architectural state digest at the end (exact).
+    pub digest: u64,
+    /// Instructions simulated in detail, including warmup and drain padding
+    /// (the cost side of the sampling bargain).
+    pub detailed_insts: u64,
+    /// Execution error that ended the run early, if any.
+    pub error: Option<ExecError>,
+    /// Model-assisted whole-run cycle estimate, when the shadow-profile
+    /// cycle model fit the measured windows well enough to be trusted (see
+    /// the crate docs); preferred by [`SampledResult::est_cpi`] when set.
+    pub model_cycles: Option<f64>,
+    /// R² of the shadow-profile cycle model on the measured windows (set
+    /// whenever a fit was attempted, even if rejected).
+    pub model_r2: Option<f64>,
+}
+
+impl SampledResult {
+    /// Instructions inside measure windows (head stratum included).
+    pub fn measured_insts(&self) -> u64 {
+        self.head
+            .iter()
+            .chain(&self.intervals)
+            .map(|i| i.insts)
+            .sum()
+    }
+
+    /// Cycles inside measure windows (head stratum included).
+    pub fn measured_cycles(&self) -> u64 {
+        self.head
+            .iter()
+            .chain(&self.intervals)
+            .map(|i| i.cycles)
+            .sum()
+    }
+
+    /// Steady-state CPI estimate: the ratio estimator over the periodic
+    /// windows (total measured cycles / instructions, head excluded).
+    pub fn steady_cpi(&self) -> f64 {
+        let insts: u64 = self.intervals.iter().map(|i| i.insts).sum();
+        if insts == 0 {
+            return 0.0;
+        }
+        let cycles: u64 = self.intervals.iter().map(|i| i.cycles).sum();
+        cycles as f64 / insts as f64
+    }
+
+    /// Whole-run cycle estimate (unrounded), fully stratified:
+    ///
+    /// * the head stratum's cycles are measured exactly;
+    /// * every periodic stratum that holds a measured window extrapolates
+    ///   at *that window's* CPI over the stratum's instructions — so long
+    ///   program phases are represented in proportion to their length by
+    ///   construction, instead of relying on the window population to
+    ///   average out;
+    /// * any remaining instructions (strata without a window, the tail
+    ///   fragment) extrapolate at the pooled steady CPI.
+    fn est_cycles_f(&self) -> f64 {
+        if self.total_insts == 0 {
+            return 0.0;
+        }
+        if let Some(mc) = self.model_cycles {
+            return mc;
+        }
+        if self.period == 0 {
+            // Pooled ratio fallback (head still exact when present).
+            let rest = self
+                .total_insts
+                .saturating_sub(self.head.map_or(0, |h| h.insts));
+            return self.head.map_or(0.0, |h| h.cycles as f64) + self.steady_cpi() * rest as f64;
+        }
+        let mut cycles = 0.0f64;
+        let mut covered = 0u64;
+        if let Some(h) = &self.head {
+            cycles += h.cycles as f64;
+            covered += h.insts.min(self.total_insts);
+        }
+        for i in &self.intervals {
+            let s0 = self
+                .grid_start
+                .saturating_add(i.stratum.saturating_mul(self.period));
+            let s1 = s0.saturating_add(self.period).min(self.total_insts);
+            if s1 > s0 {
+                let w = s1 - s0;
+                cycles += i.cpi() * w as f64;
+                covered += w;
+            }
+        }
+        let rest = self.total_insts.saturating_sub(covered);
+        let fallback = if self.intervals.is_empty() {
+            self.head.map_or(0.0, |h| h.cpi())
+        } else {
+            self.steady_cpi()
+        };
+        cycles + fallback * rest as f64
+    }
+
+    /// Whole-run CPI estimate (see [`SampledResult::est_cycles`] for the
+    /// stratified methodology).
+    pub fn est_cpi(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.est_cycles_f() / self.total_insts as f64
+        }
+    }
+
+    /// Whole-run IPC estimate (reciprocal of [`SampledResult::est_cpi`]).
+    pub fn est_ipc(&self) -> f64 {
+        let cpi = self.est_cpi();
+        if cpi == 0.0 {
+            0.0
+        } else {
+            1.0 / cpi
+        }
+    }
+
+    /// Whole-run cycle-count estimate (stratified; see
+    /// [`SampledResult::est_cpi`]).
+    pub fn est_cycles(&self) -> u64 {
+        self.est_cycles_f().round() as u64
+    }
+
+    /// Estimated RENO elimination rate (% of renamed instructions
+    /// eliminated, over all measured windows, head included).
+    pub fn est_elimination_pct(&self) -> f64 {
+        let renamed: u64 = self
+            .head
+            .iter()
+            .chain(&self.intervals)
+            .map(|i| i.renamed)
+            .sum();
+        if renamed == 0 {
+            0.0
+        } else {
+            let elim: u64 = self
+                .head
+                .iter()
+                .chain(&self.intervals)
+                .map(|i| i.eliminated)
+                .sum();
+            elim as f64 * 100.0 / renamed as f64
+        }
+    }
+
+    /// The sampling-error bound: half-width of the 95% confidence interval
+    /// of the steady-state CPI estimate, relative to the mean, in percent.
+    /// Zero when fewer than two intervals were measured.
+    ///
+    /// Because the windows are **stratified** (one per period, in program
+    /// order), the classical iid formula grossly overstates the error for
+    /// programs whose CPI drifts smoothly — the strata already capture the
+    /// drift. The standard estimator for systematic/stratified samples uses
+    /// successive differences instead:
+    /// `Var(mean) ≈ Σ (c[i+1] - c[i])² / (2 n (n-1))`,
+    /// which charges only the short-range roughness neighbouring strata
+    /// cannot explain. The bound is `1.96 · sqrt(Var) / mean · 100`.
+    pub fn cpi_ci95_rel_pct(&self) -> f64 {
+        let n = self.intervals.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let cpis: Vec<f64> = self.intervals.iter().map(IntervalStat::cpi).collect();
+        let mean = cpis.iter().sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let sum_sq_diff: f64 = cpis.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum();
+        let var_mean = sum_sq_diff / (2.0 * n as f64 * (n - 1) as f64);
+        1.96 * var_mean.sqrt() / mean * 100.0
+    }
+
+    /// Fraction of the program simulated in detail (warmup included) — the
+    /// knob that trades accuracy for speed.
+    pub fn detailed_fraction(&self) -> f64 {
+        if self.total_insts == 0 {
+            0.0
+        } else {
+            self.detailed_insts as f64 / self.total_insts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(start: u64, insts: u64, cycles: u64) -> IntervalStat {
+        IntervalStat {
+            start_inst: start,
+            stratum: 0,
+            insts,
+            cycles,
+            renamed: insts,
+            eliminated: insts / 5,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// A result with `period == 0`: estimators use the pooled-ratio path.
+    fn sampled(intervals: Vec<IntervalStat>, total: u64) -> SampledResult {
+        SampledResult {
+            head: None,
+            intervals,
+            grid_start: 0,
+            period: 0,
+            total_insts: total,
+            halted: true,
+            checksum: 0,
+            digest: 0,
+            detailed_insts: 0,
+            error: None,
+            model_cycles: None,
+            model_r2: None,
+        }
+    }
+
+    #[test]
+    fn ratio_estimator_weights_by_instructions() {
+        let r = sampled(
+            vec![interval(0, 100, 200), interval(1000, 300, 300)],
+            10_000,
+        );
+        // (200 + 300) / (100 + 300) = 1.25, not the unweighted mean of 2.0
+        // and 1.0.
+        assert!((r.est_cpi() - 1.25).abs() < 1e-12);
+        assert!((r.est_ipc() - 0.8).abs() < 1e-12);
+        assert_eq!(r.est_cycles(), 12_500);
+        assert!((r.est_elimination_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_is_zero_without_dispersion_and_grows_with_it() {
+        let tight = sampled(vec![interval(0, 100, 150); 4], 10_000);
+        assert_eq!(tight.cpi_ci95_rel_pct(), 0.0, "identical intervals");
+        let single = sampled(vec![interval(0, 100, 150)], 10_000);
+        assert_eq!(single.cpi_ci95_rel_pct(), 0.0, "n < 2");
+        let loose = sampled(
+            vec![
+                interval(0, 100, 100),
+                interval(1, 100, 200),
+                interval(2, 100, 300),
+            ],
+            10_000,
+        );
+        assert!(loose.cpi_ci95_rel_pct() > 10.0);
+    }
+
+    #[test]
+    fn stratified_estimator_weights_strata_by_position() {
+        // Two-phase program: strata 0-1 run at CPI 1.0, strata 2-3 at 3.0.
+        // total = grid 1000 + 4 strata x 1000 = 5000, head CPI 2.0.
+        let mut r = sampled(
+            vec![
+                IntervalStat {
+                    stratum: 0,
+                    ..interval(1200, 100, 100)
+                },
+                IntervalStat {
+                    stratum: 1,
+                    ..interval(2200, 100, 100)
+                },
+                IntervalStat {
+                    stratum: 2,
+                    ..interval(3200, 100, 300)
+                },
+                IntervalStat {
+                    stratum: 3,
+                    ..interval(4200, 100, 300)
+                },
+            ],
+            5000,
+        );
+        r.grid_start = 1000;
+        r.period = 1000;
+        r.head = Some(interval(0, 1000, 2000));
+        // est = 2000 (head) + 1000*1 + 1000*1 + 1000*3 + 1000*3 = 10000.
+        assert_eq!(r.est_cycles(), 10_000);
+        assert!((r.est_cpi() - 2.0).abs() < 1e-12);
+        // The pooled ratio would have said (2000 + 800) / 1400 = 2.0 for the
+        // measured insts but misweighted the phases had they been unequal:
+        // shrink phase two to one stratum (total 4000).
+        r.total_insts = 4000;
+        r.intervals.pop();
+        assert_eq!(r.est_cycles(), 2000 + 1000 + 1000 + 3000);
+    }
+
+    #[test]
+    fn stratified_estimate_charges_the_head_exactly() {
+        // Head: 1000 insts at CPI 3.0 (expensive startup). Steady windows:
+        // CPI 0.5. Total 10_000 insts.
+        let mut r = sampled(
+            vec![interval(2000, 400, 200), interval(6000, 400, 200)],
+            10_000,
+        );
+        r.head = Some(interval(0, 1000, 3000));
+        // est = (3000 + 0.5 * 9000) / 10000 = 0.75; the plain ratio over all
+        // windows (3400/1800 = 1.89) would badly overweight the head.
+        assert!((r.est_cpi() - 0.75).abs() < 1e-12);
+        assert!((r.steady_cpi() - 0.5).abs() < 1e-12);
+        assert_eq!(r.measured_insts(), 1800);
+        assert_eq!(r.measured_cycles(), 3400);
+        assert_eq!(r.est_cycles(), 7500);
+    }
+
+    #[test]
+    fn empty_run_degenerates_to_zero() {
+        let r = sampled(vec![], 0);
+        assert_eq!(r.est_cpi(), 0.0);
+        assert_eq!(r.est_ipc(), 0.0);
+        assert_eq!(r.est_cycles(), 0);
+        assert_eq!(r.detailed_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Sampled-vs-full accuracy pins at `Scale::Small`: if a change to the
+//! engine, the warming hooks, the estimators, or the ladder gates degrades
+//! sampling accuracy past the subsystem's ≤2% CPI contract, these fail
+//! loudly. Workloads were chosen so both ladder outcomes stay covered:
+//! programs long enough to be genuinely sampled, and short ones that must
+//! take the exact full-detail fallback.
+
+use reno_core::RenoConfig;
+use reno_sample::run_sampled_auto;
+use reno_sim::{MachineConfig, Simulator};
+use reno_workloads::{all_workloads, Scale};
+
+const CPI_ERR_LIMIT_PCT: f64 = 2.0;
+
+fn check(name: &str, expect_sampled: bool) {
+    let ws = all_workloads(Scale::Small);
+    let w = ws.iter().find(|w| w.name == name).expect("workload exists");
+    let cfg = MachineConfig::four_wide(RenoConfig::reno());
+    let full = Simulator::new(&w.program, cfg.clone()).run(1 << 30);
+    let sampled = run_sampled_auto(&w.program, cfg, u64::MAX);
+
+    // Architectural results are exact by construction.
+    assert!(sampled.halted && full.halted);
+    assert_eq!(sampled.checksum, full.checksum, "{name}: checksum");
+    assert_eq!(sampled.digest, full.digest, "{name}: digest");
+    assert_eq!(sampled.total_insts, full.retired, "{name}: stream length");
+
+    let full_cpi = full.cycles as f64 / full.retired as f64;
+    let err_pct = (sampled.est_cpi() - full_cpi).abs() / full_cpi * 100.0;
+    assert!(
+        err_pct <= CPI_ERR_LIMIT_PCT,
+        "{name}: sampled CPI err {err_pct:.2}% exceeds {CPI_ERR_LIMIT_PCT}% \
+         (full {full_cpi:.4}, est {:.4})",
+        sampled.est_cpi()
+    );
+
+    if expect_sampled {
+        assert!(
+            !sampled.intervals.is_empty(),
+            "{name}: expected genuine sampling, but the ladder fell back to \
+             full detail — the speed half of the sampling bargain regressed"
+        );
+        assert!(
+            sampled.detailed_fraction() < 0.5,
+            "{name}: detailed fraction {:.1}% defeats the purpose of sampling",
+            sampled.detailed_fraction() * 100.0
+        );
+    } else {
+        assert!(
+            sampled.intervals.is_empty() && err_pct == 0.0,
+            "{name}: short programs must take the exact full-detail fallback"
+        );
+    }
+}
+
+/// Long enough at Small scale (~1M dynamic instructions) that the ladder's
+/// sparse round must serve it.
+#[test]
+fn vpr_samples_within_two_percent() {
+    check("vpr.r", true);
+}
+
+/// Mid-size (~190k): the dense round must serve it.
+#[test]
+fn bzip2_samples_within_two_percent() {
+    check("bzip2", true);
+}
+
+/// Short programs (tens of thousands of instructions): sampling cannot
+/// field enough windows, so the ladder must produce the exact fallback.
+#[test]
+fn short_workloads_fall_back_to_exact_full_detail() {
+    check("mcf", false);
+    check("gs.de", false);
+}

@@ -1,0 +1,200 @@
+//! Differential property suite for the checkpoint facility: a checkpoint
+//! taken at any dynamic-instruction boundary, serialized to bytes, and
+//! restored must resume **bit-identically** — functionally (every later
+//! `DynInst`, the final digest/checksum/mix) and in detailed timing (every
+//! cycle and event counter of a simulator resumed from the restored machine
+//! equals one resumed from the uninterrupted machine).
+
+use proptest::prelude::*;
+use reno_core::RenoConfig;
+use reno_func::{Checkpoint, Cpu};
+use reno_isa::{Asm, Program, Reg};
+use reno_sim::{MachineConfig, SimResult, Simulator};
+
+/// A random-but-terminating program from a byte recipe: ALU chains, folds,
+/// loads/stores with partial-width overlaps, data-dependent branches, and
+/// calls — enough memory and control variety that a broken memory delta or
+/// a missed register would change results immediately.
+fn gen_program(body: &[u8], iters: u8) -> Program {
+    let mut a = Asm::named("ckpt");
+    let buf = a.zeros("buf", 512);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, i64::from(iters % 20) + 2);
+    a.li(Reg::T1, 0x00c0_ffee);
+    a.li(Reg::T2, 5);
+    a.label("loop");
+    for (i, &b) in body.iter().enumerate() {
+        let disp = i16::from(b >> 4) * 8;
+        match b % 10 {
+            0 => {
+                a.add(Reg::T1, Reg::T1, Reg::T2);
+            }
+            1 => {
+                a.addi(Reg::T2, Reg::T2, i16::from(b) - 128);
+            }
+            2 => {
+                a.mul(Reg::T2, Reg::T2, Reg::T1);
+            }
+            3 => {
+                a.ld(Reg::T3, Reg::S0, disp);
+                a.add(Reg::T1, Reg::T1, Reg::T3);
+            }
+            4 => {
+                a.st(Reg::T1, Reg::S0, disp);
+            }
+            5 => {
+                a.sth(Reg::T2, Reg::S0, disp + 2);
+                a.ld(Reg::T4, Reg::S0, disp);
+                a.xor(Reg::T1, Reg::T1, Reg::T4);
+            }
+            6 => {
+                let skip = format!("sk{i}");
+                a.andi(Reg::T5, Reg::T1, 1);
+                a.beqz(Reg::T5, &skip);
+                a.addi(Reg::T1, Reg::T1, 7);
+                a.label(&skip);
+            }
+            7 => {
+                a.stb(Reg::T2, Reg::S0, disp + 5);
+            }
+            8 => {
+                a.out(Reg::T1);
+            }
+            _ => {
+                a.slli(Reg::T2, Reg::T1, i16::from(b % 5));
+            }
+        }
+    }
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::T1);
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+fn assert_equal(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "cycles [{what}]");
+    assert_eq!(a.retired, b.retired, "retired [{what}]");
+    assert_eq!(a.checksum, b.checksum, "checksum [{what}]");
+    assert_eq!(a.digest, b.digest, "digest [{what}]");
+    assert_eq!(a.stats, b.stats, "SimStats [{what}]");
+    assert_eq!(a.reno, b.reno, "RenoStats [{what}]");
+    assert_eq!(a.it, b.it, "ItStats [{what}]");
+    assert_eq!(a.frontend, b.frontend, "FrontEndStats [{what}]");
+    assert_eq!(a.caches, b.caches, "CacheStats [{what}]");
+    assert_eq!(a.halted, b.halted, "halted [{what}]");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Functional resumption: run to a random boundary, checkpoint through
+    /// the byte-serialization round trip, and step both machines to
+    /// completion comparing every dynamic instruction record.
+    #[test]
+    fn functional_resume_is_bit_identical(
+        body in prop::collection::vec(any::<u8>(), 1..24),
+        iters in any::<u8>(),
+        cut in any::<u16>(),
+    ) {
+        let p = gen_program(&body, iters);
+        let mut cpu = Cpu::new(&p);
+        for _ in 0..cut % 512 {
+            if cpu.step(&p).unwrap().is_none() {
+                break;
+            }
+        }
+        let ck = Checkpoint::take(&cpu, &p);
+        let bytes = ck.to_bytes();
+        let mut resumed = Checkpoint::from_bytes(&bytes).unwrap().restore(&p);
+        prop_assert_eq!(resumed.executed(), cpu.executed());
+        loop {
+            let a = cpu.step(&p).unwrap();
+            let b = resumed.step(&p).unwrap();
+            prop_assert_eq!(a, b, "DynInst streams must match record-for-record");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cpu.state_digest(), resumed.state_digest());
+        prop_assert_eq!(cpu.checksum(), resumed.checksum());
+        prop_assert_eq!(cpu.mix(), resumed.mix());
+    }
+
+    /// Detailed-timing resumption: a simulator fed from the checkpoint-
+    /// restored machine must be cycle-for-cycle, counter-for-counter
+    /// identical to one fed from the uninterrupted machine at the same
+    /// boundary (and, at boundary 0, to a fresh `Simulator::new`).
+    #[test]
+    fn detailed_resume_counters_match_uninterrupted(
+        body in prop::collection::vec(any::<u8>(), 1..20),
+        iters in any::<u8>(),
+        cut in any::<u16>(),
+    ) {
+        let p = gen_program(&body, iters);
+        let cfg = MachineConfig::four_wide(RenoConfig::reno());
+
+        let mut cpu = Cpu::new(&p);
+        for _ in 0..cut % 384 {
+            if cpu.step(&p).unwrap().is_none() {
+                break;
+            }
+        }
+        let restored = Checkpoint::from_bytes(&Checkpoint::take(&cpu, &p).to_bytes())
+            .unwrap()
+            .restore(&p);
+
+        let from_live = Simulator::from_cpu(&p, cfg.clone(), cpu, u64::MAX).run(1 << 24);
+        let from_ck = Simulator::from_cpu(&p, cfg.clone(), restored, u64::MAX).run(1 << 24);
+        assert_equal(&from_ck, &from_live, "restored vs uninterrupted");
+    }
+}
+
+/// `Simulator::from_cpu` at boundary zero is exactly `Simulator::new`:
+/// resuming is a strict generalization, not a second timing model.
+#[test]
+fn from_cpu_at_entry_equals_new() {
+    let body: Vec<u8> = (0u8..=250).step_by(5).collect();
+    let p = gen_program(&body, 11);
+    for cfg in [
+        MachineConfig::four_wide(RenoConfig::baseline()),
+        MachineConfig::four_wide(RenoConfig::reno()),
+        MachineConfig::six_wide(RenoConfig::reno()),
+    ] {
+        let fresh = Simulator::new(&p, cfg.clone()).run(1 << 24);
+        let resumed = Simulator::from_cpu(&p, cfg, Cpu::new(&p), u64::MAX).run(1 << 24);
+        assert_equal(&resumed, &fresh, "from_cpu(entry) vs new");
+    }
+}
+
+/// The engine's dirty-page checkpoint path (`take_with_dirty_pages`) and
+/// the scanning path (`take_with_base`) restore identical machines.
+#[test]
+fn dirty_page_checkpoints_restore_identically() {
+    let body: Vec<u8> = (3u8..=255).step_by(7).collect();
+    let p = gen_program(&body, 9);
+    let base = Cpu::new(&p);
+    let base_mem = base.mem().clone();
+    let mut cpu = Cpu::new(&p);
+    let mut dirty: Vec<u64> = Vec::new();
+    for _ in 0..700 {
+        let Some(d) = cpu.step(&p).unwrap() else {
+            break;
+        };
+        if d.inst.op.is_store() {
+            let w = d.inst.op.mem_width().map_or(0, |w| w.bytes());
+            dirty.push(d.mem_addr / reno_func::PAGE_BYTES as u64);
+            dirty.push((d.mem_addr + w.saturating_sub(1)) / reno_func::PAGE_BYTES as u64);
+        }
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+    let scan = Checkpoint::take_with_base(&cpu, &base_mem).restore(&p);
+    let fast = Checkpoint::take_with_dirty_pages(&cpu, &dirty).restore_with_base(&base_mem);
+    assert_eq!(scan.state_digest(), fast.state_digest());
+    assert_eq!(scan.executed(), fast.executed());
+    assert!(
+        fast.mem().delta_from(scan.mem()).is_empty(),
+        "byte-identical memory"
+    );
+}

@@ -50,6 +50,20 @@
 //! `sched_equivalence` property test plus the `pinned_timing` snapshots
 //! enforce cycle-for-cycle, counter-for-counter equality between the two.
 //!
+//! # Sampling hooks
+//!
+//! The checkpointed-sampling subsystem (`reno-sample`) drives the pipeline
+//! through three hooks, each a strict generalization of the normal entry
+//! points: [`Simulator::from_cpu`] resumes from any architectural state (a
+//! restored `reno_func::Checkpoint`), [`Simulator::with_warm_state`] /
+//! [`Simulator::run_with_state`] thread functionally warmed caches,
+//! predictors, and store-sets ([`WarmState`]) into and out of a run, and
+//! [`Simulator::with_measure_window`] snapshots every counter when chosen
+//! instructions retire ([`SampleMark`]), so a measurement interval's delta
+//! has the pipeline in full flight at both edges. A differential property
+//! suite in `reno-sample` pins resumed runs as counter-identical to
+//! uninterrupted ones.
+//!
 //! ```no_run
 //! use reno_isa::{Asm, Reg};
 //! use reno_core::RenoConfig;
@@ -75,5 +89,5 @@ mod pipeline;
 mod stats;
 
 pub use config::MachineConfig;
-pub use pipeline::Simulator;
-pub use stats::{SimResult, SimStats};
+pub use pipeline::{classify_control, Simulator, WarmState};
+pub use stats::{SampleMark, SimResult, SimStats};

@@ -1,7 +1,8 @@
+use crate::stats::SampleMark;
 use crate::{MachineConfig, SimResult, SimStats};
 use reno_core::{Renamed, Reno};
 use reno_cpa::{Bucket, InstRecord};
-use reno_func::{DynInst, Oracle};
+use reno_func::{Cpu, DynInst, Oracle};
 use reno_isa::{OpClass, Opcode, Program, Reg, STACK_TOP};
 use reno_mem::{MemHierarchy, ServedBy};
 use reno_uarch::{ControlKind, FrontEnd, StoreSets};
@@ -224,6 +225,58 @@ impl SeqSet {
     }
 }
 
+/// Long-lived microarchitectural state that outlives one [`Simulator`] run:
+/// cache directories, branch-prediction structures, and the store-sets
+/// memory dependence predictor.
+///
+/// The sampling subsystem threads one `WarmState` through a whole sampled
+/// run: functional fast-forward warms it cheaply between measurement
+/// intervals ([`reno_mem::MemHierarchy::warm_data`],
+/// [`reno_uarch::FrontEnd::process`]), each detailed interval consumes it
+/// via [`Simulator::with_warm_state`] and returns the further-trained state
+/// from [`Simulator::run_with_state`].
+#[derive(Clone, Debug)]
+pub struct WarmState {
+    /// Cache directory state (I$/D$/L2).
+    pub mem: MemHierarchy,
+    /// Direction predictor, BTB and RAS.
+    pub frontend: FrontEnd,
+    /// Store-sets memory dependence predictor.
+    pub storesets: StoreSets,
+}
+
+impl WarmState {
+    /// Cold structures for `cfg`'s machine (what [`Simulator::new`] builds
+    /// internally).
+    pub fn cold(cfg: &MachineConfig) -> WarmState {
+        WarmState {
+            mem: MemHierarchy::new(cfg.hier),
+            frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
+            storesets: StoreSets::new(cfg.storesets),
+        }
+    }
+}
+
+/// Decodes a dynamic control instruction into the front end's
+/// [`ControlKind`] taxonomy — shared between the fetch stage and the
+/// sampling subsystem's functional warming (which must train the predictors
+/// exactly as fetch would).
+pub fn classify_control(d: &DynInst) -> ControlKind {
+    match d.inst.op {
+        Opcode::Br => ControlKind::DirectJump,
+        Opcode::Jal => ControlKind::Call,
+        Opcode::Jr => {
+            if d.inst.rs1 == Reg::RA {
+                ControlKind::Return
+            } else {
+                ControlKind::IndirectJump
+            }
+        }
+        Opcode::Jalr => ControlKind::IndirectCall,
+        _ => ControlKind::Cond,
+    }
+}
+
 /// The cycle-level out-of-order core. See the crate docs for the model, the
 /// event-driven scheduler, and an end-to-end example.
 pub struct Simulator<'p> {
@@ -304,6 +357,13 @@ pub struct Simulator<'p> {
     halt_retired: bool,
     stats: SimStats,
     cpa: Vec<InstRecord>,
+
+    /// Retired-instruction boundaries of the requested measure window
+    /// (`u64::MAX` = no window): snapshots are taken when `retired` first
+    /// reaches each boundary.
+    mark_at: (u64, u64),
+    mark_start: Option<SampleMark>,
+    mark_end: Option<SampleMark>,
 }
 
 impl<'p> Simulator<'p> {
@@ -315,6 +375,24 @@ impl<'p> Simulator<'p> {
     /// Like [`Simulator::new`] but caps the number of dynamic instructions
     /// simulated (the oracle stops feeding after `fuel` instructions).
     pub fn with_fuel(program: &'p Program, cfg: MachineConfig, fuel: u64) -> Simulator<'p> {
+        Simulator::from_cpu(program, cfg, Cpu::new(program), fuel)
+    }
+
+    /// Builds a simulator that *resumes* from an existing architectural
+    /// state (e.g. a restored [`reno_func::Checkpoint`]): the oracle
+    /// continues from `cpu`'s current pc, and the initial physical-register
+    /// values mirror `cpu`'s architectural register file (the reset map
+    /// table maps logical register `r` to physical register `r`).
+    ///
+    /// Microarchitectural structures start cold; chain
+    /// [`Simulator::with_warm_state`] to inject functionally warmed state.
+    /// `fuel` caps the dynamic instructions fed from this point on.
+    pub fn from_cpu(
+        program: &'p Program,
+        cfg: MachineConfig,
+        cpu: Cpu,
+        fuel: u64,
+    ) -> Simulator<'p> {
         let total = cfg.reno.total_pregs;
         let mut pregs = vec![
             PregState {
@@ -325,7 +403,10 @@ impl<'p> Simulator<'p> {
             };
             total
         ];
-        pregs[Reg::SP.index()].val = STACK_TOP as i64;
+        debug_assert_eq!(Cpu::new(program).reg(Reg::SP), STACK_TOP as i64);
+        for r in Reg::all() {
+            pregs[r.index()].val = cpu.reg(r);
+        }
         // The live seq window spans the ROB plus the fetch buffer; fetch_stage
         // gates on `len >= fetch_width * 4` *before* fetching up to another
         // `fetch_width`, so the buffer legally peaks at `5 * fetch_width - 1`.
@@ -335,7 +416,7 @@ impl<'p> Simulator<'p> {
             reno: Reno::new(cfg.reno),
             mem: MemHierarchy::new(cfg.hier),
             storesets: StoreSets::new(cfg.storesets),
-            oracle: Oracle::new(program, fuel),
+            oracle: Oracle::from_cpu(cpu, program, fuel),
             oracle_done: false,
             replay: VecDeque::new(),
             dyn_ring: vec![
@@ -380,8 +461,40 @@ impl<'p> Simulator<'p> {
             halt_retired: false,
             stats: SimStats::default(),
             cpa: Vec::new(),
+            mark_at: (u64::MAX, u64::MAX),
+            mark_start: None,
+            mark_end: None,
             cfg,
         }
+    }
+
+    /// Replaces the cold microarchitectural structures with pre-warmed ones
+    /// (see [`WarmState`]). Call before [`Simulator::run`].
+    #[must_use]
+    pub fn with_warm_state(mut self, warm: WarmState) -> Simulator<'p> {
+        self.mem = warm.mem;
+        self.frontend = warm.frontend;
+        self.storesets = warm.storesets;
+        self
+    }
+
+    /// Requests counter snapshots when `start` and `end` instructions (from
+    /// this simulator's own starting point) have retired; the pair is
+    /// reported in [`SimResult::mark_start`] / [`SimResult::mark_end`] and
+    /// combined by [`SimResult::measured`]. With both boundaries inside the
+    /// fueled region, the pipeline is in full flight at both snapshots, so
+    /// the delta measures steady-state cycles without fill or drain edges.
+    /// The run stops as soon as the end mark is taken — in-flight younger
+    /// instructions are the caller's padding, not worth detailed cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn with_measure_window(mut self, start: u64, end: u64) -> Simulator<'p> {
+        assert!(start <= end, "measure window boundaries out of order");
+        self.mark_at = (start, end);
+        self
     }
 
     /// Runs to completion (program halt / oracle exhaustion + pipeline
@@ -390,12 +503,34 @@ impl<'p> Simulator<'p> {
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (an internal invariant violation).
-    pub fn run(mut self, max_cycles: u64) -> SimResult {
+    pub fn run(self, max_cycles: u64) -> SimResult {
+        self.run_with_state(max_cycles).0
+    }
+
+    /// Like [`Simulator::run`], but also hands back the trained
+    /// microarchitectural structures so a sampling engine can carry cache,
+    /// predictor, and store-sets state forward into the next interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant violation).
+    pub fn run_with_state(mut self, max_cycles: u64) -> (SimResult, WarmState) {
         let naive = self.cfg.naive_sched;
         let mut last_progress = (0u64, 0u64);
         while !self.finished() && self.cycle < max_cycles {
             self.port_budget = self.cfg.store_ports;
             self.retire_stage();
+            if self.retired >= self.mark_at.0 && self.mark_start.is_none() {
+                self.mark_start = Some(self.mark_now());
+            }
+            if self.retired >= self.mark_at.1 && self.mark_end.is_none() {
+                self.mark_end = Some(self.mark_now());
+                // The measurement is complete: everything younger than the
+                // end boundary is the sampling engine's padding, which the
+                // functional fast-forward re-executes anyway. Stop here
+                // instead of paying detailed cost for the drain.
+                break;
+            }
             self.reexec_stage();
             self.drain_stores();
             if self.finished() {
@@ -427,7 +562,16 @@ impl<'p> Simulator<'p> {
                 last_progress = (self.cycle, self.retired);
             }
         }
-        self.result()
+        self.finish()
+    }
+
+    fn mark_now(&self) -> SampleMark {
+        SampleMark {
+            cycles: self.cycle,
+            retired: self.retired,
+            stats: self.stats,
+            reno: *self.reno.stats(),
+        }
     }
 
     fn finished(&self) -> bool {
@@ -492,8 +636,8 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn result(self) -> SimResult {
-        SimResult {
+    fn finish(self) -> (SimResult, WarmState) {
+        let result = SimResult {
             cycles: self.cycle,
             retired: self.retired,
             stats: self.stats,
@@ -505,7 +649,15 @@ impl<'p> Simulator<'p> {
             checksum: self.oracle.cpu().checksum(),
             halted: self.oracle.halted(),
             cpa: self.cpa,
-        }
+            mark_start: self.mark_start,
+            mark_end: self.mark_end,
+        };
+        let warm = WarmState {
+            mem: self.mem,
+            frontend: self.frontend,
+            storesets: self.storesets,
+        };
+        (result, warm)
     }
 
     // ------------------------------------------------------------- helpers
@@ -1503,22 +1655,6 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn classify_control(d: &DynInst) -> ControlKind {
-        match d.inst.op {
-            Opcode::Br => ControlKind::DirectJump,
-            Opcode::Jal => ControlKind::Call,
-            Opcode::Jr => {
-                if d.inst.rs1 == Reg::RA {
-                    ControlKind::Return
-                } else {
-                    ControlKind::IndirectJump
-                }
-            }
-            Opcode::Jalr => ControlKind::IndirectCall,
-            _ => ControlKind::Cond,
-        }
-    }
-
     fn fetch_stage(&mut self) {
         if self.waiting_branch.is_some() || self.cycle < self.fetch_stalled_until {
             return;
@@ -1545,7 +1681,7 @@ impl<'p> Simulator<'p> {
             }
             let mut mispredicted = false;
             if d.inst.op.is_control() && !from_replay {
-                let kind = Self::classify_control(&d);
+                let kind = classify_control(&d);
                 let ok = self
                     .frontend
                     .process(d.pc as u64, kind, d.taken, d.next_pc as u64);

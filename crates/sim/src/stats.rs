@@ -33,6 +33,22 @@ pub struct SimStats {
     pub rob_occ_sum: u64,
 }
 
+/// A counter snapshot taken mid-run at a retired-instruction boundary
+/// (see [`crate::Simulator::with_measure_window`]). The sampling subsystem
+/// subtracts two marks to obtain the cycles and event counts of a detailed
+/// measurement interval with the pipeline in full flight at both edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampleMark {
+    /// Cycle the mark was taken (the boundary instruction has retired).
+    pub cycles: u64,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Event counters so far.
+    pub stats: SimStats,
+    /// RENO elimination counters so far.
+    pub reno: RenoStats,
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -60,6 +76,12 @@ pub struct SimResult {
     /// Per-instruction records for critical-path analysis (empty unless
     /// enabled in the configuration).
     pub cpa: Vec<InstRecord>,
+    /// Snapshot at the measure-window start boundary, if one was requested
+    /// with [`crate::Simulator::with_measure_window`] and reached.
+    pub mark_start: Option<SampleMark>,
+    /// Snapshot at the measure-window end boundary, if reached before the
+    /// program (or the fuel) ran out.
+    pub mark_end: Option<SampleMark>,
 }
 
 impl SimResult {
@@ -75,6 +97,22 @@ impl SimResult {
     /// Percent of dynamic instructions eliminated or folded by RENO.
     pub fn elimination_pct(&self) -> f64 {
         self.reno.elimination_pct()
+    }
+
+    /// The measured window as a `(start, end)` mark pair, if a measure
+    /// window was requested and its start boundary was reached. When the run
+    /// ended (halt or fuel exhaustion) before the end boundary, the final
+    /// totals stand in for the end mark — the window is then clipped and
+    /// includes the pipeline drain.
+    pub fn measured(&self) -> Option<(SampleMark, SampleMark)> {
+        let start = self.mark_start?;
+        let end = self.mark_end.unwrap_or(SampleMark {
+            cycles: self.cycles,
+            retired: self.retired,
+            stats: self.stats,
+            reno: self.reno,
+        });
+        Some((start, end))
     }
 
     /// Speedup of this run relative to `baseline`, in percent
@@ -105,6 +143,8 @@ mod tests {
             checksum: 0,
             halted: true,
             cpa: Vec::new(),
+            mark_start: None,
+            mark_end: None,
         }
     }
 
@@ -114,6 +154,27 @@ mod tests {
         let fast = blank(1600, 1000);
         assert!((base.ipc() - 0.5).abs() < 1e-12);
         assert!((fast.speedup_pct_vs(&base) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_clips_to_final_totals_without_end_mark() {
+        let mut r = blank(5000, 4000);
+        assert!(r.measured().is_none(), "no window requested");
+        r.mark_start = Some(SampleMark {
+            cycles: 1000,
+            retired: 900,
+            ..Default::default()
+        });
+        let (s, e) = r.measured().expect("start mark present");
+        assert_eq!((s.cycles, s.retired), (1000, 900));
+        assert_eq!((e.cycles, e.retired), (5000, 4000), "clipped to totals");
+        r.mark_end = Some(SampleMark {
+            cycles: 3000,
+            retired: 2900,
+            ..Default::default()
+        });
+        let (_, e) = r.measured().expect("both marks present");
+        assert_eq!((e.cycles, e.retired), (3000, 2900));
     }
 
     #[test]

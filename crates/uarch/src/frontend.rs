@@ -79,6 +79,14 @@ impl FrontEnd {
         &self.stats
     }
 
+    /// Zeroes the accuracy counters while keeping all predictor state
+    /// (tables, history, RAS). Functional warming trains the front end
+    /// through [`FrontEnd::process`] and then resets the counters so a
+    /// measurement interval reports only its own predictions.
+    pub fn reset_stats(&mut self) {
+        self.stats = FrontEndStats::default();
+    }
+
     /// Processes one fetched control instruction.
     ///
     /// * `pc` — instruction index of the control instruction

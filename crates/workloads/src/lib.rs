@@ -36,6 +36,7 @@
 //! assert_eq!(all_workloads(Scale::Tiny).len(), 20);
 //! // Scales grow dynamic instruction counts without changing structure.
 //! assert!(Scale::Default.factor() > Scale::Small.factor());
+//! assert!(Scale::Large.factor() > Scale::Default.factor());
 //! ```
 
 mod media;
@@ -54,6 +55,9 @@ pub enum Scale {
     Small,
     /// Hundreds of thousands — the figures/tables harness.
     Default,
+    /// Millions — paper-scale runs, affordable in detailed timing mode only
+    /// through the `reno-sample` checkpointed-sampling subsystem.
+    Large,
 }
 
 impl Scale {
@@ -63,6 +67,7 @@ impl Scale {
             Scale::Tiny => 1,
             Scale::Small => 8,
             Scale::Default => 64,
+            Scale::Large => 512,
         }
     }
 }

@@ -31,18 +31,73 @@ const GOLDEN: [(&str, u64); 20] = [
     ("unepic", 0x0000000000003765),
 ];
 
-#[test]
-fn tiny_scale_checksums_are_pinned() {
-    let workloads = all_workloads(Scale::Tiny);
-    assert_eq!(workloads.len(), GOLDEN.len());
-    for (w, (name, golden)) in workloads.iter().zip(GOLDEN) {
-        assert_eq!(w.name, name, "suite order changed");
-        let (cpu, r) = run_to_completion(&w.program, 1 << 24).unwrap();
+// Large scale (millions of dynamic instructions per kernel, ~132M total):
+// the tier the sampling subsystem (`reno-sample`) exists for — detailed
+// timing simulation of it is only affordable sampled. The checksums are
+// functional, so they pin Large-scale semantics exactly like the tiny ones.
+const GOLDEN_LARGE: [(&str, u64); 20] = [
+    ("gzip.c", 0x0000000000036bd8),
+    ("crafty", 0x00000000001a9800),
+    ("mcf", 0x000000025658c260),
+    ("parser", 0x0000000000025400),
+    ("vortex", 0x00000000000300fa),
+    ("twolf", 0x000000000000140c),
+    ("gap", 0xb3cd67d1c7102700),
+    ("perl.i", 0x0000000000000027),
+    ("bzip2", 0x9cceff0072b4b277),
+    ("vpr.r", 0x0000000000000f80),
+    ("adpcm.en", 0xb3584feec75c0289),
+    ("g721.de", 0xffffffffffffc8df),
+    ("gsm.en", 0x000000001daaf5c3),
+    ("jpg.en", 0x0000000000009b97),
+    ("mpg2.de", 0x0000000000001dd0),
+    ("epic", 0x0000000000000c00),
+    ("pegw.en", 0x0000000049da5492),
+    ("mesa.t", 0x000000000006b800),
+    ("gs.de", 0x000000000000e744),
+    ("unepic", 0x0000000000001200),
+];
+
+/// Large-scale kernels that stay affordable in an unoptimized test run
+/// (roughly 8M dynamic instructions between them).
+const LARGE_SMOKE: [&str; 4] = ["crafty", "mcf", "pegw.en", "gs.de"];
+
+fn check(scale: Scale, golden: &[(&str, u64)], subset: Option<&[&str]>) {
+    let workloads = all_workloads(scale);
+    assert_eq!(workloads.len(), golden.len());
+    let mut checked = 0;
+    for (w, (name, golden)) in workloads.iter().zip(golden) {
+        assert_eq!(&w.name, name, "suite order changed");
+        if subset.is_some_and(|s| !s.contains(name)) {
+            continue;
+        }
+        let (cpu, r) = run_to_completion(&w.program, 1 << 34).unwrap();
         assert!(r.halted);
         assert_eq!(
             cpu.checksum(),
-            golden,
-            "{name}: semantic drift (update GOLDEN only if intentional)"
+            *golden,
+            "{name}: semantic drift (update goldens only if intentional)"
         );
+        checked += 1;
     }
+    assert_eq!(checked, subset.map_or(golden.len(), <[&str]>::len));
+}
+
+#[test]
+fn tiny_scale_checksums_are_pinned() {
+    check(Scale::Tiny, &GOLDEN, None);
+}
+
+#[test]
+fn large_scale_smoke_checksums_are_pinned() {
+    check(Scale::Large, &GOLDEN_LARGE, Some(&LARGE_SMOKE));
+}
+
+/// The full Large sweep (~132M dynamic instructions) is too slow for an
+/// unoptimized default test run; CI exercises it in release mode with
+/// `cargo test --release -p reno-workloads --test golden -- --ignored`.
+#[test]
+#[ignore = "~1 minute unoptimized; CI runs it in release mode"]
+fn large_scale_checksums_are_pinned() {
+    check(Scale::Large, &GOLDEN_LARGE, None);
 }

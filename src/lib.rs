@@ -8,6 +8,7 @@ pub use reno_cpa as cpa;
 pub use reno_func as func;
 pub use reno_isa as isa;
 pub use reno_mem as mem;
+pub use reno_sample as sample;
 pub use reno_sim as sim;
 pub use reno_uarch as uarch;
 pub use reno_workloads as workloads;
