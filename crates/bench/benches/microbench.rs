@@ -6,8 +6,10 @@ use reno_core::{
     IntegrationTable, ItConfig, ItKey, ItOperand, Mapping, PhysReg, RefCountFreeList, Reno,
     RenoConfig,
 };
-use reno_isa::{Inst, Opcode, Reg};
-use reno_mem::{Cache, CacheConfig};
+use reno_func::{Checkpoint, Cpu, DecodedProgram};
+use reno_isa::{Asm, Inst, Opcode, Program, Reg};
+use reno_mem::{Cache, CacheConfig, MemHierarchy};
+use reno_sim::MachineConfig;
 use reno_uarch::{HybridPredictor, StoreSets};
 
 fn bench_rename(c: &mut Criterion) {
@@ -107,6 +109,85 @@ fn bench_storesets(c: &mut Criterion) {
     });
 }
 
+/// A mixed ~12-instruction loop body: the functional engines' steady diet.
+fn func_kernel(iters: i64) -> Program {
+    let mut a = Asm::new();
+    let buf = a.zeros("buf", 2048);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, iters);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.andi(Reg::T1, Reg::T0, 255);
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S0);
+    a.ld(Reg::T2, Reg::T1, 0);
+    a.add(Reg::V0, Reg::V0, Reg::T2);
+    a.st(Reg::V0, Reg::T1, 0);
+    a.xor(Reg::V0, Reg::V0, Reg::T0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// Predecoded-block dispatch vs the per-instruction reference engine, over
+/// the same ~12k-instruction run (reported per run; divide by ~12k for
+/// per-instruction cost).
+fn bench_func_engines(c: &mut Criterion) {
+    let p = func_kernel(1000);
+    c.bench_function("func_step_12k_insts", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(&p);
+            black_box(cpu.run_program(&p, 1 << 20).unwrap().executed)
+        })
+    });
+    c.bench_function("func_blocks_12k_insts", |b| {
+        // The block cache persists across iterations, as it does across a
+        // sampled run's fast-forwards.
+        let mut dp = DecodedProgram::new(&p);
+        b.iter(|| {
+            let mut cpu = Cpu::new(&p);
+            black_box(cpu.run_decoded(&mut dp, 1 << 20).unwrap().executed)
+        })
+    });
+}
+
+/// The per-segment setup cost of a shard-parallel sampled run: deserialize
+/// + restore a dirty-page checkpoint, then rebuild warm state by replaying
+/// 2k instructions of functional warming from the segment head.
+fn bench_segment_restore(c: &mut Criterion) {
+    let p = func_kernel(4000);
+    let base = Cpu::new(&p);
+    let base_mem = base.mem().clone();
+    let mut cpu = Cpu::new(&p);
+    let mut dp = DecodedProgram::new(&p);
+    cpu.advance_decoded(&mut dp, 20_000).unwrap();
+    let bytes = Checkpoint::take_with_dirty_pages(&cpu, &cpu.mem().dirty_pages_sorted()).to_bytes();
+    let mcfg = MachineConfig::four_wide(RenoConfig::reno());
+
+    c.bench_function("checkpoint_restore_plus_2k_warm", |b| {
+        b.iter(|| {
+            let restored = Checkpoint::from_bytes(&bytes)
+                .expect("round trip")
+                .restore_with_base(&base_mem);
+            let mut warm_mem = MemHierarchy::new(mcfg.hier);
+            let mut dpw = DecodedProgram::new(&p);
+            let mut cur = reno_func::BlockCursor::new();
+            let mut cpu = restored;
+            let until = cpu.executed() + 2048;
+            while cpu.executed() < until {
+                let d = cpu.step_decoded(&mut dpw, &mut cur).unwrap().unwrap();
+                let op = d.inst.op;
+                if op.is_load() || op.is_store() {
+                    warm_mem.warm_data(d.mem_addr, op.is_store());
+                }
+            }
+            black_box(cpu.executed())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_rename,
@@ -114,6 +195,8 @@ criterion_group!(
     bench_refcount,
     bench_cache,
     bench_bpred,
-    bench_storesets
+    bench_storesets,
+    bench_func_engines,
+    bench_segment_restore
 );
 criterion_main!(benches);

@@ -4,9 +4,12 @@
 //! full-RENO configurations over one SPEC-like and one media-like kernel,
 //! and appends one labelled entry to the repo-root `BENCH_sim.json` so the
 //! perf trajectory across PRs is recorded in-tree. Each entry also records
-//! its run metadata — workload scale, worker-thread setting, and whether
-//! the measurement ran the full detailed simulator or the `reno-sample`
-//! sampled pipeline — so trajectories stay comparable across PRs.
+//! its run metadata — workload scale, worker-thread setting, the host's
+//! core count, and whether the measurement ran the full detailed simulator
+//! or the `reno-sample` sampled pipeline — plus the plain functional
+//! engine's instructions-per-second (`func_insts_per_sec`, the predecoded-
+//! block interpreter that floors every fast-forward), so trajectories stay
+//! comparable across PRs and hosts.
 //!
 //! Usage:
 //!
@@ -24,6 +27,7 @@
 
 use reno_bench::{run, thread_count, FUEL};
 use reno_core::RenoConfig;
+use reno_func::{Cpu, DecodedProgram};
 use reno_sample::run_sampled_auto;
 use reno_sim::MachineConfig;
 use reno_workloads::{media_suite, spec_suite, Scale, Workload};
@@ -40,6 +44,31 @@ fn workloads() -> Vec<Workload> {
     let spec = spec_suite(Scale::Default).swap_remove(0); // gzip.c
     let media = media_suite(Scale::Default).swap_remove(2); // gsm.en
     vec![spec, media]
+}
+
+/// Best-of-`REPS` throughput of the plain functional engine (predecoded
+/// basic blocks, no warming, no oracle records) in instructions per host
+/// second — the speed floor under every fast-forward in a sampled run.
+fn functional_throughput(ws: &[Workload]) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut insts = 0u64;
+        for w in ws {
+            let mut cpu = Cpu::new(&w.program);
+            let mut dp = DecodedProgram::new(&w.program);
+            let r = cpu.run_decoded(&mut dp, FUEL);
+            insts += match r {
+                Ok(r) => r.executed,
+                Err(_) => cpu.executed(),
+            };
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            best = best.max(insts as f64 / secs);
+        }
+    }
+    best
 }
 
 /// Best-of-`REPS` throughput (simulated cycles per host second) for `cfg`.
@@ -92,8 +121,11 @@ fn main() {
         ws.len()
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let func_ips = functional_throughput(&ws);
+    println!("  functional {func_ips:>14.0} inst/s (predecoded-block engine)");
     let mut entry = format!(
-        "{{\"label\":\"{label}\",\"scale\":\"default\",\"threads\":{},\"mode\":\"{mode}\"",
+        "{{\"label\":\"{label}\",\"scale\":\"default\",\"threads\":{},\"host_cores\":{host_cores},\"mode\":\"{mode}\",\"func_insts_per_sec\":{func_ips:.0}",
         thread_count()
     );
     for (name, cfg) in [

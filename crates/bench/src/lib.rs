@@ -26,20 +26,20 @@
 //!
 //! Every (workload × configuration) simulation in a figure is independent,
 //! so the binaries build their full job list up front and fan it across
-//! cores with [`par_map`] (a work-stealing-free atomic-cursor pool on
-//! `std::thread::scope` — no dependencies). Results come back in job order,
-//! so **output is byte-identical regardless of thread count or scheduling**;
-//! `RENO_THREADS` overrides the worker count (`RENO_THREADS=1` forces the
-//! sequential path).
+//! cores with [`par_map`] (re-exported from `reno-par`, the order-preserving
+//! atomic-cursor pool this harness shares with `reno-sample`'s segment
+//! fan-out). Results come back in job order, so **output is byte-identical
+//! regardless of thread count or scheduling**; `RENO_THREADS` overrides the
+//! worker count (`RENO_THREADS=1` forces the sequential path).
 
 use reno_core::RenoConfig;
 use reno_sim::{MachineConfig, SimResult, Simulator};
 use reno_workloads::{Scale, Workload};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 pub mod figures;
 pub mod sampling;
+
+pub use reno_par::{par_map, thread_count};
 
 /// Dynamic-instruction cap per simulation (bounds harness runtime while
 /// leaving every kernel's steady state well represented).
@@ -56,54 +56,6 @@ pub fn scale_from_env() -> Scale {
         Ok("large") => Scale::Large,
         _ => Scale::Default,
     }
-}
-
-/// Worker threads for [`par_map`]: the `RENO_THREADS` override if set (>= 1),
-/// otherwise the host's available parallelism.
-pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var("RENO_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Applies `f` to every item, fanning the work across [`thread_count`]
-/// scoped threads. Results are returned in item order, so callers produce
-/// identical output whether this runs on 1 core or 64.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = thread_count().min(items.len());
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
 }
 
 /// Runs one workload under one machine configuration.

@@ -60,6 +60,9 @@ impl Cpu {
         for seg in &program.data {
             mem.write_bytes(seg.addr, &seg.bytes);
         }
+        // Dirty tracking measures writes *since the initial image*: loading
+        // the program's own data segments does not count.
+        mem.clear_dirty();
         let mut regs = [0i64; Reg::COUNT];
         regs[Reg::SP.index()] = STACK_TOP as i64;
         Cpu {

@@ -66,12 +66,14 @@
 
 mod checkpoint;
 mod cpu;
+mod decode;
 mod memory;
 mod mix;
 mod trace;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use cpu::{run_to_completion, Cpu, ExecError, RunResult};
+pub use decode::{BlockCursor, DecodedProgram};
 pub use memory::{Memory, PAGE_BYTES};
 pub use mix::MixStats;
 pub use trace::{DynInst, Oracle};

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -22,12 +22,49 @@ pub const PAGE_BYTES: usize = PAGE_SIZE;
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Pages written since the last [`Memory::clear_dirty`] — the write
+    /// paths maintain this natively so checkpointing engines get the dirty
+    /// set without instrumenting the instruction stream.
+    dirty: HashSet<u64>,
+    /// Memo of the last dirtied page, stored as `page + 1` (0 = none), so
+    /// the common stream of same-page stores costs one compare.
+    dirty_memo: u64,
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Memory {
         Memory::default()
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, pno: u64) {
+        if self.dirty_memo != pno.wrapping_add(1) {
+            self.dirty_memo = pno.wrapping_add(1);
+            self.dirty.insert(pno);
+        }
+    }
+
+    /// The pages written since the last [`Memory::clear_dirty`] (or since
+    /// construction), sorted and deduplicated — a superset of the pages
+    /// whose contents differ from that point's image, suitable for
+    /// [`crate::Checkpoint::take_with_dirty_pages`].
+    pub fn dirty_pages_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.dirty.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of pages currently tracked as dirty.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Resets dirty-page tracking (e.g. right after loading a program's
+    /// initial image, so the tracked set is a delta against that image).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+        self.dirty_memo = 0;
     }
 
     /// Number of resident (touched) pages.
@@ -47,6 +84,7 @@ impl Memory {
     /// Writes one byte.
     #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
+        self.mark_dirty(addr >> PAGE_SHIFT);
         let page = self
             .pages
             .entry(addr >> PAGE_SHIFT)
@@ -88,6 +126,7 @@ impl Memory {
         debug_assert!(n <= 8);
         let off = (addr & PAGE_MASK) as usize;
         if off + n as usize <= PAGE_SIZE {
+            self.mark_dirty(addr >> PAGE_SHIFT);
             let page = self
                 .pages
                 .entry(addr >> PAGE_SHIFT)
@@ -123,6 +162,7 @@ impl Memory {
         while !rest.is_empty() {
             let off = (addr & PAGE_MASK) as usize;
             let n = rest.len().min(PAGE_SIZE - off);
+            self.mark_dirty(addr >> PAGE_SHIFT);
             let page = self
                 .pages
                 .entry(addr >> PAGE_SHIFT)
@@ -246,6 +286,21 @@ mod tests {
             vec![0x1, 0x5],
             "only content-changed pages, sorted"
         );
+    }
+
+    #[test]
+    fn dirty_tracking_covers_every_write_path() {
+        let mut m = Memory::new();
+        m.write_u8(0x1001, 7);
+        m.write_le(0x2ffe, 4, 0xaabb_ccdd); // straddles pages 2 and 3
+        m.write_bytes(0x5000, &[1, 2, 3]);
+        m.write_u8(0x1002, 8); // same page as the first write: memoized
+        assert_eq!(m.dirty_pages_sorted(), vec![0x1, 0x2, 0x3, 0x5]);
+        assert_eq!(m.dirty_page_count(), 4);
+        m.clear_dirty();
+        assert!(m.dirty_pages_sorted().is_empty());
+        m.write_u8(0x1003, 9); // re-dirties after the clear, despite the memo
+        assert_eq!(m.dirty_pages_sorted(), vec![0x1]);
     }
 
     #[test]

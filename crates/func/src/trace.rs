@@ -1,4 +1,4 @@
-use crate::{Cpu, ExecError};
+use crate::{BlockCursor, Cpu, DecodedProgram, ExecError};
 use reno_isa::{Inst, Program};
 
 /// One dynamic instruction on the architecturally correct path, as observed
@@ -53,7 +53,13 @@ impl DynInst {
 #[derive(Debug)]
 pub struct Oracle<'p> {
     cpu: Cpu,
-    program: &'p Program,
+    /// Predecoded block cache: the oracle steps over pre-extracted
+    /// instruction templates ([`Cpu::step_decoded`]) instead of re-decoding
+    /// from the program image, shaving the oracle tax off every detailed
+    /// simulation cycle. The [`DynInst`] stream is bit-identical to the
+    /// [`Cpu::step`] reference path.
+    dec: DecodedProgram<'p>,
+    cur: BlockCursor,
     fuel: u64,
     error: Option<ExecError>,
 }
@@ -70,7 +76,8 @@ impl<'p> Oracle<'p> {
     pub fn from_cpu(cpu: Cpu, program: &'p Program, fuel: u64) -> Oracle<'p> {
         Oracle {
             cpu,
-            program,
+            dec: DecodedProgram::new(program),
+            cur: BlockCursor::new(),
             fuel,
             error: None,
         }
@@ -100,7 +107,7 @@ impl Iterator for Oracle<'_> {
             return None;
         }
         self.fuel -= 1;
-        match self.cpu.step(self.program) {
+        match self.cpu.step_decoded(&mut self.dec, &mut self.cur) {
             Ok(d) => d,
             Err(e) => {
                 self.error = Some(e);

@@ -1,0 +1,166 @@
+//! Differential property suite for the predecoded basic-block engine: the
+//! block executor (`Cpu::run_decoded` / `Cpu::advance_decoded`) and the
+//! decoded per-instruction stepper (`Cpu::step_decoded`) must be
+//! **bit-identical** to the `Cpu::step` reference semantics — same
+//! executed counts, digests, checksums, instruction mixes, and (for the
+//! stepper) the same `DynInst` record stream — including across
+//! self-modifying-write invalidations of the block cache.
+
+use proptest::prelude::*;
+use reno_func::{BlockCursor, Cpu, DecodedProgram};
+use reno_isa::{Asm, Program, Reg, TEXT_BASE};
+
+/// A random-but-terminating program from a byte recipe: ALU chains, folds,
+/// loads/stores with partial-width overlaps, data-dependent branches, calls
+/// — and, when `smc` is set, stores aimed into the text address range so
+/// the block cache's invalidation path fires mid-run.
+fn gen_program(body: &[u8], iters: u8, smc: bool) -> Program {
+    let mut a = Asm::named("decoded");
+    let buf = a.zeros("buf", 512);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::S1, TEXT_BASE as i64);
+    a.li(Reg::T0, i64::from(iters % 20) + 2);
+    a.li(Reg::T1, 0x00c0_ffee);
+    a.li(Reg::T2, 5);
+    a.label("loop");
+    for (i, &b) in body.iter().enumerate() {
+        let disp = i16::from(b >> 4) * 8;
+        match b % 11 {
+            0 => {
+                a.add(Reg::T1, Reg::T1, Reg::T2);
+            }
+            1 => {
+                a.addi(Reg::T2, Reg::T2, i16::from(b) - 128);
+            }
+            2 => {
+                a.mul(Reg::T2, Reg::T2, Reg::T1);
+            }
+            3 => {
+                a.ld(Reg::T3, Reg::S0, disp);
+                a.add(Reg::T1, Reg::T1, Reg::T3);
+            }
+            4 => {
+                a.st(Reg::T1, Reg::S0, disp);
+            }
+            5 => {
+                a.sth(Reg::T2, Reg::S0, disp + 2);
+                a.ld(Reg::T4, Reg::S0, disp);
+                a.xor(Reg::T1, Reg::T1, Reg::T4);
+            }
+            6 => {
+                let skip = format!("sk{i}");
+                a.andi(Reg::T5, Reg::T1, 1);
+                a.beqz(Reg::T5, &skip);
+                a.addi(Reg::T1, Reg::T1, 7);
+                a.label(&skip);
+            }
+            7 => {
+                a.stb(Reg::T2, Reg::S0, disp + 5);
+            }
+            8 => {
+                a.out(Reg::T1);
+            }
+            9 if smc => {
+                // A store that lands inside the text segment's address
+                // range (every generated program is > 4 instructions, so a
+                // sub-16-byte displacement always hits): architecturally it
+                // only writes data memory (fetch reads the immutable
+                // instruction array), but the decoded engine must
+                // invalidate overlapping cached blocks and still produce
+                // identical results.
+                a.st(Reg::T1, Reg::S1, i16::from(b >> 4));
+            }
+            _ => {
+                a.slli(Reg::T2, Reg::T1, i16::from(b % 5));
+            }
+        }
+    }
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::T1);
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+fn assert_same_state(a: &Cpu, b: &Cpu, what: &str) {
+    assert_eq!(a.executed(), b.executed(), "executed [{what}]");
+    assert_eq!(a.pc(), b.pc(), "pc [{what}]");
+    assert_eq!(a.halted(), b.halted(), "halted [{what}]");
+    assert_eq!(a.checksum(), b.checksum(), "checksum [{what}]");
+    assert_eq!(a.state_digest(), b.state_digest(), "digest [{what}]");
+    assert_eq!(a.mix(), b.mix(), "mix [{what}]");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whole-run equivalence: `run_decoded` == a `run_program` reference.
+    #[test]
+    fn block_execution_matches_reference(
+        body in prop::collection::vec(any::<u8>(), 1..24),
+        iters in any::<u8>(),
+        smc in any::<bool>(),
+    ) {
+        let p = gen_program(&body, iters, smc);
+        let mut reference = Cpu::new(&p);
+        let rr = reference.run_program(&p, 1 << 20).unwrap();
+        let mut decoded = Cpu::new(&p);
+        let mut dp = DecodedProgram::new(&p);
+        let rd = decoded.run_decoded(&mut dp, 1 << 20).unwrap();
+        prop_assert_eq!(rr, rd);
+        assert_same_state(&reference, &decoded, "run_decoded");
+    }
+
+    /// Per-record equivalence: `step_decoded` yields the same `DynInst`
+    /// stream as `step`, across block-cache invalidations.
+    #[test]
+    fn decoded_stepper_streams_identical_records(
+        body in prop::collection::vec(any::<u8>(), 1..20),
+        iters in any::<u8>(),
+        smc in any::<bool>(),
+    ) {
+        let p = gen_program(&body, iters, smc);
+        let mut reference = Cpu::new(&p);
+        let mut decoded = Cpu::new(&p);
+        let mut dp = DecodedProgram::new(&p);
+        let mut cur = BlockCursor::new();
+        loop {
+            let da = reference.step(&p).unwrap();
+            let db = decoded.step_decoded(&mut dp, &mut cur).unwrap();
+            prop_assert_eq!(da, db, "DynInst streams must match record-for-record");
+            if da.is_none() {
+                break;
+            }
+        }
+        assert_same_state(&reference, &decoded, "step_decoded");
+        if smc && body.iter().any(|b| b % 11 == 9) {
+            prop_assert!(dp.invalidations() > 0, "the SMC stores must invalidate");
+        }
+    }
+
+    /// Cut-point equivalence: advancing to an arbitrary dynamic-instruction
+    /// boundary (as the sampling engine's checkpoint pass does) lands on
+    /// exactly the state the per-instruction engine reaches, and both
+    /// resume to identical completion.
+    #[test]
+    fn advance_decoded_cuts_anywhere(
+        body in prop::collection::vec(any::<u8>(), 1..16),
+        iters in any::<u8>(),
+        cut in any::<u16>(),
+        smc in any::<bool>(),
+    ) {
+        let p = gen_program(&body, iters, smc);
+        let cut = u64::from(cut % 700);
+        let mut reference = Cpu::new(&p);
+        while !reference.halted() && reference.executed() < cut {
+            reference.step(&p).unwrap();
+        }
+        let mut decoded = Cpu::new(&p);
+        let mut dp = DecodedProgram::new(&p);
+        decoded.advance_decoded(&mut dp, cut).unwrap();
+        assert_same_state(&reference, &decoded, "at the cut");
+        reference.run_program(&p, 1 << 20).unwrap();
+        decoded.run_decoded(&mut dp, 1 << 20).unwrap();
+        assert_same_state(&reference, &decoded, "after resume");
+    }
+}

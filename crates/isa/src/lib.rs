@@ -39,5 +39,5 @@ pub use asm::{Asm, AsmError};
 pub use encode::{decode, encode, DecodeError};
 pub use inst::Inst;
 pub use op::{MemWidth, OpClass, Opcode};
-pub use program::{Program, DATA_BASE, HEAP_BASE, STACK_TOP};
+pub use program::{Program, DATA_BASE, HEAP_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::Reg;

@@ -1,0 +1,89 @@
+//! # reno-par — deterministic order-preserving parallel map
+//!
+//! One primitive, [`par_map`]: apply a function to every item of a slice,
+//! fanning the work across scoped worker threads (a work-stealing-free
+//! atomic-cursor pool on `std::thread::scope` — no dependencies), and return
+//! the results **in item order**. Callers therefore produce byte-identical
+//! output whether the map runs on 1 core or 64; `RENO_THREADS` overrides the
+//! worker count (`RENO_THREADS=1` forces the sequential path).
+//!
+//! Both the experiment harness (`reno-bench`, which fans workload ×
+//! configuration sweeps) and the sampling engine (`reno-sample`, which fans
+//! checkpoint-delimited segments of one sampled run) are built on it; it
+//! lives in its own crate so the two can share it without a dependency
+//! cycle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads for [`par_map`]: the `RENO_THREADS` override if set
+/// (>= 1), otherwise the host's available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RENO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item, fanning the work across [`thread_count`]
+/// scoped threads. Results are returned in item order, so callers produce
+/// identical output whether this runs on 1 core or 64.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let par = par_map(&items, |x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(par_map(&[] as &[u8], |x| *x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -1,7 +1,8 @@
 use crate::{IntervalStat, SampledResult};
-use reno_func::{Checkpoint, Cpu, DynInst, ExecError};
+use reno_func::{BlockCursor, Checkpoint, Cpu, DecodedProgram, DynInst, ExecError, Memory};
 use reno_isa::Program;
 use reno_mem::MemHierarchy;
+use reno_par::par_map;
 use reno_sim::{classify_control, MachineConfig, Simulator, WarmState};
 use reno_uarch::FrontEnd;
 
@@ -13,6 +14,37 @@ const DRAIN_PAD: u64 = 256;
 /// Cycle safety net per detailed interval (the deadlock guard inside the
 /// simulator fires long before this).
 const INTERVAL_MAX_CYCLES: u64 = 1 << 26;
+
+/// Minimum sampling periods per parallel segment: the serial functional
+/// pass takes one checkpoint per segment, and each checkpoint-delimited
+/// segment becomes one independent job for the worker pool.
+const SEG_PERIODS: u64 = 8;
+
+/// Minimum warm-margin periods: a segment's checkpoint is taken this many
+/// periods *before* its first stratum, and the worker functionally replays
+/// the margin (warming caches, predictors, and the shadow profile) before
+/// any window is measured, so windows near a segment head are not measured
+/// against cold structures.
+const WARM_PERIODS: u64 = 2;
+
+/// Minimum warm-margin *instructions*: enough functional warming to
+/// rebuild beyond-L1 state (an L2 directory refill horizon). Without this
+/// floor, dense sampling (small periods) would produce short segments
+/// whose first windows run against half-cold caches — measured as a
+/// +3..8% CPI bias on large-footprint workloads (mcf, mpg2).
+const MIN_WARM_INSTS: u64 = 1 << 17;
+
+/// The segmentation shape for a given sampling period: `(periods per
+/// segment, warm-margin periods)`. The margin covers at least
+/// [`MIN_WARM_INSTS`], and a segment is at least four margins long so the
+/// replay overhead stays ≤ 25%. Derived from the config alone — never from
+/// the host — so the merged result is byte-identical at any
+/// `RENO_THREADS`: thread count changes wall-clock, not bytes.
+fn segment_shape(period: u64) -> (u64, u64) {
+    let m = WARM_PERIODS.max(MIN_WARM_INSTS.div_ceil(period.max(1)));
+    let k = SEG_PERIODS.max(4 * m);
+    (k, m)
+}
 
 /// Shape of a sampled run: how much is simulated in detail, and how often.
 ///
@@ -42,6 +74,9 @@ pub struct SampleConfig {
     /// the program had halted); `u64::MAX` = run to `halt`.
     pub max_insts: u64,
     /// Hard cap on measured intervals; `None` = one per period boundary.
+    /// The cap is applied when the run is planned (the first `n` strata are
+    /// measured), so a window that happens to measure nothing does not free
+    /// a slot for a later stratum.
     pub max_intervals: Option<usize>,
     /// Place each detailed window at a deterministic pseudo-random offset
     /// inside its period (default), instead of always at the period start.
@@ -174,7 +209,7 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Cumulative cost features over a dynamic-instruction prefix, collected by
+/// Cumulative cost features over a dynamic-instruction range, collected by
 /// the shadow profile: the drivers of cycle cost a functional pass can see.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct Features {
@@ -197,6 +232,13 @@ impl Features {
         }
     }
 
+    fn add(&mut self, o: &Features) {
+        self.insts += o.insts;
+        self.l2 += o.l2;
+        self.mem += o.mem;
+        self.mispred += o.mispred;
+    }
+
     fn vec(&self) -> [f64; 4] {
         [
             self.insts as f64,
@@ -207,11 +249,12 @@ impl Features {
     }
 }
 
-/// Shadow microarchitectural structures observing **every** dynamic
-/// instruction uniformly. They are never handed to the simulator and never
-/// reset, so the feature counts of any two instruction ranges are directly
-/// comparable — unlike the warming structures, which detailed intervals
-/// train more precisely over the regions they cover.
+/// Shadow microarchitectural structures observing every dynamic instruction
+/// a segment executes, uniformly. They are never handed to the simulator
+/// and never reset, so the feature counts of any two instruction ranges
+/// inside one segment are directly comparable — unlike the warming
+/// structures, which detailed intervals train more precisely over the
+/// regions they cover.
 struct Shadow {
     mem: MemHierarchy,
     frontend: FrontEnd,
@@ -307,243 +350,6 @@ impl Boundaries {
     }
 }
 
-/// The shadow profile of one sampling pass.
-struct Profile {
-    shadow: Shadow,
-    bounds: Boundaries,
-}
-
-/// Tracks the pages the program has written since its initial image, from
-/// the observed store stream — checkpoints then snapshot exactly these
-/// pages instead of scanning the whole resident image.
-#[derive(Default)]
-struct DirtyPages {
-    pages: std::collections::HashSet<u64>,
-    last: u64,
-    sorted: Vec<u64>,
-}
-
-impl DirtyPages {
-    fn new() -> DirtyPages {
-        DirtyPages {
-            pages: std::collections::HashSet::new(),
-            last: u64::MAX,
-            sorted: Vec::new(),
-        }
-    }
-
-    #[inline]
-    fn note_store(&mut self, addr: u64, width: u64) {
-        // A store may straddle a page boundary; cover both ends.
-        for a in [addr, addr + width.saturating_sub(1)] {
-            let pno = a / reno_func::PAGE_BYTES as u64;
-            if pno != self.last {
-                self.last = pno;
-                self.pages.insert(pno);
-            }
-        }
-    }
-
-    /// Current dirty set, sorted (cached between checkpoints when no new
-    /// page appeared).
-    fn sorted(&mut self) -> &[u64] {
-        if self.sorted.len() != self.pages.len() {
-            self.sorted.clear();
-            self.sorted.extend(self.pages.iter().copied());
-            self.sorted.sort_unstable();
-        }
-        &self.sorted
-    }
-}
-
-/// Functionally advances `cpu` to dynamic instruction `until` (or `halt`),
-/// warming `warm` for every instruction at or past `warm_from`, noting
-/// every written page in `dirty`, and feeding the shadow profile (which
-/// observes *every* instruction, skip region or not).
-#[allow(clippy::too_many_arguments)]
-fn fast_forward(
-    cpu: &mut Cpu,
-    program: &Program,
-    warm: &mut WarmState,
-    warmer: &mut Warmer,
-    dirty: &mut DirtyPages,
-    mut profile: Option<&mut Profile>,
-    until: u64,
-    warm_from: u64,
-) -> Result<(), ExecError> {
-    while !cpu.halted() && cpu.executed() < until {
-        let pre = cpu.executed();
-        if let Some(p) = profile.as_deref_mut() {
-            p.bounds.cross(pre, &p.shadow.cum);
-        }
-        let Some(d) = cpu.step(program)? else { break };
-        if d.inst.op.is_store() {
-            dirty.note_store(d.mem_addr, d.inst.op.mem_width().map_or(0, |w| w.bytes()));
-        }
-        if let Some(p) = profile.as_deref_mut() {
-            p.shadow.observe(&d);
-        }
-        if pre >= warm_from {
-            warmer.observe(&d, warm);
-        }
-    }
-    Ok(())
-}
-
-/// One sampling pass: functional execution of the whole program with
-/// warming and dirty-page tracking, measuring a detailed window at each
-/// requested checkpoint position.
-struct PassOutput {
-    head: Option<IntervalStat>,
-    /// `(checkpoint position, window)` pairs, in program order.
-    windows: Vec<(u64, IntervalStat)>,
-    total_insts: u64,
-    halted: bool,
-    checksum: u64,
-    digest: u64,
-    detailed_insts: u64,
-    error: Option<ExecError>,
-}
-
-/// Runs one pass over the program. `positions` yields checkpoint positions
-/// in increasing order (an infinite grid iterator or an explicit list);
-/// positions at or past halt / `max_insts` end the measuring.
-fn sample_pass(
-    program: &Program,
-    cfg: &MachineConfig,
-    sc: &SampleConfig,
-    measure_head: bool,
-    positions: &mut dyn Iterator<Item = u64>,
-    mut profile: Option<&mut Profile>,
-) -> PassOutput {
-    let mut cpu = Cpu::new(program);
-    // The initial memory image checkpoints delta against; built once.
-    let base_mem = cpu.mem().clone();
-    let mut warm = WarmState::cold(cfg);
-    let mut warmer = Warmer::new(cfg);
-    let mut dirty = DirtyPages::new();
-    let mut head: Option<IntervalStat> = None;
-    let mut windows: Vec<(u64, IntervalStat)> = Vec::new();
-    let mut detailed_insts = 0u64;
-    // Instructions below this index were already warmed by a detailed
-    // interval (which trains the same structures more precisely).
-    let mut warmed_until = 0u64;
-    let mut error: Option<ExecError> = None;
-
-    // Head stratum: one detailed window over the program start, cold
-    // structures and pipeline fill included — exactly what the full run
-    // experiences there.
-    if measure_head && sc.head > 0 && sc.max_insts > 0 {
-        let budget = (sc.head + DRAIN_PAD).min(sc.max_insts);
-        let end = sc.head.min(budget);
-        let sim = Simulator::from_cpu(program, cfg.clone(), Cpu::new(program), budget)
-            .with_warm_state(warm)
-            .with_measure_window(0, end);
-        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
-        warm = trained;
-        warm.mem.reset_timing();
-        if let Some((s, e)) = r.measured() {
-            if e.retired > s.retired {
-                head = Some(IntervalStat::from_marks(0, 0, &s, &e));
-            }
-        }
-        detailed_insts += r.retired;
-        warmed_until = r.retired;
-    }
-
-    for target in positions {
-        let target = target.min(sc.max_insts);
-        if let Err(e) = fast_forward(
-            &mut cpu,
-            program,
-            &mut warm,
-            &mut warmer,
-            &mut dirty,
-            profile.as_deref_mut(),
-            target,
-            warmed_until,
-        ) {
-            error = Some(e);
-            break;
-        }
-        if cpu.halted() || cpu.executed() >= sc.max_insts {
-            break;
-        }
-        if sc.max_intervals.is_some_and(|m| windows.len() >= m) {
-            break;
-        }
-
-        // Checkpoint boundary: snapshot, serialize, restore — every interval
-        // exercises the full save/restore path.
-        let here = cpu.executed();
-        let ck = Checkpoint::take_with_dirty_pages(&cpu, dirty.sorted());
-        debug_assert_eq!(ck.executed(), here);
-        let restored = Checkpoint::from_bytes(&ck.to_bytes())
-            .expect("a just-serialized checkpoint deserializes")
-            .restore_with_base(&base_mem);
-        // The dirty-page set must cover every written page; in debug builds,
-        // verify the restored image against the live machine byte for byte.
-        debug_assert!(restored.mem().delta_from(cpu.mem()).is_empty());
-        debug_assert_eq!(restored.state_digest(), cpu.state_digest());
-
-        // Detailed window: warmup + measure + drain pad, clipped to the
-        // instruction cap.
-        let budget = (sc.detailed_per_period() + DRAIN_PAD).min(sc.max_insts - here);
-        let end = sc.detailed_per_period().min(budget);
-        let start = sc.warmup.min(end);
-        warm.mem.reset_timing();
-        warm.mem.reset_stats();
-        warm.frontend.reset_stats();
-        let sim = Simulator::from_cpu(program, cfg.clone(), restored, budget)
-            .with_warm_state(warm)
-            .with_measure_window(start, end);
-        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
-        warm = trained;
-        warm.mem.reset_timing();
-        if let Some((s, e)) = r.measured() {
-            if e.retired > s.retired {
-                if let Some(p) = profile.as_deref_mut() {
-                    // Snapshot the shadow counters at the window's exact
-                    // edges when the functional pass reaches them.
-                    p.bounds.insert(here + s.retired);
-                    p.bounds.insert(here + e.retired);
-                }
-                windows.push((here, IntervalStat::from_marks(here + s.retired, 0, &s, &e)));
-            }
-        }
-        detailed_insts += r.retired;
-        warmed_until = here + r.retired;
-    }
-
-    // Finish the functional pass for the exact architectural totals (no
-    // further warming needed: nothing detailed runs past this point).
-    if error.is_none() {
-        if let Err(e) = fast_forward(
-            &mut cpu,
-            program,
-            &mut warm,
-            &mut warmer,
-            &mut dirty,
-            profile.as_deref_mut(),
-            sc.max_insts,
-            u64::MAX,
-        ) {
-            error = Some(e);
-        }
-    }
-
-    PassOutput {
-        head,
-        windows,
-        total_insts: cpu.executed(),
-        halted: cpu.halted(),
-        checksum: cpu.checksum(),
-        digest: cpu.state_digest(),
-        detailed_insts,
-        error,
-    }
-}
-
 /// The jittered checkpoint position for stratum `s` of width `period`
 /// starting at `grid_start`: a deterministic offset within the stratum's
 /// slack (so the whole window fits inside the stratum).
@@ -560,30 +366,277 @@ fn stratum_position(sc: &SampleConfig, grid_start: u64, period: u64, s: u64) -> 
         .saturating_add(offset)
 }
 
-fn assemble(sc: &SampleConfig, period: u64, out: PassOutput) -> SampledResult {
-    let mut intervals: Vec<IntervalStat> = out
-        .windows
-        .into_iter()
-        .map(|(pos, mut iv)| {
-            iv.stratum = pos.saturating_sub(sc.head) / period.max(1);
-            iv
+/// Where the serial pass checkpoints segment `j` (`j >= 1`) for a
+/// segmentation of `k` periods with an `m`-period warm margin: its first
+/// stratum's start minus the margin.
+fn segment_checkpoint_position(grid_start: u64, period: u64, k: u64, m: u64, j: u64) -> u64 {
+    grid_start + (j * k - m) * period
+}
+
+/// Phase 1 — the serial functional pass over the whole program: exact
+/// architectural totals, plus one dirty-page checkpoint per future segment.
+/// Runs on the predecoded-block engine with no warming or shadow cost, so
+/// it is the cheap serial fraction of a sampled run.
+struct FunctionalPass {
+    /// Serialized checkpoints for segments `1..`, in segment order
+    /// (`checkpoints[j - 1]` belongs to segment `j`).
+    checkpoints: Vec<Vec<u8>>,
+    total_insts: u64,
+    halted: bool,
+    checksum: u64,
+    digest: u64,
+    error: Option<ExecError>,
+}
+
+fn functional_pass(program: &Program, sc: &SampleConfig, period: u64) -> FunctionalPass {
+    let (k, m) = segment_shape(period);
+    let mut cpu = Cpu::new(program);
+    let mut dp = DecodedProgram::new(program);
+    let mut checkpoints = Vec::new();
+    let mut error = None;
+    let mut j = 1u64;
+    while error.is_none() && !cpu.halted() {
+        let pos = segment_checkpoint_position(sc.head, period, k, m, j);
+        if pos >= sc.max_insts {
+            break;
+        }
+        if let Err(e) = cpu.advance_decoded(&mut dp, pos) {
+            error = Some(e);
+            break;
+        }
+        if cpu.halted() {
+            break;
+        }
+        let ck = Checkpoint::take_with_dirty_pages(&cpu, &cpu.mem().dirty_pages_sorted());
+        checkpoints.push(ck.to_bytes());
+        j += 1;
+    }
+    if error.is_none() {
+        if let Err(e) = cpu.advance_decoded(&mut dp, sc.max_insts) {
+            error = Some(e);
+        }
+    }
+    FunctionalPass {
+        checkpoints,
+        total_insts: cpu.executed(),
+        halted: cpu.halted(),
+        checksum: cpu.checksum(),
+        digest: cpu.state_digest(),
+        error,
+    }
+}
+
+/// One checkpoint-delimited segment of a sampled run — an independent,
+/// deterministic job for the worker pool.
+struct SegmentJob {
+    index: u64,
+    /// Serialized checkpoint to resume from (`None` = fresh machine,
+    /// segment 0 only). Workers deserialize and restore, so every segment
+    /// exercises the full checkpoint save/restore path.
+    ck: Option<Vec<u8>>,
+    /// Dynamic-instruction position the worker starts at.
+    start: u64,
+    measure_head: bool,
+    /// `(stratum, window checkpoint position)` pairs to measure, ascending.
+    windows: Vec<(u64, u64)>,
+    /// Strata whose shadow features this segment reports: `[first, last)`.
+    strata: (u64, u64),
+    /// Functional end of the segment (exclusive).
+    seg_end: u64,
+}
+
+/// What one segment worker hands back to the merge.
+struct SegmentOut {
+    head: Option<IntervalStat>,
+    /// Shadow features over `[0, grid_start)` (segment 0, when snapped).
+    head_feat: Option<Features>,
+    /// `(stratum, window, window features)`, in program order.
+    windows: Vec<(u64, IntervalStat, Option<Features>)>,
+    /// Per-stratum shadow features for every stratum the segment owns.
+    strata_feats: Vec<(u64, Option<Features>)>,
+    detailed_insts: u64,
+    error: Option<ExecError>,
+}
+
+/// Functionally advances `cpu` to dynamic instruction `until` (or `halt`)
+/// over predecoded blocks, feeding the shadow profile every instruction and
+/// the warming hooks every instruction at or past `warm_from`.
+#[allow(clippy::too_many_arguments)]
+fn fast_forward(
+    cpu: &mut Cpu,
+    dp: &mut DecodedProgram<'_>,
+    cur: &mut BlockCursor,
+    warm: &mut WarmState,
+    warmer: &mut Warmer,
+    shadow: &mut Shadow,
+    bounds: &mut Boundaries,
+    until: u64,
+    warm_from: u64,
+) -> Result<(), ExecError> {
+    while !cpu.halted() && cpu.executed() < until {
+        let pre = cpu.executed();
+        bounds.cross(pre, &shadow.cum);
+        let Some(d) = cpu.step_decoded(dp, cur)? else {
+            break;
+        };
+        shadow.observe(&d);
+        if pre >= warm_from {
+            warmer.observe(&d, warm);
+        }
+    }
+    Ok(())
+}
+
+/// Runs one segment: restore (or start fresh), measure the head stratum if
+/// assigned, then alternate warming fast-forward and detailed windows over
+/// the segment's strata, closing with a functional run to the segment end
+/// so every owned stratum's shadow features are snapped.
+fn run_segment(
+    program: &Program,
+    cfg: &MachineConfig,
+    sc: &SampleConfig,
+    period: u64,
+    base_mem: &Memory,
+    total: u64,
+    job: &SegmentJob,
+) -> SegmentOut {
+    let grid_start = sc.head;
+    let mut cpu = match &job.ck {
+        Some(bytes) => Checkpoint::from_bytes(bytes)
+            .expect("phase-1 checkpoint deserializes")
+            .restore_with_base(base_mem),
+        None => Cpu::new(program),
+    };
+    debug_assert_eq!(cpu.executed(), job.start);
+    let mut dp = DecodedProgram::new(program);
+    let mut cur = BlockCursor::new();
+    let mut warm = WarmState::cold(cfg);
+    let mut warmer = Warmer::new(cfg);
+    let mut shadow = Shadow::new(cfg);
+    let mut bounds = Boundaries::new(grid_start + job.strata.0 * period, period);
+    let mut out = SegmentOut {
+        head: None,
+        head_feat: None,
+        windows: Vec::with_capacity(job.windows.len()),
+        strata_feats: Vec::new(),
+        detailed_insts: 0,
+        error: None,
+    };
+    // Instructions below this index were already warmed by a detailed
+    // interval (which trains the same structures more precisely).
+    let mut warmed_until = job.start;
+
+    // Head stratum: one detailed window over the program start, cold
+    // structures and pipeline fill included — exactly what the full run
+    // experiences there.
+    if job.measure_head {
+        let budget = (sc.head + DRAIN_PAD).min(sc.max_insts);
+        let end = sc.head.min(budget);
+        let sim = Simulator::from_cpu(program, cfg.clone(), Cpu::new(program), budget)
+            .with_warm_state(warm)
+            .with_measure_window(0, end);
+        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
+        warm = trained;
+        warm.mem.reset_timing();
+        if let Some((s, e)) = r.measured() {
+            if e.retired > s.retired {
+                out.head = Some(IntervalStat::from_marks(0, 0, &s, &e));
+            }
+        }
+        out.detailed_insts += r.retired;
+        warmed_until = r.retired;
+    }
+
+    for &(s, pos) in &job.windows {
+        if let Err(e) = fast_forward(
+            &mut cpu,
+            &mut dp,
+            &mut cur,
+            &mut warm,
+            &mut warmer,
+            &mut shadow,
+            &mut bounds,
+            pos,
+            warmed_until,
+        ) {
+            out.error = Some(e);
+            return out;
+        }
+        debug_assert_eq!(cpu.executed(), pos, "planner guarantees pos < total");
+
+        // Detailed window: warmup + measure + drain pad, clipped to the
+        // instruction cap, run from a clone of the live machine.
+        let budget = (sc.detailed_per_period() + DRAIN_PAD).min(sc.max_insts - pos);
+        let end = sc.detailed_per_period().min(budget);
+        let start = sc.warmup.min(end);
+        warm.mem.reset_timing();
+        warm.mem.reset_stats();
+        warm.frontend.reset_stats();
+        let sim = Simulator::from_cpu(program, cfg.clone(), cpu.clone(), budget)
+            .with_warm_state(warm)
+            .with_measure_window(start, end);
+        let (r, trained) = sim.run_with_state(INTERVAL_MAX_CYCLES);
+        warm = trained;
+        warm.mem.reset_timing();
+        if let Some((ms, me)) = r.measured() {
+            if me.retired > ms.retired {
+                // Snapshot the shadow counters at the window's exact edges
+                // when the functional pass reaches them.
+                bounds.insert(pos + ms.retired);
+                bounds.insert(pos + me.retired);
+                out.windows.push((
+                    s,
+                    IntervalStat::from_marks(pos + ms.retired, s, &ms, &me),
+                    None,
+                ));
+            }
+        }
+        out.detailed_insts += r.retired;
+        warmed_until = pos + r.retired;
+    }
+
+    // Close the segment functionally (no warming needed: nothing detailed
+    // runs past this point in this segment) and take the final boundary
+    // snapshot.
+    if let Err(e) = fast_forward(
+        &mut cpu,
+        &mut dp,
+        &mut cur,
+        &mut warm,
+        &mut warmer,
+        &mut shadow,
+        &mut bounds,
+        job.seg_end,
+        u64::MAX,
+    ) {
+        out.error = Some(e);
+        return out;
+    }
+    bounds.cross(cpu.executed(), &shadow.cum);
+
+    // Extract per-range shadow features. Cumulative counts are relative to
+    // the segment head, so only within-segment deltas are taken.
+    let final_cum = shadow.cum;
+    let feat = |a: u64, b: u64| -> Option<Features> {
+        let fa = bounds.at(a, total, &final_cum)?;
+        let fb = bounds.at(b, total, &final_cum)?;
+        Some(fb.minus(&fa))
+    };
+    for (s, iv, f) in &mut out.windows {
+        let _ = s;
+        *f = feat(iv.start_inst, iv.start_inst + iv.insts);
+    }
+    out.strata_feats = (job.strata.0..job.strata.1)
+        .map(|s| {
+            let s0 = grid_start + s * period;
+            let s1 = (s0 + period).min(total);
+            (s, feat(s0, s1))
         })
         .collect();
-    intervals.sort_by_key(|iv| iv.start_inst);
-    SampledResult {
-        head: out.head,
-        intervals,
-        grid_start: sc.head,
-        period,
-        total_insts: out.total_insts,
-        halted: out.halted,
-        checksum: out.checksum,
-        digest: out.digest,
-        detailed_insts: out.detailed_insts,
-        error: out.error,
-        model_cycles: None,
-        model_r2: None,
+    if job.index == 0 && grid_start > 0 {
+        out.head_feat = feat(0, grid_start.min(total));
     }
+    out
 }
 
 #[inline]
@@ -641,32 +694,34 @@ const MODEL_MIN_R2: f64 = 0.85;
 /// Minimum measured windows before fitting a 4-parameter model.
 const MODEL_MIN_WINDOWS: usize = 8;
 
+/// The merged per-stratum / per-window shadow features of one sampled run.
+struct FeatureTable {
+    /// Features of each measured window, index-aligned with
+    /// `SampledResult::intervals`.
+    windows: Vec<Option<Features>>,
+    /// Features of every stratum `0..strata_total`, indexed by stratum.
+    strata: Vec<Option<Features>>,
+    /// Features over `[0, grid_start)`.
+    head: Option<Features>,
+}
+
 /// Model-assisted estimation: fit `cycles ≈ β · (insts, L2-served,
 /// mem-served, mispredicts)` on the measured windows against the shadow
 /// profile's exact per-range features, then estimate every stratum from its
 /// own features — measured strata keep their measurement as a local
 /// multiplicative correction, unmeasured strata use the model outright.
-/// The whole-run profile is exact (the shadow sees every instruction), so
-/// phase structure that never lined up with a window still lands in the
-/// estimate through its features.
-fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof: &Profile) {
+/// The per-segment profiles jointly cover every instruction, so phase
+/// structure that never lined up with a window still lands in the estimate
+/// through its features.
+fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: &FeatureTable) {
     if result.intervals.len() < MODEL_MIN_WINDOWS || result.total_insts == 0 || period == 0 {
         return;
     }
     let total = result.total_insts;
-    let final_cum = &prof.shadow.cum;
-    let feat = |a: u64, b: u64| -> Option<Features> {
-        let fa = prof.bounds.at(a, total, final_cum)?;
-        let fb = prof.bounds.at(b, total, final_cum)?;
-        Some(fb.minus(&fa))
-    };
-
     let mut xs: Vec<[f64; 4]> = Vec::with_capacity(result.intervals.len());
     let mut ys: Vec<f64> = Vec::with_capacity(result.intervals.len());
-    for iv in &result.intervals {
-        let Some(f) = feat(iv.start_inst, iv.start_inst + iv.insts) else {
-            return;
-        };
+    for (iv, f) in result.intervals.iter().zip(&ft.windows) {
+        let Some(f) = f else { return };
         xs.push(f.vec());
         ys.push(iv.cycles as f64);
     }
@@ -693,8 +748,12 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof
     }
 
     let steady = result.steady_cpi();
-    let by_stratum: std::collections::HashMap<u64, &crate::IntervalStat> =
-        result.intervals.iter().map(|iv| (iv.stratum, iv)).collect();
+    let by_stratum: std::collections::HashMap<u64, usize> = result
+        .intervals
+        .iter()
+        .enumerate()
+        .map(|(k, iv)| (iv.stratum, k))
+        .collect();
     let mut cycles = 0.0f64;
     // The head window covers [0, grid_start) exactly; without one, the
     // region is extrapolated through the model like any other.
@@ -703,7 +762,7 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof
         Some(h) => cycles += h.cycles as f64,
         None => {
             if grid_start > 0 {
-                let Some(f) = feat(0, grid_start) else { return };
+                let Some(f) = ft.head else { return };
                 let pred = dot4(&beta, &f.vec());
                 cycles += if pred > 0.0 {
                     pred
@@ -717,13 +776,14 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof
     for s in 0..strata {
         let s0 = grid_start + s * period;
         let s1 = (s0 + period).min(total);
-        let Some(f) = feat(s0, s1) else { return };
+        let Some(Some(f)) = ft.strata.get(s as usize) else {
+            return;
+        };
         let pred = dot4(&beta, &f.vec());
         let est = match by_stratum.get(&s) {
-            Some(iv) => {
-                let Some(fw) = feat(iv.start_inst, iv.start_inst + iv.insts) else {
-                    return;
-                };
+            Some(&k) => {
+                let iv = &result.intervals[k];
+                let Some(fw) = ft.windows[k] else { return };
                 let predw = dot4(&beta, &fw.vec());
                 if pred > 0.0 && predw > 1e-6 {
                     // Local multiplicative correction: how the measured
@@ -741,9 +801,61 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof
     result.model_cycles = Some(cycles);
 }
 
+/// Relative shift in the beyond-L1 service mix (L2- and memory-served
+/// access rates) between the strata the model was fitted on (measured) and
+/// the strata it extrapolates (unmeasured). A large shift means the
+/// unmeasured part of the program behaves unlike anything a window saw —
+/// exactly the regime where functional warming biases can hide — so the
+/// auto ladder treats it as a reason to densify or fall back.
+fn feature_drift(result: &SampledResult, ft: &FeatureTable) -> Option<f64> {
+    let measured: std::collections::HashSet<u64> =
+        result.intervals.iter().map(|iv| iv.stratum).collect();
+    let mut m = Features::default();
+    let mut u = Features::default();
+    let mut unmeasured_any = false;
+    for (s, f) in ft.strata.iter().enumerate() {
+        let f = (*f)?;
+        if measured.contains(&(s as u64)) {
+            m.add(&f);
+        } else {
+            unmeasured_any = true;
+            u.add(&f);
+        }
+    }
+    if !unmeasured_any || m.insts == 0 || u.insts == 0 {
+        return None;
+    }
+    let rate = |f: &Features, k: u64| k as f64 / f.insts as f64;
+    let mut drift = 0.0f64;
+    for (rm, ru) in [
+        (rate(&m, m.l2), rate(&u, u.l2)),
+        (rate(&m, m.mem), rate(&u, u.mem)),
+    ] {
+        // Normalize by the larger rate, floored so near-zero traffic on
+        // both sides (e.g. an L1-resident program) cannot manufacture a
+        // huge relative drift out of noise.
+        let denom = rm.max(ru).max(2e-3);
+        drift = drift.max((ru - rm).abs() / denom);
+    }
+    Some(drift)
+}
+
 /// Runs `program` under `cfg` with checkpointed fast-forward and sampled
 /// detailed measurement (see the crate docs for the phase structure and the
 /// estimation methodology).
+///
+/// The run is **time-parallel**: a cheap serial functional pass (predecoded
+/// blocks, no warming) takes one dirty-page checkpoint per segment (a fixed
+/// number of sampling periods derived from the config), then the
+/// checkpoint-delimited segments fan across the [`reno_par::par_map`]
+/// worker pool. Each worker restores its checkpoint, rebuilds warm state
+/// (functional warming from the segment head, with a warm margin of at
+/// least an L2-refill horizon before its first stratum, plus the usual
+/// per-window detailed warmup), measures its windows, and profiles its
+/// strata; the
+/// merged window set feeds one least-squares model fit. Segmentation never
+/// depends on the worker count, so the result is **byte-identical at any
+/// `RENO_THREADS`**.
 ///
 /// Architectural results ([`SampledResult::checksum`],
 /// [`SampledResult::digest`], [`SampledResult::total_insts`]) are exact —
@@ -755,14 +867,129 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, prof
 /// Panics if `sc` is inconsistent (see [`SampleConfig::new`]).
 pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> SampledResult {
     sc.validate();
-    let mut profile = Profile {
-        shadow: Shadow::new(&cfg),
-        bounds: Boundaries::new(sc.head, sc.period),
+    let period = sc.period;
+    let pass = functional_pass(program, sc, period);
+    let total = pass.total_insts;
+    let grid_start = sc.head;
+    let measure_head = sc.head > 0 && sc.max_insts > 0;
+
+    // Plan the measured strata (deterministic: positions come from the
+    // jitter hash, the cap from the config).
+    let strata_total = if total > grid_start {
+        (total - grid_start).div_ceil(period.max(1))
+    } else {
+        0
     };
-    let mut grid = (0u64..).map(|s| stratum_position(sc, sc.head, sc.period, s));
-    let out = sample_pass(program, &cfg, sc, true, &mut grid, Some(&mut profile));
-    let mut result = assemble(sc, sc.period, out);
-    model_assist(sc, sc.period, &mut result, &profile);
+    let mut planned: Vec<(u64, u64)> = Vec::new();
+    for s in 0..strata_total {
+        if sc.max_intervals.is_some_and(|m| planned.len() >= m) {
+            break;
+        }
+        let pos = stratum_position(sc, grid_start, period, s).min(sc.max_insts);
+        if pos >= total {
+            break;
+        }
+        planned.push((s, pos));
+    }
+
+    // Carve segments: `seg_k` strata each, the last one absorbing the
+    // tail fragment. Every segment runs (features are needed for all
+    // strata), whether or not it measures a window.
+    let (seg_k, seg_m) = segment_shape(period);
+    let seg_count = strata_total.div_ceil(seg_k).max(u64::from(measure_head));
+    let mut checkpoints = pass.checkpoints.into_iter();
+    let jobs: Vec<SegmentJob> = (0..seg_count)
+        .map(|j| {
+            let s_first = j * seg_k;
+            let s_last = ((j + 1) * seg_k).min(strata_total);
+            let seg_end = if s_last >= strata_total {
+                total
+            } else {
+                grid_start + s_last * period
+            };
+            let (ck, start) = if j == 0 {
+                (None, 0)
+            } else {
+                (
+                    Some(
+                        checkpoints
+                            .next()
+                            .expect("phase 1 checkpointed every segment"),
+                    ),
+                    segment_checkpoint_position(grid_start, period, seg_k, seg_m, j),
+                )
+            };
+            SegmentJob {
+                index: j,
+                ck,
+                start,
+                measure_head: measure_head && j == 0,
+                windows: planned
+                    .iter()
+                    .filter(|&&(s, _)| s >= s_first && s < s_last)
+                    .copied()
+                    .collect(),
+                strata: (s_first, s_last),
+                seg_end,
+            }
+        })
+        .collect();
+
+    let base_mem = Cpu::new(program).mem().clone();
+    let outs = par_map(&jobs, |job| {
+        run_segment(program, &cfg, sc, period, &base_mem, total, job)
+    });
+
+    // Merge, in segment order (== program order).
+    let mut head = None;
+    let mut ft = FeatureTable {
+        windows: Vec::new(),
+        strata: vec![None; strata_total as usize],
+        head: None,
+    };
+    let mut intervals: Vec<IntervalStat> = Vec::new();
+    let mut detailed_insts = 0u64;
+    let mut error = pass.error;
+    for out in outs {
+        if out.head.is_some() {
+            head = out.head;
+        }
+        if out.head_feat.is_some() {
+            ft.head = out.head_feat;
+        }
+        for (_, iv, f) in out.windows {
+            intervals.push(iv);
+            ft.windows.push(f);
+        }
+        for (s, f) in out.strata_feats {
+            ft.strata[s as usize] = f;
+        }
+        detailed_insts += out.detailed_insts;
+        if error.is_none() {
+            error = out.error;
+        }
+    }
+    debug_assert!(intervals
+        .windows(2)
+        .all(|w| w[0].start_inst < w[1].start_inst));
+
+    let mut result = SampledResult {
+        head,
+        intervals,
+        grid_start: sc.head,
+        period,
+        total_insts: total,
+        halted: pass.halted,
+        checksum: pass.checksum,
+        digest: pass.digest,
+        detailed_insts,
+        error,
+        model_cycles: None,
+        model_r2: None,
+        feature_drift: None,
+    };
+    model_assist(sc, period, &mut result, &ft);
+    result.feature_drift = feature_drift(&result, &ft);
     result
 }
 
@@ -788,7 +1015,52 @@ fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> Sampled
         error: None,
         model_cycles: None,
         model_r2: None,
+        feature_drift: None,
     }
+}
+
+/// Maximum tolerated [`SampledResult::feature_drift`] before a rung's
+/// estimate is considered out-of-distribution and the ladder escalates.
+const DRIFT_LIMIT: f64 = 0.5;
+
+/// Ground truth for rare expensive pipeline events, from the second half
+/// of the head region measured exactly from cold: `(squashes, insts)`.
+/// The *first* half is startup (gzip/parser/vpr squash dozens of times
+/// while initializing, then never again — those costs are already charged
+/// exactly through the head stratum); rates that persist into the second
+/// half belong to the steady state the windows claim to represent.
+type RareEventAnchor = Option<(u64, u64)>;
+
+fn rare_event_anchor(program: &Program, cfg: &MachineConfig, head: u64) -> RareEventAnchor {
+    let r = Simulator::with_fuel(program, cfg.clone(), head + DRAIN_PAD)
+        .with_measure_window(head / 2, head)
+        .run(INTERVAL_MAX_CYCLES);
+    let (s, e) = r.measured()?;
+    (e.retired > s.retired).then(|| (e.stats.squashed - s.stats.squashed, e.retired - s.retired))
+}
+
+/// Rare-event blindness: squashes (memory-ordering violations and
+/// misintegrations) cost tens of cycles each, and the shadow profile
+/// cannot see them. vortex at `Scale::Large` loses ~6% of its cycles to
+/// squashes whose rate a 768-instruction window almost never samples —
+/// every window measures a clean, uniformly optimistic CPI, and the
+/// dispersion/model gates are all green. The head's second half
+/// establishes the steady squash rate exactly; if the windows should have
+/// seen a statistically meaningful number of squashes at that rate but saw
+/// almost none, the window population is blind to that cost. Escalate.
+fn windows_blind_to_rare_events(r: &SampledResult, anchor: RareEventAnchor) -> bool {
+    let Some((a_squash, a_insts)) = anchor else {
+        return false;
+    };
+    if a_insts == 0 || a_squash == 0 {
+        return false;
+    }
+    let win_insts: u64 = r.intervals.iter().map(|i| i.insts).sum();
+    let win_squash: u64 = r.intervals.iter().map(|i| i.stats.squashed).sum();
+    let expected = a_squash as f64 / a_insts as f64 * win_insts as f64;
+    // Poisson-style rule: expecting >= 5 events, observing under a quarter
+    // of them, is blindness, not luck (P[N <= E/4 | E >= 5] < ~2%).
+    expected >= 5.0 && (win_squash as f64) < expected / 4.0
 }
 
 /// The production entry point: sampled simulation with an accuracy
@@ -796,21 +1068,23 @@ fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> Sampled
 ///
 /// * **Round 0** — sparse sampling (32k-instruction periods, 1k detailed
 ///   warmup per window). Accepted when enough windows were measured, the
-///   shadow-profile cycle model fit them well, and their dispersion
-///   (95% bound) is moderate — the common case for phase-stable programs,
-///   at a few percent detailed cost.
-/// * **Round 1** — dense sampling (8k periods) with a 2k warmup. The long
+///   shadow-profile cycle model fit them well, their dispersion
+///   (95% bound) is moderate, and the shadow profile shows no large drift
+///   in the beyond-L1 service mix between the fitted and unmeasured strata
+///   — the common case for phase-stable programs, at a few percent detailed
+///   cost.
+/// * **Round 1** — dense sampling (12k periods) with a 2k warmup. The long
 ///   warmup matters: window restarts lose long-range microarchitectural
 ///   state (RENO's integration table most of all), and bursty programs
 ///   need both the density and the deeper refill. Accepted under the same
-///   window-count/model gates with a tightened R² requirement.
+///   window-count/model/drift gates with a tightened R² requirement.
 /// * **Fallback** — full detailed simulation. Programs too short or too
 ///   irregular to sample (every window gate failed) are simply measured;
 ///   sampling is a bargain for long programs, not a mandate for short ones.
 ///
 /// The gates only ever consult a cheap functional length probe and the
-/// runs' own diagnostics (window count, model R², window dispersion), so
-/// the choice is deterministic.
+/// runs' own diagnostics (window count, model R², window dispersion,
+/// feature drift), so the choice is deterministic.
 pub fn run_sampled_auto(program: &Program, cfg: MachineConfig, max_insts: u64) -> SampledResult {
     const HEAD: u64 = 16384;
     const MIN_WINDOWS: u64 = 12;
@@ -819,15 +1093,28 @@ pub fn run_sampled_auto(program: &Program, cfg: MachineConfig, max_insts: u64) -
     const WARMUP: u64 = 2048;
     const INTERVAL: u64 = 768;
 
-    // Length probe: a bare functional pass (several times cheaper than even
-    // the warming fast-forward) so rungs that cannot field enough windows
-    // are skipped instead of run and discarded.
+    // Length probe: a bare functional pass over predecoded blocks (several
+    // times cheaper than even the warming fast-forward) so rungs that
+    // cannot field enough windows are skipped instead of run and discarded.
     let total = {
         let mut cpu = Cpu::new(program);
-        match cpu.run_program(program, max_insts) {
+        let mut dp = DecodedProgram::new(program);
+        match cpu.run_decoded(&mut dp, max_insts) {
             Ok(r) => r.executed,
             Err(_) => cpu.executed(),
         }
+    };
+
+    let p0 = (total / 48).max(32768);
+    let p1 = 12288u64;
+
+    // Ground-truth rare-event rates, measured once and shared by both
+    // rungs' gates (skipped when no rung can field enough windows anyway —
+    // `p1` is the denser rung, so its window guard is the weaker one).
+    let anchor = if total.saturating_sub(HEAD) / p1 >= MIN_WINDOWS {
+        rare_event_anchor(program, &cfg, HEAD)
+    } else {
+        None
     };
 
     let diag = |r: &SampledResult| {
@@ -837,21 +1124,25 @@ pub fn run_sampled_auto(program: &Program, cfg: MachineConfig, max_insts: u64) -
                 .filter(|_| r.model_cycles.is_some())
                 .unwrap_or(-1.0),
             r.cpi_ci95_rel_pct(),
+            r.feature_drift.map_or(true, |d| d <= DRIFT_LIMIT)
+                && !windows_blind_to_rare_events(r, anchor),
         )
     };
 
     // Round 0: sparse (~48 windows on long programs). Accept on a tight
     // dispersion bound alone, or on a trusted model with moderate
     // dispersion — the better the model fits, the more window dispersion it
-    // has already explained away.
-    let p0 = (total / 48).max(32768);
+    // has already explained away. Either way, the unmeasured strata must
+    // look like the measured ones (the drift gate) and the windows must
+    // reproduce the anchored rare-event rates (the blindness gate).
     if total.saturating_sub(HEAD) / p0 >= MIN_WINDOWS {
         let sc0 = SampleConfig::new(WARMUP, INTERVAL, p0)
             .with_head(HEAD)
             .with_max_insts(max_insts);
         let r0 = run_sampled(program, cfg.clone(), &sc0);
-        let (iv, r2, ci) = diag(&r0);
+        let (iv, r2, ci, profile_ok) = diag(&r0);
         if iv >= MIN_WINDOWS
+            && profile_ok
             && (ci <= 1.0
                 || (r2 >= 0.90 && ci <= 4.5)
                 || (r2 >= 0.95 && ci <= 6.5)
@@ -863,14 +1154,16 @@ pub fn run_sampled_auto(program: &Program, cfg: MachineConfig, max_insts: u64) -
 
     // Round 1: dense. A trusted model is mandatory here — programs that
     // reach this rung have dispersion only a model can tame.
-    let p1 = 12288u64;
     if total.saturating_sub(HEAD) / p1 >= MIN_WINDOWS {
         let sc1 = SampleConfig::new(WARMUP, INTERVAL, p1)
             .with_head(HEAD)
             .with_max_insts(max_insts);
         let r1 = run_sampled(program, cfg.clone(), &sc1);
-        let (iv, r2, ci) = diag(&r1);
-        if iv >= MIN_WINDOWS && ((r2 >= 0.93 && ci <= 8.0) || (r2 >= 0.99 && ci <= 12.0)) {
+        let (iv, r2, ci, profile_ok) = diag(&r1);
+        if iv >= MIN_WINDOWS
+            && profile_ok
+            && ((r2 >= 0.93 && ci <= 8.0) || (r2 >= 0.99 && ci <= 12.0))
+        {
             return r1;
         }
     }
@@ -970,6 +1263,7 @@ mod tests {
                 "interval {k} starts at {} (period base {period_base})",
                 i.start_inst
             );
+            assert_eq!(i.stratum, k as u64);
         }
         assert_eq!(
             s.measured_insts(),
@@ -1011,6 +1305,27 @@ mod tests {
         assert_eq!(s.est_cpi(), 0.0);
         assert!(s.intervals.is_empty());
         assert_eq!(s.total_insts, 3);
+    }
+
+    #[test]
+    fn long_runs_span_multiple_segments() {
+        // ~1.2M insts / 64k periods = 18 strata over 8-period segments =
+        // 3 segments: the result must still be self-consistent (exact
+        // totals, windows in every stratum, one per stratum, in order).
+        let p = kernel(100_000);
+        let sc = SampleConfig::new(100, 300, 65536);
+        let (seg_k, _) = segment_shape(sc.period);
+        let s = run_sampled(&p, cfg(), &sc);
+        assert!(s.halted);
+        let strata: Vec<u64> = s.intervals.iter().map(|i| i.stratum).collect();
+        let want: Vec<u64> = (0..strata.len() as u64).collect();
+        assert_eq!(strata, want, "one window per stratum, in order");
+        assert!(
+            strata.len() as u64 > 2 * seg_k,
+            "the run must actually span >2 segments (got {} strata over \
+             {seg_k}-period segments)",
+            strata.len()
+        );
     }
 
     #[test]

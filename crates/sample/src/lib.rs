@@ -1,4 +1,4 @@
-//! # reno-sample — checkpointed fast-forward and sampled simulation
+//! # reno-sample — time-parallel sampled simulation over checkpoint shards
 //!
 //! The paper evaluates RENO over full SPEC2000/MediaBench runs — hundreds of
 //! millions of dynamic instructions — which a cycle-level simulator cannot
@@ -9,33 +9,44 @@
 //! **measurement intervals** whose statistics extrapolate to the whole run
 //! with a quantified error bound.
 //!
-//! Each sampling period walks through three phases:
+//! A sampled run is **sharded in time** at checkpoint boundaries. A cheap
+//! serial pass executes the program once on `reno-func`'s predecoded
+//! basic-block engine, taking a dirty-page [`reno_func::Checkpoint`] at
+//! each segment head; the checkpoint-delimited segments then fan across
+//! [`reno_par::par_map`] workers, and each worker walks its segment's
+//! periods independently:
 //!
 //! ```text
 //!  |<---------------------------- period ----------------------------->|
 //!  | fast-forward (functional + warming)     | warmup   | measure      |
-//!  |  reno_func::Cpu steps the program;      | detailed | detailed,    |
+//!  |  Cpu::step_decoded streams the segment; | detailed | detailed,    |
 //!  |  caches, branch predictor and BTB/RAS   | pipeline | counters     |
 //!  |  train at functional cost               | (stats   | recorded     |
 //!  |                                         | dropped) | via marks    |
 //! ```
 //!
-//! * **Fast-forward** uses [`reno_func::Cpu`] alone and feeds every dynamic
-//!   instruction to the warming hooks: cache directories via
-//!   [`reno_mem::MemHierarchy::warm_data`] / `warm_inst`, and the direction
-//!   predictor, BTB and RAS via [`reno_uarch::FrontEnd::process`] (classified
-//!   exactly as the fetch stage would, via [`reno_sim::classify_control`]).
-//! * **Checkpoint**: at each interval boundary the architectural state is
-//!   snapshotted with [`reno_func::Checkpoint`], serialized, restored, and
-//!   handed to [`reno_sim::Simulator::from_cpu`] — every interval exercises
-//!   the full save/restore path, which a differential property suite pins as
-//!   bit-identical to uninterrupted execution.
+//! * **Restore**: a worker deserializes its checkpoint and restores it
+//!   against a shared base image — every segment exercises the full
+//!   save/restore path, which a differential property suite pins as
+//!   bit-identical to uninterrupted execution. Before its first stratum it
+//!   replays a warm margin (at least an L2-refill horizon of functional
+//!   warming), so no window is measured against segment-cold structures.
+//! * **Fast-forward** feeds every dynamic instruction to the warming
+//!   hooks: cache directories via [`reno_mem::MemHierarchy::warm_data`] /
+//!   `warm_inst`, and the direction predictor, BTB and RAS via
+//!   [`reno_uarch::FrontEnd::process`] (classified exactly as the fetch
+//!   stage would, via [`reno_sim::classify_control`]).
 //! * **Warmup → measure**: the detailed simulator runs `warmup + interval`
 //!   instructions with [`reno_sim::Simulator::with_measure_window`] marking
 //!   the two boundaries; the pipeline is in full flight at both marks, so
 //!   the delta has neither fill nor drain edges. The trained structures come
 //!   back via [`reno_sim::Simulator::run_with_state`] and carry into the
-//!   next period.
+//!   next period of the same segment.
+//!
+//! Segmentation derives from the sampling config alone — never from the
+//! host — and the merge is order-preserving, so the result is
+//! **byte-identical at any `RENO_THREADS`** (a dedicated differential test
+//! and thread-forced CI golden diffs enforce this bit-for-bit).
 //!
 //! The whole-run estimate uses the ratio estimator (total measured cycles /
 //! total measured instructions) and reports a 95% confidence bound from the

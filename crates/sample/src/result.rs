@@ -105,6 +105,14 @@ pub struct SampledResult {
     /// R² of the shadow-profile cycle model on the measured windows (set
     /// whenever a fit was attempted, even if rejected).
     pub model_r2: Option<f64>,
+    /// Relative shift in the beyond-L1 service mix (L2-/memory-served
+    /// access rates) between measured and unmeasured strata, from the
+    /// shadow profile. Large values mean the unmeasured part of the
+    /// program behaves unlike anything a window saw, so the estimate is an
+    /// extrapolation out of distribution; [`crate::run_sampled_auto`]
+    /// escalates to a denser rung or the exact fallback in that case.
+    /// `None` when every stratum was measured (or none were).
+    pub feature_drift: Option<f64>,
 }
 
 impl SampledResult {
@@ -304,6 +312,7 @@ mod tests {
             error: None,
             model_cycles: None,
             model_r2: None,
+            feature_drift: None,
         }
     }
 

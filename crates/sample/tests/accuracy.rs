@@ -73,3 +73,37 @@ fn short_workloads_fall_back_to_exact_full_detail() {
     check("mcf", false);
     check("gs.de", false);
 }
+
+/// The documented PR 3 limitation: vortex at `Scale::Large` changes its
+/// working-set regime mid-run, and in-order functional warming cannot
+/// reproduce the out-of-order cache state there — which used to bias the
+/// sampled estimate several percent *invisibly* (window count, model R²,
+/// and dispersion gates all passed). The shadow-profile drift gate
+/// compares the beyond-L1 service mix of fitted vs unmeasured strata and
+/// escalates (densify / exact fallback) when they diverge, so the ≤2%
+/// contract holds here too. Release-only: a full detailed Large vortex run
+/// is too slow unoptimized; CI runs it with `--ignored` in the release job.
+#[test]
+#[ignore = "Large scale — run in release: cargo test --release -p reno-sample --test accuracy -- --ignored"]
+fn vortex_large_drift_gate_keeps_error_bounded() {
+    let ws = all_workloads(Scale::Large);
+    let w = ws
+        .iter()
+        .find(|w| w.name == "vortex")
+        .expect("workload exists");
+    let cfg = MachineConfig::four_wide(RenoConfig::reno());
+    let full = Simulator::new(&w.program, cfg.clone()).run(1 << 32);
+    let sampled = run_sampled_auto(&w.program, cfg, u64::MAX);
+    assert!(sampled.halted && full.halted);
+    assert_eq!(sampled.checksum, full.checksum, "vortex/Large: checksum");
+    assert_eq!(sampled.total_insts, full.retired, "vortex/Large: stream");
+    let full_cpi = full.cycles as f64 / full.retired as f64;
+    let err_pct = (sampled.est_cpi() - full_cpi).abs() / full_cpi * 100.0;
+    assert!(
+        err_pct <= CPI_ERR_LIMIT_PCT,
+        "vortex/Large: sampled CPI err {err_pct:.2}% exceeds \
+         {CPI_ERR_LIMIT_PCT}% (full {full_cpi:.4}, est {:.4}, drift {:?})",
+        sampled.est_cpi(),
+        sampled.feature_drift,
+    );
+}

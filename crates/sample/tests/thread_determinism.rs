@@ -1,0 +1,78 @@
+//! The shard-parallel sampling engine's determinism contract: a sampled
+//! run's *entire* result — every interval, every counter, every estimate,
+//! bit for bit — must be identical whether the segment jobs run on one
+//! worker or many. Segmentation is planned from the sampling config alone
+//! (never from the host), and the merge is order-preserving, so
+//! `RENO_THREADS` may change wall-clock but never bytes.
+//!
+//! This file holds exactly one test: it mutates the process-wide
+//! `RENO_THREADS` variable, so it must not share a process with tests that
+//! read it concurrently (integration-test files run as their own process).
+
+use reno_core::RenoConfig;
+use reno_isa::{Asm, Program, Reg};
+use reno_sample::{run_sampled, run_sampled_auto, SampleConfig, SampledResult};
+use reno_sim::MachineConfig;
+
+fn kernel(iters: i64, mask: i16) -> Program {
+    let mut a = Asm::named("det");
+    let buf = a.zeros("buf", 8 * (mask as usize + 1));
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, iters);
+    a.li(Reg::V0, 0);
+    a.label("loop");
+    a.andi(Reg::T1, Reg::T0, mask);
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S0);
+    a.ld(Reg::T2, Reg::T1, 0);
+    a.add(Reg::V0, Reg::V0, Reg::T2);
+    a.st(Reg::V0, Reg::T1, 0);
+    a.xor(Reg::V0, Reg::V0, Reg::T0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::V0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// The full result, bit for bit: `Debug` prints every field (floats in
+/// shortest-roundtrip form), so equal strings mean equal results.
+fn fingerprint(r: &SampledResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn sampled_results_are_byte_identical_across_thread_counts() {
+    let cfg = MachineConfig::four_wide(RenoConfig::reno());
+    // ~1.2M insts / 64k periods = 18 strata over 8-period segments = 3
+    // parallel segment jobs for the explicit config; the auto ladder picks
+    // its own shape over a shorter capped run.
+    let p_explicit = kernel(100_000, 255);
+    let sc = SampleConfig::new(256, 512, 65536).with_head(2048);
+    let p_auto = kernel(40_000, 63);
+
+    let mut fingerprints: Vec<(String, String)> = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("RENO_THREADS", threads);
+        let explicit = run_sampled(&p_explicit, cfg.clone(), &sc);
+        let auto = run_sampled_auto(&p_auto, cfg.clone(), 400_000);
+        assert!(
+            !explicit.intervals.is_empty(),
+            "the explicit run must genuinely sample"
+        );
+        fingerprints.push((fingerprint(&explicit), fingerprint(&auto)));
+    }
+    std::env::remove_var("RENO_THREADS");
+
+    let (e1, a1) = &fingerprints[0];
+    for (k, (e, a)) in fingerprints.iter().enumerate().skip(1) {
+        assert_eq!(
+            e1, e,
+            "run_sampled diverged between RENO_THREADS=1 and setting #{k}"
+        );
+        assert_eq!(
+            a1, a,
+            "run_sampled_auto diverged between RENO_THREADS=1 and setting #{k}"
+        );
+    }
+}
