@@ -40,6 +40,29 @@ fn bench_rename(c: &mut Criterion) {
             })
         });
     }
+    // The pipeline's path: the rename shape is precomputed once per static
+    // instruction (decode-time, cached in the block templates) instead of
+    // re-derived per dynamic rename. The delta against `rename_group_reno`
+    // is what the pre-classification buys.
+    c.bench_function("rename_group_reno_preclassified", |b| {
+        let mut reno = Reno::new(RenoConfig::reno());
+        let classes: Vec<reno_isa::RenameClass> =
+            insts.iter().map(reno_isa::RenameClass::of).collect();
+        b.iter(|| {
+            reno.begin_group();
+            let mut renamed = Vec::with_capacity(4);
+            for (pc, (i, cls)) in insts.iter().zip(&classes).enumerate() {
+                renamed.push(
+                    reno.rename_classified(pc as u64, *i, cls, true)
+                        .expect("registers available"),
+                );
+            }
+            for r in renamed.iter().rev() {
+                reno.rollback(r);
+            }
+            black_box(renamed.len())
+        })
+    });
 }
 
 fn bench_it(c: &mut Criterion) {
@@ -80,6 +103,19 @@ fn bench_cache(c: &mut Criterion) {
         });
         dc.probe_and_fill(0x1000, false);
         b.iter(|| black_box(dc.probe_and_fill(0x1000, false)))
+    });
+    // The same hit stream through the reference full set scan: the delta
+    // against `dcache_probe_hit` is what the MRU line memo buys on the
+    // same-line accesses that dominate loop kernels.
+    c.bench_function("dcache_probe_hit_nomru", |b| {
+        let mut dc = Cache::new(CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 2,
+        });
+        dc.probe_and_fill(0x1000, false);
+        b.iter(|| black_box(dc.probe_and_fill_unmemoized(0x1000, false)))
     });
 }
 
@@ -153,6 +189,57 @@ fn bench_func_engines(c: &mut Criterion) {
     });
 }
 
+/// The oracle feed that drives every detailed-simulation cycle: the
+/// per-instruction `Oracle::next` iterator vs the block-batched
+/// `Oracle::refill` prefilling sequence-indexed rings, over the same
+/// ~12k-instruction run (the streams are bit-identical; only the host cost
+/// differs).
+fn bench_oracle_feed(c: &mut Criterion) {
+    use reno_func::{DynInst, Oracle};
+    use reno_isa::RenameClass;
+    let p = func_kernel(1000);
+    c.bench_function("oracle_next_12k_insts", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let o = Oracle::new(&p, 1 << 20);
+            for d in o {
+                n += d.seq & 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("oracle_refill_12k_insts", |b| {
+        // A ring the size of the detailed simulator's (128-entry ROB class).
+        const RING: usize = 256;
+        let dummy = Inst::alu_ri(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0);
+        let mut ring = vec![
+            DynInst {
+                seq: u64::MAX,
+                pc: 0,
+                inst: dummy,
+                next_pc: 0,
+                taken: false,
+                dst_val: 0,
+                mem_addr: 0,
+            };
+            RING
+        ];
+        let mut classes = vec![RenameClass::of(&dummy); RING];
+        b.iter(|| {
+            let mut n = 0u64;
+            let mut o = Oracle::new(&p, 1 << 20);
+            loop {
+                let got = o.refill(&mut ring, &mut classes, RING as u64 - 1, RING as u64);
+                if got == 0 {
+                    break;
+                }
+                n += got as u64;
+            }
+            black_box(n)
+        })
+    });
+}
+
 /// The per-segment setup cost of a shard-parallel sampled run: deserialize
 /// + restore a dirty-page checkpoint, then rebuild warm state by replaying
 /// 2k instructions of functional warming from the segment head.
@@ -197,6 +284,7 @@ criterion_group!(
     bench_bpred,
     bench_storesets,
     bench_func_engines,
+    bench_oracle_feed,
     bench_segment_restore
 );
 criterion_main!(benches);

@@ -5,10 +5,11 @@
 //! and appends one labelled entry to the repo-root `BENCH_sim.json` so the
 //! perf trajectory across PRs is recorded in-tree. Each entry also records
 //! its run metadata — workload scale, worker-thread setting, the host's
-//! core count, and whether the measurement ran the full detailed simulator
-//! or the `reno-sample` sampled pipeline — plus the plain functional
-//! engine's instructions-per-second (`func_insts_per_sec`, the predecoded-
-//! block interpreter that floors every fast-forward), so trajectories stay
+//! core count, whether the measurement ran the full detailed simulator or
+//! the `reno-sample` sampled pipeline, the rustc version, the git revision,
+//! and a unix timestamp — plus the plain functional engine's
+//! instructions-per-second (`func_insts_per_sec`, the predecoded-block
+//! interpreter that floors every fast-forward), so trajectories stay
 //! comparable across PRs and hosts.
 //!
 //! Usage:
@@ -22,6 +23,22 @@
 //! whole sampled pipeline: fast-forward, checkpoints, and detailed
 //! windows), so full and sampled entries share a unit.
 //!
+//! ## Noise hardening
+//!
+//! The shared hosts these snapshots run on swing ~2x between measurement
+//! windows, which historically made cross-PR comparisons of single
+//! measurements meaningless (the `pre-parallel-pr4` vs `parallel-pr4`
+//! "full" rows differ ~1.8x on identical simulator code). Two defenses:
+//!
+//! * repetitions are **interleaved across configurations** (round-robin:
+//!   functional, baseline, cf_me, reno, repeat), so a slow host window
+//!   degrades every configuration of an entry about equally instead of
+//!   falling entirely on whichever config ran during it;
+//! * each recorded number is the **median of 5** repetitions (robust to a
+//!   single stalled rep in either direction); the per-config **best** rep
+//!   is recorded alongside (`*_cycles_per_sec_best`) as the quiet-window
+//!   estimate.
+//!
 //! The label defaults to `snapshot`. Entries are stored one per line so that
 //! appends never need a JSON parser; the file as a whole stays valid JSON.
 
@@ -34,8 +51,10 @@ use reno_workloads::{media_suite, spec_suite, Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Timed repetitions per configuration (the best one is recorded).
-const REPS: usize = 3;
+/// Timed repetitions per configuration, interleaved round-robin; the
+/// recorded value is the median, with the best kept as the quiet-window
+/// estimate.
+const REPS: usize = 5;
 
 fn workloads() -> Vec<Workload> {
     // One pointer-chasing SPEC-like kernel and one MAC-loop media-like
@@ -46,52 +65,82 @@ fn workloads() -> Vec<Workload> {
     vec![spec, media]
 }
 
-/// Best-of-`REPS` throughput of the plain functional engine (predecoded
-/// basic blocks, no warming, no oracle records) in instructions per host
-/// second — the speed floor under every fast-forward in a sampled run.
-fn functional_throughput(ws: &[Workload]) -> f64 {
-    let mut best = 0.0f64;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let mut insts = 0u64;
-        for w in ws {
-            let mut cpu = Cpu::new(&w.program);
-            let mut dp = DecodedProgram::new(&w.program);
-            let r = cpu.run_decoded(&mut dp, FUEL);
-            insts += match r {
-                Ok(r) => r.executed,
-                Err(_) => cpu.executed(),
-            };
-        }
-        let secs = start.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            best = best.max(insts as f64 / secs);
-        }
+/// One timed repetition of the plain functional engine (predecoded basic
+/// blocks, no warming, no oracle records): instructions per host second —
+/// the speed floor under every fast-forward in a sampled run.
+fn functional_rep(ws: &[Workload]) -> f64 {
+    let start = Instant::now();
+    let mut insts = 0u64;
+    for w in ws {
+        let mut cpu = Cpu::new(&w.program);
+        let mut dp = DecodedProgram::new(&w.program);
+        let r = cpu.run_decoded(&mut dp, FUEL);
+        insts += match r {
+            Ok(r) => r.executed,
+            Err(_) => cpu.executed(),
+        };
     }
-    best
+    let secs = start.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        insts as f64 / secs
+    } else {
+        0.0
+    }
 }
 
-/// Best-of-`REPS` throughput (simulated cycles per host second) for `cfg`.
-fn throughput(ws: &[Workload], cfg: RenoConfig, sampled: bool) -> (u64, f64) {
-    let mut best = 0.0f64;
-    let mut cycles = 0u64;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let mut total_cycles = 0u64;
-        for w in ws {
-            total_cycles += if sampled {
-                run_sampled_auto(&w.program, MachineConfig::four_wide(cfg), FUEL).est_cycles()
-            } else {
-                run(w, MachineConfig::four_wide(cfg)).cycles
-            };
-        }
-        let secs = start.elapsed().as_secs_f64();
-        cycles = total_cycles;
-        if secs > 0.0 {
-            best = best.max(total_cycles as f64 / secs);
-        }
+/// One timed repetition of `cfg`: (simulated cycles, cycles per host second).
+fn throughput_rep(ws: &[Workload], cfg: RenoConfig, sampled: bool) -> (u64, f64) {
+    let start = Instant::now();
+    let mut total_cycles = 0u64;
+    for w in ws {
+        total_cycles += if sampled {
+            run_sampled_auto(&w.program, MachineConfig::four_wide(cfg), FUEL).est_cycles()
+        } else {
+            run(w, MachineConfig::four_wide(cfg)).cycles
+        };
     }
-    (cycles, best)
+    let secs = start.elapsed().as_secs_f64();
+    let cps = if secs > 0.0 {
+        total_cycles as f64 / secs
+    } else {
+        0.0
+    };
+    (total_cycles, cps)
+}
+
+/// Median of a small sample (sorts a copy).
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let n = v.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// First line of a command's stdout, or `unknown` (keeps the snapshot
+/// usable on hosts without the tool on PATH).
+fn probe_cmd(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(str::to_string))
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn main() {
@@ -116,26 +165,59 @@ fn main() {
     };
     let mode = if sampled { "sampled" } else { "full" };
     let ws = workloads();
-    println!(
-        "bench_snapshot: {} workloads, fuel {FUEL}, mode {mode}, {REPS} reps (best kept)",
-        ws.len()
-    );
-
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let func_ips = functional_throughput(&ws);
-    println!("  functional {func_ips:>14.0} inst/s (predecoded-block engine)");
-    let mut entry = format!(
-        "{{\"label\":\"{label}\",\"scale\":\"default\",\"threads\":{},\"host_cores\":{host_cores},\"mode\":\"{mode}\",\"func_insts_per_sec\":{func_ips:.0}",
-        thread_count()
-    );
-    for (name, cfg) in [
+    let configs = [
         ("baseline", RenoConfig::baseline()),
         ("cf_me", RenoConfig::cf_me()),
         ("reno", RenoConfig::reno()),
-    ] {
-        let (cycles, cps) = throughput(&ws, cfg, sampled);
-        println!("  {name:<10} {cycles:>12} sim cycles  {cps:>14.0} sim cycles/s");
-        let _ = write!(entry, ",\"{name}_cycles_per_sec\":{cps:.0}");
+    ];
+    println!(
+        "bench_snapshot: {} workloads, fuel {FUEL}, mode {mode}, {REPS} interleaved reps (median kept)",
+        ws.len()
+    );
+
+    // Interleave the repetitions round-robin across every measured target so
+    // a noisy host window hits all configurations roughly equally.
+    let mut func_reps = Vec::with_capacity(REPS);
+    let mut cfg_reps: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut cycles = [0u64; 3];
+    for rep in 0..REPS {
+        func_reps.push(functional_rep(&ws));
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let (c, cps) = throughput_rep(&ws, *cfg, sampled);
+            cycles[i] = c;
+            cfg_reps[i].push(cps);
+        }
+        println!(
+            "  rep {}/{REPS}: func {:>13.0} inst/s, reno {:>12.0} cyc/s",
+            rep + 1,
+            func_reps[rep],
+            cfg_reps[2][rep]
+        );
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rustc = probe_cmd("rustc", &["--version"]);
+    let git_rev = probe_cmd("git", &["rev-parse", "--short", "HEAD"]);
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let func_ips = median(&func_reps);
+    println!("  functional {func_ips:>14.0} inst/s median (predecoded-block engine)");
+    let mut entry = format!(
+        "{{\"label\":\"{label}\",\"scale\":\"default\",\"threads\":{},\"host_cores\":{host_cores},\"mode\":\"{mode}\",\"rustc\":\"{rustc}\",\"git_rev\":\"{git_rev}\",\"timestamp_unix\":{timestamp},\"reps\":{REPS},\"func_insts_per_sec\":{func_ips:.0}",
+        thread_count()
+    );
+    for (i, (name, _)) in configs.iter().enumerate() {
+        let med = median(&cfg_reps[i]);
+        let top = best(&cfg_reps[i]);
+        println!(
+            "  {name:<10} {:>12} sim cycles  {med:>14.0} sim cycles/s median  {top:>14.0} best",
+            cycles[i]
+        );
+        let _ = write!(
+            entry,
+            ",\"{name}_cycles_per_sec\":{med:.0},\"{name}_cycles_per_sec_best\":{top:.0}"
+        );
     }
     entry.push('}');
 

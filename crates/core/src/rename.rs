@@ -2,7 +2,7 @@ use crate::{
     IntegrationTable, ItConfig, ItKey, ItOperand, ItStats, MapTable, Mapping, OutOfPregs, PhysReg,
     RefCountFreeList,
 };
-use reno_isa::{Inst, OpClass, Opcode, Reg};
+use reno_isa::{Inst, Opcode, Reg, RenameClass};
 
 /// Which instruction population the integration table (RENO_CSE+RA) serves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -320,15 +320,11 @@ impl Reno {
         }
     }
 
-    fn integration_applies(&self, inst: &Inst) -> bool {
+    fn integration_applies(&self, cls: &RenameClass) -> bool {
         match self.cfg.integration {
             IntegrationMode::Off => false,
-            IntegrationMode::LoadsOnly => inst.op.is_load(),
-            IntegrationMode::Full => {
-                inst.op.is_load()
-                    || matches!(inst.op.class(), OpClass::AluRR | OpClass::Mul)
-                    || (inst.op.class() == OpClass::AluRI && inst.op != Opcode::Lui)
-            }
+            IntegrationMode::LoadsOnly => cls.is_load(),
+            IntegrationMode::Full => cls.is_load() || cls.is_it_alu_shape(),
         }
     }
 
@@ -379,21 +375,39 @@ impl Reno {
         inst: Inst,
         allow_integration: bool,
     ) -> Result<Renamed, OutOfPregs> {
+        self.rename_classified(pc, inst, &RenameClass::of(&inst), allow_integration)
+    }
+
+    /// Like [`Reno::rename_with`], but with the instruction's static rename
+    /// shape supplied by the caller. Decoded-block templates compute the
+    /// [`RenameClass`] once per static instruction, so every dynamic rename
+    /// switches on the precomputed class instead of re-deriving the source
+    /// list, destination filter, and candidate shape from the `Inst`.
+    ///
+    /// `cls` must equal `RenameClass::of(&inst)`; [`Reno::rename_with`] is
+    /// the reference path that recomputes it per call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reno::rename`].
+    pub fn rename_classified(
+        &mut self,
+        pc: u64,
+        inst: Inst,
+        cls: &RenameClass,
+        allow_integration: bool,
+    ) -> Result<Renamed, OutOfPregs> {
+        debug_assert_eq!(*cls, RenameClass::of(&inst), "stale rename class");
         // At most two sources (see `Inst::srcs`); this runs for every renamed
         // instruction, so the lookups stay on the stack — no allocation.
-        let mut n_srcs = 0;
-        let mut src_buf = [Reg::ZERO; 2];
-        for r in inst.srcs() {
-            src_buf[n_srcs] = r;
-            n_srcs += 1;
-        }
-        let src_regs = &src_buf[..n_srcs];
+        let src_regs = cls.srcs();
+        let n_srcs = src_regs.len();
         let mut map_buf = [self.map.get(Reg::ZERO); 2];
         for (i, &r) in src_regs.iter().enumerate() {
             map_buf[i] = self.map.get(r);
         }
         let src_maps = &map_buf[..n_srcs];
-        let dst_l = inst.dst();
+        let dst_l = cls.dst();
 
         let depends_on_group_elim = !self.cfg.allow_dependent_elim
             && src_regs
@@ -406,7 +420,7 @@ impl Reno {
 
         if let Some(_dl) = dst_l {
             // RENO_CF (subsumes RENO_ME when enabled).
-            if inst.op.is_reg_imm_add() && (self.cfg.const_fold || self.cfg.move_elim) {
+            if cls.is_reg_imm_add() && (self.cfg.const_fold || self.cfg.move_elim) {
                 let src = src_maps[0];
                 let foldable = if self.cfg.const_fold {
                     if self.overflow_ok(src.disp, inst.imm) {
@@ -418,13 +432,13 @@ impl Reno {
                 } else {
                     // Pure move elimination: immediate must be zero (and with
                     // CF off, no displacement can exist to begin with).
-                    inst.imm == 0 && src.disp == 0
+                    cls.is_move() && src.disp == 0
                 };
                 if foldable {
                     if depends_on_group_elim {
                         self.stats.cancelled_group_dep += 1;
                     } else {
-                        let class = if inst.is_move() {
+                        let class = if cls.is_move() {
                             ElimClass::Move
                         } else {
                             ElimClass::ConstFold
@@ -439,7 +453,7 @@ impl Reno {
             }
 
             // RENO_CSE+RA: the integration test.
-            if kind == RenamedKind::Issued && allow_integration && self.integration_applies(&inst) {
+            if kind == RenamedKind::Issued && allow_integration && self.integration_applies(cls) {
                 if let Some(key) = self.it_key(&inst, &src_maps) {
                     if let Some(out) = self.it.lookup(&key, &self.freelist) {
                         if depends_on_group_elim {
@@ -487,7 +501,7 @@ impl Reno {
 
         // --- Create IT tuples for issued instructions ---------------------------
         if kind == RenamedKind::Issued && self.cfg.integration != IntegrationMode::Off {
-            if inst.op.is_store() {
+            if cls.is_store() {
                 // Reverse entry: the anticipated reload of this store's value.
                 let base = src_maps[0];
                 let data = src_maps[1];
@@ -498,13 +512,13 @@ impl Reno {
                     in2: None,
                 };
                 self.it.insert(key, data, &self.freelist);
-            } else if self.integration_applies(&inst) {
+            } else if self.integration_applies(cls) {
                 if let (Some(d), Some(key)) = (dst, self.it_key(&inst, &src_maps)) {
                     self.it.insert(key, d.new, &self.freelist);
                     // Reverse entries for register-immediate additions let
                     // stack-pointer decrement/increment pairs collapse
                     // (only relevant in Full mode; with CF on, CF gets them).
-                    if inst.op.is_reg_imm_add() && inst.imm != i16::MIN {
+                    if cls.is_reg_imm_add() && inst.imm != i16::MIN {
                         let rkey = ItKey {
                             op: inst.op,
                             imm: -inst.imm,
@@ -575,7 +589,15 @@ impl Reno {
     /// (reverse rename order): restores the previous mapping and releases
     /// this instruction's reference.
     pub fn rollback(&mut self, r: &Renamed) {
-        if let Some(d) = r.dst {
+        self.rollback_dst(r.dst.as_ref());
+    }
+
+    /// Hot-path equivalent of [`Reno::rollback`] for a pipeline that keeps
+    /// only the destination bookkeeping of each in-flight instruction (the
+    /// rest of the [`Renamed`] record is dead weight after dispatch). Same
+    /// youngest-first contract.
+    pub fn rollback_dst(&mut self, dst: Option<&DstInfo>) {
+        if let Some(d) = dst {
             debug_assert_eq!(
                 self.map.get(d.lreg),
                 d.new,

@@ -44,14 +44,15 @@
 //! per-instruction engine, across self-modifying-write invalidations.
 
 use crate::{Cpu, DynInst, ExecError, MixStats, RunResult};
-use reno_isa::{Opcode, Program, Reg, TEXT_BASE};
+use reno_isa::{Inst, Opcode, Program, Reg, RenameClass, TEXT_BASE};
 
 const NO_BLOCK: u32 = u32::MAX;
 const NO_DST: u8 = u8::MAX;
 const PAGE_SHIFT: u64 = 12;
 
 /// One predecoded instruction template: operands as register-file indices,
-/// immediates pre-extended, branch targets pre-resolved.
+/// immediates pre-extended, branch targets pre-resolved, and the rename
+/// stage's static pre-classification attached.
 #[derive(Clone, Copy, Debug)]
 struct DInst {
     op: Opcode,
@@ -68,6 +69,13 @@ struct DInst {
     simm: i64,
     /// Taken-path target pc for direct control (`pc + 1 + imm`).
     target: usize,
+    /// The original instruction (what [`DynInst::inst`] reports).
+    inst: Inst,
+    /// Decode-time rename pre-classification: the batched oracle feed hands
+    /// this to the timing simulator's rename stage alongside the
+    /// [`DynInst`], so rename switches on a precomputed class instead of
+    /// re-deriving the instruction's shape per dynamic instance.
+    rclass: RenameClass,
 }
 
 /// A straight-line run of predecoded instructions ending at a control
@@ -99,6 +107,8 @@ fn decode_one(program: &Program, pc: usize) -> DInst {
         width: op.mem_width().map_or(0, |w| w.bytes()) as u8,
         simm,
         target,
+        inst,
+        rclass: RenameClass::of(&inst),
     }
 }
 
@@ -461,33 +471,20 @@ impl Cpu {
         })
     }
 
-    /// Executes one instruction over predecoded templates, producing the
-    /// same [`DynInst`] record (and the same machine state) as
-    /// [`Cpu::step`]. `cur` caches the intra-block position between calls.
+    /// Executes one predecoded template against the machine state,
+    /// producing the same [`DynInst`] record (and the same architectural
+    /// effects) as [`Cpu::step`] would for the instruction it was decoded
+    /// from. Shared by [`Cpu::step_decoded`] and the batched
+    /// [`Cpu::refill_decoded`] so the two feeds cannot diverge.
     ///
-    /// # Errors
-    ///
-    /// [`ExecError::PcOutOfRange`] if the pc walks off the program.
-    pub fn step_decoded(
-        &mut self,
-        dp: &mut DecodedProgram<'_>,
-        cur: &mut BlockCursor,
-    ) -> Result<Option<DynInst>, ExecError> {
-        if self.halted {
-            return Ok(None);
-        }
-        if cur.bi == NO_BLOCK || cur.epoch != dp.invalidations {
-            cur.bi = dp.block_index(self.pc)?;
-            cur.idx = 0;
-            cur.epoch = dp.invalidations;
-        }
-        let blk = dp.block(cur.bi);
-        debug_assert_eq!(self.pc, blk.entry as usize + cur.idx as usize);
-        let d = blk.insts[cur.idx as usize];
-        let last = cur.idx as usize + 1 == blk.insts.len();
+    /// Does **not** advance the instruction mix or perform self-modifying-
+    /// write invalidation — the callers own both (the batch path amortizes
+    /// the mix at block granularity).
+    #[inline]
+    fn exec_dinst(&mut self, d: &DInst) -> DynInst {
         let pc = self.pc;
         let seq = self.executed;
-        let inst = dp.program.insts[pc];
+        let inst = d.inst;
 
         let mut next_pc = pc + 1;
         let mut taken = false;
@@ -579,24 +576,8 @@ impl Cpu {
 
         self.pc = next_pc;
         self.executed += 1;
-        self.mix.record(&inst);
 
-        if d.op.is_store() {
-            let w = u64::from(d.width);
-            if dp.store_hits_text(mem_addr, w) {
-                dp.invalidate_store(mem_addr, w);
-                cur.bi = NO_BLOCK; // the current block may be gone
-            }
-        }
-        if cur.bi != NO_BLOCK {
-            if last || taken {
-                cur.bi = NO_BLOCK;
-            } else {
-                cur.idx += 1;
-            }
-        }
-
-        Ok(Some(DynInst {
+        DynInst {
             seq,
             pc,
             inst,
@@ -604,7 +585,150 @@ impl Cpu {
             taken,
             dst_val,
             mem_addr,
-        }))
+        }
+    }
+
+    /// Executes one instruction over predecoded templates, producing the
+    /// same [`DynInst`] record (and the same machine state) as
+    /// [`Cpu::step`]. `cur` caches the intra-block position between calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::PcOutOfRange`] if the pc walks off the program.
+    pub fn step_decoded(
+        &mut self,
+        dp: &mut DecodedProgram<'_>,
+        cur: &mut BlockCursor,
+    ) -> Result<Option<DynInst>, ExecError> {
+        if self.halted {
+            return Ok(None);
+        }
+        if cur.bi == NO_BLOCK || cur.epoch != dp.invalidations {
+            cur.bi = dp.block_index(self.pc)?;
+            cur.idx = 0;
+            cur.epoch = dp.invalidations;
+        }
+        let blk = dp.block(cur.bi);
+        debug_assert_eq!(self.pc, blk.entry as usize + cur.idx as usize);
+        let d = blk.insts[cur.idx as usize];
+        let last = cur.idx as usize + 1 == blk.insts.len();
+
+        let rec = self.exec_dinst(&d);
+        self.mix.record(&d.inst);
+
+        if d.op.is_store() {
+            let w = u64::from(d.width);
+            if dp.store_hits_text(rec.mem_addr, w) {
+                dp.invalidate_store(rec.mem_addr, w);
+                cur.bi = NO_BLOCK; // the current block may be gone
+            }
+        }
+        if cur.bi != NO_BLOCK {
+            if last || rec.taken {
+                cur.bi = NO_BLOCK;
+            } else {
+                cur.idx += 1;
+            }
+        }
+
+        Ok(Some(rec))
+    }
+
+    /// Batch counterpart of [`Cpu::step_decoded`]: executes up to `cap`
+    /// instructions — as many whole decoded blocks as fit — in one call,
+    /// writing each [`DynInst`] record and its [`RenameClass`] into the
+    /// caller's sequence-indexed rings at `seq & mask`. Returns how many
+    /// were executed (0 only when the machine is halted or `cap` is 0).
+    ///
+    /// The per-instruction bounds checks, block-cache revalidation, and mix
+    /// bookkeeping are hoisted to block granularity; the record stream and
+    /// machine state are bit-identical to a [`Cpu::step_decoded`] loop
+    /// (including self-modifying-write invalidation, which cuts a block
+    /// exactly where the per-instruction path would reset its cursor).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::PcOutOfRange`] if the pc walks off the program with no
+    /// records produced yet; once records were produced, the batch ends
+    /// instead and the next call reports the error (matching where the
+    /// per-instruction stream would first fail).
+    pub fn refill_decoded(
+        &mut self,
+        dp: &mut DecodedProgram<'_>,
+        cur: &mut BlockCursor,
+        ring: &mut [DynInst],
+        classes: &mut [RenameClass],
+        mask: u64,
+        cap: u64,
+    ) -> Result<usize, ExecError> {
+        let mut total = 0usize;
+        while total < cap as usize && !self.halted {
+            if cur.bi == NO_BLOCK || cur.epoch != dp.invalidations {
+                cur.bi = match dp.block_index(self.pc) {
+                    Ok(bi) => bi,
+                    Err(e) if total == 0 => return Err(e),
+                    // Records already produced: hand them over; the next
+                    // call re-encounters the error at the same pc.
+                    Err(_) => break,
+                };
+                cur.idx = 0;
+                cur.epoch = dp.invalidations;
+            }
+            let start = cur.idx as usize;
+            let mut wrote = 0usize;
+            let mut smc: Option<(u64, u64)> = None;
+            let ended;
+            {
+                let blk = dp.block(cur.bi);
+                debug_assert_eq!(self.pc, blk.entry as usize + start);
+                let len = blk.insts.len();
+                let n = (len - start).min(cap as usize - total);
+                // A whole-block batch advances the mix with one precomputed
+                // merge; a capped partial batch records per instruction, and
+                // the rare text-store cut un-records the unexecuted suffix.
+                let whole = start == 0 && n == len;
+                if whole {
+                    self.mix.merge(&blk.mix);
+                }
+                for d in &blk.insts[start..start + n] {
+                    let rec = self.exec_dinst(d);
+                    let slot = (rec.seq & mask) as usize;
+                    ring[slot] = rec;
+                    classes[slot] = d.rclass;
+                    wrote += 1;
+                    if !whole {
+                        self.mix.record(&d.inst);
+                    }
+                    if d.op.is_store() {
+                        let w = u64::from(d.width);
+                        if dp.store_hits_text(rec.mem_addr, w) {
+                            // Cut the batch after the offending store,
+                            // exactly where the per-instruction path would
+                            // invalidate.
+                            smc = Some((rec.mem_addr, w));
+                            break;
+                        }
+                    }
+                }
+                if whole && wrote < len {
+                    for d in &blk.insts[wrote..] {
+                        self.mix.unrecord(&d.inst);
+                    }
+                }
+                ended = start + wrote == len;
+            }
+            total += wrote;
+            if let Some((addr, w)) = smc {
+                dp.invalidate_store(addr, w);
+                cur.bi = NO_BLOCK;
+            } else if ended {
+                // The terminator (taken or not) always ends the block.
+                cur.bi = NO_BLOCK;
+            } else {
+                cur.idx += wrote as u32;
+            }
+        }
+        Ok(total)
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::{BlockCursor, Cpu, DecodedProgram, ExecError};
-use reno_isa::{Inst, Program};
+use reno_isa::{Inst, Program, RenameClass};
 
 /// One dynamic instruction on the architecturally correct path, as observed
 /// by the functional oracle.
@@ -96,6 +96,45 @@ impl<'p> Oracle<'p> {
     /// Whether the program ran to its `halt`.
     pub fn halted(&self) -> bool {
         self.cpu.halted()
+    }
+
+    /// Block-batched feed: executes up to `room` instructions (bounded by
+    /// the remaining fuel and the current decoded block's end) in one call,
+    /// writing each [`DynInst`] and its decode-time [`RenameClass`] into
+    /// the caller's sequence-indexed rings at `seq & mask`. Returns how
+    /// many records were produced; 0 means the stream is over (fuel
+    /// exhausted, `halt` executed, or an execution error — see
+    /// [`Oracle::error`]), matching the point where [`Iterator::next`]
+    /// would first return `None`.
+    ///
+    /// The record stream is bit-identical to the per-instruction iterator;
+    /// a caller draining either interface observes the same sequence. The
+    /// per-call dispatch, fuel check, and block-cache revalidation are paid
+    /// once per block instead of once per instruction.
+    pub fn refill(
+        &mut self,
+        ring: &mut [DynInst],
+        classes: &mut [RenameClass],
+        mask: u64,
+        room: u64,
+    ) -> usize {
+        if self.error.is_some() || self.fuel == 0 {
+            return 0;
+        }
+        let cap = room.min(self.fuel);
+        match self
+            .cpu
+            .refill_decoded(&mut self.dec, &mut self.cur, ring, classes, mask, cap)
+        {
+            Ok(n) => {
+                self.fuel -= n as u64;
+                n
+            }
+            Err(e) => {
+                self.error = Some(e);
+                0
+            }
+        }
     }
 }
 

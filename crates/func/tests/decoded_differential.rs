@@ -7,8 +7,8 @@
 //! self-modifying-write invalidations of the block cache.
 
 use proptest::prelude::*;
-use reno_func::{BlockCursor, Cpu, DecodedProgram};
-use reno_isa::{Asm, Program, Reg, TEXT_BASE};
+use reno_func::{BlockCursor, Cpu, DecodedProgram, DynInst, Oracle};
+use reno_isa::{Asm, Inst, Opcode, Program, Reg, RenameClass, TEXT_BASE};
 
 /// A random-but-terminating program from a byte recipe: ALU chains, folds,
 /// loads/stores with partial-width overlaps, data-dependent branches, calls
@@ -162,5 +162,70 @@ proptest! {
         reference.run_program(&p, 1 << 20).unwrap();
         decoded.run_decoded(&mut dp, 1 << 20).unwrap();
         assert_same_state(&reference, &decoded, "after resume");
+    }
+
+    /// Batched-feed equivalence: draining `Oracle::refill` into
+    /// sequence-indexed rings yields exactly the record stream of the
+    /// per-instruction iterator — same `DynInst`s bit-for-bit, same rename
+    /// classes, same stopping point — for any fuel, ring size, and
+    /// per-call room (including room 1, which forces single-instruction
+    /// partial-block batches).
+    #[test]
+    fn oracle_refill_streams_identical_records(
+        body in prop::collection::vec(any::<u8>(), 1..20),
+        iters in any::<u8>(),
+        smc in any::<bool>(),
+        fuel in any::<u16>(),
+        ring_pow in 4u32..9,
+    ) {
+        let p = gen_program(&body, iters, smc);
+        let fuel = u64::from(fuel);
+        let mut per = Oracle::new(&p, fuel);
+        let mut bat = Oracle::new(&p, fuel);
+        let size = 1usize << ring_pow;
+        let mask = size as u64 - 1;
+        let dummy = Inst::alu_ri(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0);
+        let mut ring = vec![
+            DynInst {
+                seq: u64::MAX,
+                pc: 0,
+                inst: dummy,
+                next_pc: 0,
+                taken: false,
+                dst_val: 0,
+                mem_addr: 0,
+            };
+            size
+        ];
+        let mut classes = vec![RenameClass::of(&dummy); size];
+        let rooms = [1u64, 2, 3, size as u64, 5, size as u64];
+        let mut call = 0usize;
+        loop {
+            let room = rooms[call % rooms.len()];
+            call += 1;
+            let n = bat.refill(&mut ring, &mut classes, mask, room);
+            prop_assert!(n as u64 <= room, "refill respects room");
+            if n == 0 {
+                prop_assert_eq!(per.next(), None, "streams end together");
+                break;
+            }
+            for k in 0..n {
+                let expect = per.next();
+                let got = ring[((bat.cpu().executed() - (n - k) as u64) & mask) as usize];
+                prop_assert_eq!(expect, Some(got), "record-for-record");
+                prop_assert_eq!(
+                    classes[(got.seq & mask) as usize],
+                    RenameClass::of(&got.inst),
+                    "class matches its instruction"
+                );
+            }
+        }
+        prop_assert_eq!(per.halted(), bat.halted(), "halt state");
+        prop_assert_eq!(per.error(), bat.error(), "error state");
+        prop_assert_eq!(
+            per.cpu().state_digest(),
+            bat.cpu().state_digest(),
+            "architectural state"
+        );
     }
 }

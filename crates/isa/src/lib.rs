@@ -33,6 +33,7 @@ mod encode;
 mod inst;
 mod op;
 mod program;
+mod rclass;
 mod reg;
 
 pub use asm::{Asm, AsmError};
@@ -40,4 +41,5 @@ pub use encode::{decode, encode, DecodeError};
 pub use inst::Inst;
 pub use op::{MemWidth, OpClass, Opcode};
 pub use program::{Program, DATA_BASE, HEAP_BASE, STACK_TOP, TEXT_BASE};
+pub use rclass::RenameClass;
 pub use reg::Reg;

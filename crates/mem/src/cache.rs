@@ -69,23 +69,43 @@ struct Line {
     lru: u64, // larger = more recently used
 }
 
+/// Sentinel for "no memoized MRU line" (see [`Cache::probe_and_fill`]).
+const NO_MRU: u32 = u32::MAX;
+
 /// A set-associative, true-LRU, write-back write-allocate cache directory.
 ///
 /// Tracks tags only (data contents live in the functional simulator).
+///
+/// Probes memoize the most-recently-touched line (`mru_*`): consecutive
+/// accesses to the same line — the common case in loop kernels, and for
+/// instruction fetch, which touches the same I$ line for several cycles —
+/// skip the set scan entirely while updating hit counters, the LRU stamp,
+/// and the dirty bit exactly as the full probe would.
 ///
 /// ```
 /// use reno_mem::{Cache, CacheConfig};
 /// let mut c = Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 32, hit_latency: 1 });
 /// assert!(!c.probe_and_fill(0, false)); // cold miss
 /// assert!(c.probe_and_fill(0, false));  // now a hit
-/// assert!(c.probe_and_fill(31, false)); // same line
+/// assert!(c.probe_and_fill(31, false)); // same line (MRU fast path)
 /// ```
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
     lines: Vec<Line>, // sets * assoc, set-major
     sets: usize,
+    /// `log2(line_bytes)`: address -> line number.
+    line_shift: u32,
     stamp: u64,
+    /// Line number of the most recently touched (hit or filled) line.
+    /// Coherent by construction: every mutation of the directory goes
+    /// through `probe_scan` (which re-points the memo at the line it
+    /// touched or filled — including the fill that evicts the memoized
+    /// line itself) or `flush` (which clears it), so a memo match is
+    /// always a genuine hit on a valid line.
+    mru_line: u64,
+    /// Index into `lines` of the memoized line ([`NO_MRU`] = none).
+    mru_idx: u32,
     stats: CacheStats,
 }
 
@@ -101,7 +121,10 @@ impl Cache {
             cfg,
             lines: vec![Line::default(); sets * cfg.assoc],
             sets,
+            line_shift: cfg.line_bytes.trailing_zeros(),
             stamp: 0,
+            mru_line: 0,
+            mru_idx: NO_MRU,
             stats: CacheStats::default(),
         }
     }
@@ -133,31 +156,68 @@ impl Cache {
 
     /// Probes for `addr`; on miss, fills the line (evicting LRU). Returns
     /// whether the access hit. `write` marks the line dirty.
+    ///
+    /// Same-line accesses as the previous probe take the MRU fast path:
+    /// counters, LRU stamp, and dirty bit update exactly as the full scan
+    /// would, so statistics and replacement behavior are bit-identical.
     pub fn probe_and_fill(&mut self, addr: u64, write: bool) -> bool {
-        self.stats.accesses += 1;
-        self.stamp += 1;
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        let base = set * self.cfg.assoc;
-        let ways = &mut self.lines[base..base + self.cfg.assoc];
-
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        let lnum = addr >> self.line_shift;
+        if self.mru_idx != NO_MRU && self.mru_line == lnum {
+            self.stats.accesses += 1;
+            self.stamp += 1;
+            let line = &mut self.lines[self.mru_idx as usize];
+            debug_assert!(line.valid && line.tag == lnum / self.sets as u64);
             line.lru = self.stamp;
             line.dirty |= write;
             self.stats.hits += 1;
             return true;
         }
-        // Miss: victim = invalid way if any, else LRU.
+        self.probe_scan(addr, write)
+    }
+
+    /// The full set-scan probe, without the MRU shortcut (the memo is still
+    /// re-pointed at the touched line). Public only as the reference
+    /// baseline for the MRU-memoization microbenchmark; simulation code
+    /// should call [`Cache::probe_and_fill`].
+    pub fn probe_and_fill_unmemoized(&mut self, addr: u64, write: bool) -> bool {
+        self.probe_scan(addr, write)
+    }
+
+    fn probe_scan(&mut self, addr: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        self.stamp += 1;
+        let lnum = addr >> self.line_shift;
+        let set = (lnum as usize) & (self.sets - 1);
+        let tag = lnum / self.sets as u64;
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.lines[base..base + self.cfg.assoc];
+
+        if let Some(way) = ways.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut ways[way];
+            line.lru = self.stamp;
+            line.dirty |= write;
+            self.mru_line = lnum;
+            self.mru_idx = (base + way) as u32;
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: victim = invalid way if any, else LRU. Re-pointing the memo
+        // at the filled line also invalidates it if the victim *was* the
+        // memoized line.
         let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
             .expect("associativity >= 1");
-        *victim = Line {
+        ways[victim] = Line {
             tag,
             valid: true,
             dirty: write,
             lru: self.stamp,
         };
+        self.mru_line = lnum;
+        self.mru_idx = (base + victim) as u32;
         false
     }
 
@@ -185,6 +245,7 @@ impl Cache {
             l.valid = false;
             l.dirty = false;
         }
+        self.mru_idx = NO_MRU;
     }
 }
 
@@ -257,6 +318,42 @@ mod tests {
         c.probe_and_fill(0, false);
         c.probe_and_fill(0, false);
         assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// The MRU fast path must be invisible: a probe stream driven through
+    /// `probe_and_fill` and the same stream through the unmemoized full
+    /// scan agree on every outcome, every counter, and the resulting
+    /// directory contents (i.e. replacement decisions are unchanged).
+    #[test]
+    fn mru_fast_path_matches_full_probe() {
+        let mut fast = tiny();
+        let mut slow = tiny();
+        // Same-line runs, set conflicts, evictions (incl. evicting the MRU
+        // line in a 1-line-set corner via repeated conflict), and writes.
+        let addrs: &[u64] = &[
+            0, 4, 8, 100, 100, 96, 0, 64, 128, 128, 0, 32, 33, 32, 192, 0, 64, 64, 64, 128, 0,
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            let w = i % 3 == 0;
+            assert_eq!(
+                fast.probe_and_fill(a, w),
+                slow.probe_and_fill_unmemoized(a, w),
+                "probe {i} addr {a}"
+            );
+            assert_eq!(fast.stats(), slow.stats(), "probe {i} addr {a}");
+        }
+        for &a in addrs {
+            assert_eq!(fast.contains(a), slow.contains(a), "directory at {a}");
+        }
+    }
+
+    #[test]
+    fn mru_memo_survives_flush_correctly() {
+        let mut c = tiny();
+        c.probe_and_fill(0, false);
+        assert!(c.probe_and_fill(0, false), "MRU hit");
+        c.flush();
+        assert!(!c.probe_and_fill(0, false), "flush cleared the memo too");
     }
 
     #[test]

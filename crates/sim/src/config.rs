@@ -57,6 +57,14 @@ pub struct MachineConfig {
     /// the `sched_equivalence` differential tests); the naive path exists
     /// only as that test's baseline and for debugging.
     pub naive_sched: bool,
+    /// Feed the pipeline through the block-batched oracle refill (default)
+    /// instead of per-instruction `Oracle::next` calls. Timing and counters
+    /// are identical by construction (enforced by the `feed_equivalence`
+    /// differential tests); the per-instruction path exists only as that
+    /// test's baseline and for debugging. The `RENO_FEED` environment
+    /// variable (`batched` / `perinst`) overrides this field, so CI can
+    /// force either path through existing binaries.
+    pub batched_feed: bool,
 }
 
 impl MachineConfig {
@@ -86,6 +94,7 @@ impl MachineConfig {
             storesets: StoreSetConfig::default(),
             collect_cpa: false,
             naive_sched: false,
+            batched_feed: true,
         }
     }
 
@@ -146,6 +155,14 @@ impl MachineConfig {
     /// baseline for the event-driven one; see [`MachineConfig::naive_sched`]).
     pub fn with_naive_sched(mut self) -> MachineConfig {
         self.naive_sched = true;
+        self
+    }
+
+    /// Feed the pipeline per instruction through `Oracle::next`
+    /// (differential-testing baseline for the block-batched refill feed;
+    /// see [`MachineConfig::batched_feed`]).
+    pub fn with_per_inst_feed(mut self) -> MachineConfig {
+        self.batched_feed = false;
         self
     }
 

@@ -1,9 +1,9 @@
 use crate::stats::SampleMark;
 use crate::{MachineConfig, SimResult, SimStats};
-use reno_core::{Renamed, Reno};
+use reno_core::Reno;
 use reno_cpa::{Bucket, InstRecord};
 use reno_func::{Cpu, DynInst, Oracle};
-use reno_isa::{OpClass, Opcode, Program, Reg, STACK_TOP};
+use reno_isa::{OpClass, Opcode, Program, Reg, RenameClass, STACK_TOP};
 use reno_mem::{MemHierarchy, ServedBy};
 use reno_uarch::{ControlKind, FrontEnd, StoreSets};
 use std::cmp::Reverse;
@@ -138,10 +138,13 @@ struct PregState {
 }
 
 /// The cold half of a ROB entry (see [`Slot`]; the [`DynInst`] itself
-/// lives in the sequence-indexed `dyn_ring`).
-#[derive(Clone, Debug)]
+/// lives in the sequence-indexed `dyn_ring`). Of the whole [`Renamed`]
+/// record only the destination bookkeeping is live after dispatch
+/// (rollback at squash, shared-mapping lookup at re-execution, CPA), so
+/// only that is kept — the aux entry stays a small `Copy` struct.
+#[derive(Clone, Copy, Debug)]
 struct SlotAux {
-    r: Renamed,
+    dst: Option<reno_core::DstInfo>,
     rename_cycle: u64,
     served: Option<ServedBy>,
     /// Producer of the last-arriving source (for critical-path analysis).
@@ -262,11 +265,16 @@ impl WarmState {
 /// sampling subsystem's functional warming (which must train the predictors
 /// exactly as fetch would).
 pub fn classify_control(d: &DynInst) -> ControlKind {
-    match d.inst.op {
+    classify_control_op(d.inst.op, d.inst.rs1)
+}
+
+#[inline]
+fn classify_control_op(op: Opcode, rs1: Reg) -> ControlKind {
+    match op {
         Opcode::Br => ControlKind::DirectJump,
         Opcode::Jal => ControlKind::Call,
         Opcode::Jr => {
-            if d.inst.rs1 == Reg::RA {
+            if rs1 == Reg::RA {
                 ControlKind::Return
             } else {
                 ControlKind::IndirectJump
@@ -290,7 +298,19 @@ pub struct Simulator<'p> {
     /// outlives fetch/ROB residency because the live window (ROB + fetch
     /// buffer) is strictly smaller than the ring.
     dyn_ring: Vec<DynInst>,
+    /// Decode-time rename pre-classification of each ring entry,
+    /// index-aligned with `dyn_ring`: written by the same feed that writes
+    /// the [`DynInst`], consumed by the rename stage instead of re-deriving
+    /// the instruction's shape per dynamic instance.
+    class_ring: Vec<RenameClass>,
     dyn_mask: u64,
+    /// Block-batched feed cursor: `[feed_head, feed_tail)` are sequence
+    /// numbers already prefilled into the rings by `Oracle::refill` but not
+    /// yet handed to fetch. Unused (head == tail) on the per-instruction
+    /// feed path.
+    feed_head: u64,
+    feed_tail: u64,
+    batched_feed: bool,
 
     frontend: FrontEnd,
     fetch_buf: VecDeque<Fetched>,
@@ -410,7 +430,22 @@ impl<'p> Simulator<'p> {
         // The live seq window spans the ROB plus the fetch buffer; fetch_stage
         // gates on `len >= fetch_width * 4` *before* fetching up to another
         // `fetch_width`, so the buffer legally peaks at `5 * fetch_width - 1`.
+        // `next_power_of_two` rounds up past the peak, and the batched feed's
+        // room computation keeps prefilled-but-unfetched entries within
+        // whatever slack that leaves.
         let dyn_ring_size = (cfg.rob_size + cfg.fetch_width * 5).next_power_of_two();
+        let start_seq = cpu.executed();
+        let batched_feed = match std::env::var("RENO_FEED").as_deref() {
+            Ok("perinst" | "per-inst" | "per_inst") => false,
+            Ok("batched") => true,
+            _ => cfg.batched_feed,
+        };
+        let nop_class = RenameClass::of(&reno_isa::Inst::alu_ri(
+            Opcode::Addi,
+            Reg::ZERO,
+            Reg::ZERO,
+            0,
+        ));
         Simulator {
             frontend: FrontEnd::new(cfg.bpred, cfg.btb, cfg.ras_entries),
             reno: Reno::new(cfg.reno),
@@ -431,7 +466,11 @@ impl<'p> Simulator<'p> {
                 };
                 dyn_ring_size
             ],
+            class_ring: vec![nop_class; dyn_ring_size],
             dyn_mask: dyn_ring_size as u64 - 1,
+            feed_head: start_seq,
+            feed_tail: start_seq,
+            batched_feed,
             fetch_buf: VecDeque::with_capacity(cfg.fetch_width * 4 + 1),
             fetch_stalled_until: 0,
             waiting_branch: None,
@@ -599,7 +638,6 @@ impl<'p> Simulator<'p> {
                 .expect("re-exec candidates are ROB-resident");
             // The shared register's value must have been produced already.
             let m = self.aux[idx]
-                .r
                 .dst
                 .expect("integrated load has a mapping")
                 .new;
@@ -734,7 +772,7 @@ impl<'p> Simulator<'p> {
         while self.rob.len() > rob_idx {
             let slot = self.rob.pop_back().expect("len checked");
             let aux = self.aux.pop_back().expect("aux is index-aligned");
-            self.reno.rollback(&aux.r);
+            self.reno.rollback_dst(aux.dst.as_ref());
             self.replay.push_front(slot.seq);
             if slot.has(F_IN_IQ) {
                 self.iq_count -= 1;
@@ -803,7 +841,7 @@ impl<'p> Simulator<'p> {
             }
 
             if self.cfg.collect_cpa {
-                let aux = self.aux.front().expect("aux is index-aligned").clone();
+                let aux = *self.aux.front().expect("aux is index-aligned");
                 self.record_cpa(&head, &aux);
             }
             self.aux.pop_front();
@@ -820,11 +858,7 @@ impl<'p> Simulator<'p> {
     fn record_cpa(&mut self, s: &Slot, aux: &SlotAux) {
         let dispatch = aux.rename_cycle + RENAME_TO_DISPATCH;
         let (complete, dep, bucket) = if s.has(F_ELIMINATED) {
-            let m = aux
-                .r
-                .dst
-                .expect("eliminated instructions have mappings")
-                .new;
+            let m = aux.dst.expect("eliminated instructions have mappings").new;
             let pc = self.pregs[m.preg.index()].complete;
             let complete = if pc == u64::MAX {
                 dispatch
@@ -1222,8 +1256,7 @@ impl<'p> Simulator<'p> {
     /// entries whose state moved since they were scheduled), so no slot
     /// access is needed here.
     fn promote(&mut self, seq: u64) {
-        if !self.iq_ready.contains(&seq) {
-            let pos = self.iq_ready.partition_point(|&x| x < seq);
+        if let Err(pos) = self.iq_ready.binary_search(&seq) {
             self.iq_ready.insert(pos, seq);
         }
     }
@@ -1482,9 +1515,14 @@ impl<'p> Simulator<'p> {
                 break;
             }
             let f = *front;
-            let d = self.dyn_ring[(f.seq & self.dyn_mask) as usize];
+            let slot = (f.seq & self.dyn_mask) as usize;
+            let d = self.dyn_ring[slot];
+            let cls = self.class_ring[slot];
             let suppressed = self.suppress_integration.remove(f.seq);
-            let renamed = match self.reno.rename_with(d.pc as u64, d.inst, !suppressed) {
+            let renamed = match self
+                .reno
+                .rename_classified(d.pc as u64, d.inst, &cls, !suppressed)
+            {
                 Ok(r) => r,
                 Err(_) => {
                     if suppressed {
@@ -1495,8 +1533,8 @@ impl<'p> Simulator<'p> {
                 }
             };
 
-            let is_load = d.inst.op.is_load();
-            let is_store = d.inst.op.is_store();
+            let is_load = cls.is_load();
+            let is_store = cls.is_store();
             let needs_iq = !renamed.is_eliminated();
             let needs_lq = needs_iq && is_load;
             let needs_sq = is_store;
@@ -1550,7 +1588,7 @@ impl<'p> Simulator<'p> {
             if needs_sq {
                 self.sq_count += 1;
             }
-            let width = d.inst.op.mem_width().map_or(0, |w| w.bytes());
+            let width = u64::from(cls.width);
             if needs_lq {
                 self.lq.push_back(LsqEntry {
                     seq: f.seq,
@@ -1610,7 +1648,7 @@ impl<'p> Simulator<'p> {
                 op: d.inst.op,
             });
             self.aux.push_back(SlotAux {
-                r: renamed,
+                dst: renamed.dst,
                 rename_cycle: self.cycle,
                 served: None,
                 dep_seq: None,
@@ -1629,12 +1667,46 @@ impl<'p> Simulator<'p> {
 
     /// Next instruction to fetch, as a sequence number into `dyn_ring`
     /// (writing the ring on first fetch from the oracle).
+    ///
+    /// On the batched path the oracle prefills the rings a decoded block at
+    /// a time (`Oracle::refill`), so the per-instruction cost here is a
+    /// cursor increment; the per-instruction path is kept as the
+    /// differential baseline (see [`MachineConfig::batched_feed`]).
     fn next_feed(&mut self) -> Option<(u64, bool)> {
         if let Some(seq) = self.replay.pop_front() {
             return Some((seq, true));
         }
         if self.oracle_done || self.halt_seen {
             return None;
+        }
+        if self.batched_feed {
+            if self.feed_head == self.feed_tail {
+                // Ring room: everything from the oldest live in-flight seq
+                // (ROB head, else the oldest fetch-buffered) through the
+                // prefill tail must stay addressable without aliasing.
+                let oldest_live = self
+                    .rob
+                    .front()
+                    .map(|s| s.seq)
+                    .or_else(|| self.fetch_buf.front().map(|f| f.seq))
+                    .unwrap_or(self.feed_tail);
+                let room = (self.dyn_mask + 1) - (self.feed_tail - oldest_live);
+                debug_assert!(room > 0, "dyn_ring too small for the live window");
+                let n = self.oracle.refill(
+                    &mut self.dyn_ring,
+                    &mut self.class_ring,
+                    self.dyn_mask,
+                    room,
+                );
+                if n == 0 {
+                    self.oracle_done = true;
+                    return None;
+                }
+                self.feed_tail += n as u64;
+            }
+            let seq = self.feed_head;
+            self.feed_head += 1;
+            return Some((seq, false));
         }
         match self.oracle.next() {
             Some(d) => {
@@ -1645,7 +1717,9 @@ impl<'p> Simulator<'p> {
                         "dyn_ring too small for the live window"
                     );
                 }
-                self.dyn_ring[(seq & self.dyn_mask) as usize] = d;
+                let slot = (seq & self.dyn_mask) as usize;
+                self.class_ring[slot] = RenameClass::of(&d.inst);
+                self.dyn_ring[slot] = d;
                 Some((seq, false))
             }
             None => {
@@ -1671,8 +1745,12 @@ impl<'p> Simulator<'p> {
             let Some((seq, from_replay)) = self.next_feed() else {
                 break;
             };
-            let d = self.dyn_ring[(seq & self.dyn_mask) as usize];
-            let addr = Program::inst_addr(d.pc);
+            // Copy only the fields fetch consumes, not the whole ring record.
+            let (pc, op, rs1, d_taken, next_pc) = {
+                let d = &self.dyn_ring[(seq & self.dyn_mask) as usize];
+                (d.pc, d.inst.op, d.inst.rs1, d.taken, d.next_pc)
+            };
+            let addr = Program::inst_addr(pc);
             let line = addr / line_bytes;
             if cur_line != Some(line) {
                 cur_line = Some(line);
@@ -1680,11 +1758,11 @@ impl<'p> Simulator<'p> {
                 ic_done = ic_done.max(done);
             }
             let mut mispredicted = false;
-            if d.inst.op.is_control() && !from_replay {
-                let kind = classify_control(&d);
+            if op.is_control() && !from_replay {
+                let kind = classify_control_op(op, rs1);
                 let ok = self
                     .frontend
-                    .process(d.pc as u64, kind, d.taken, d.next_pc as u64);
+                    .process(pc as u64, kind, d_taken, next_pc as u64);
                 mispredicted = !ok;
             }
             let rename_ready = ic_done + ICACHE_TO_RENAME;
@@ -1696,7 +1774,7 @@ impl<'p> Simulator<'p> {
             });
             fetched += 1;
 
-            if d.inst.op == Opcode::Halt {
+            if op == Opcode::Halt {
                 self.halt_seen = true;
                 break;
             }
@@ -1704,7 +1782,7 @@ impl<'p> Simulator<'p> {
                 self.waiting_branch = Some(seq);
                 break;
             }
-            if d.redirects() {
+            if op.is_control() && d_taken {
                 taken += 1;
                 if taken >= 2 {
                     break; // fetch past at most one taken branch per cycle
