@@ -1,0 +1,17 @@
+//! Dumps the built-in demo kernel's pipeline trace as Chrome trace-event
+//! JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p reno-bench --bin trace_dump > trace.json
+//! ```
+//!
+//! Load the file in Perfetto (ui.perfetto.dev) or `chrome://tracing`: one
+//! async track per dynamic instruction (fetch -> rename -> issue ->
+//! complete -> retire, with the rename outcome and squash cause in the
+//! span args) plus ROB/IQ occupancy and windowed-IPC counter tracks. The
+//! output is byte-deterministic and pinned by
+//! `crates/bench/golden/trace_dump_tiny.json`.
+
+fn main() {
+    print!("{}", reno_bench::trace_demo::demo_json());
+}

@@ -37,7 +37,9 @@ use reno_sim::{MachineConfig, SimResult, Simulator};
 use reno_workloads::{Scale, Workload};
 
 pub mod figures;
+pub mod report;
 pub mod sampling;
+pub mod trace_demo;
 
 pub use reno_par::{par_map, thread_count};
 

@@ -1,169 +1,92 @@
-//! Schema validation for the repo-root `BENCH_sim.json` perf trajectory.
+//! Schema + gate validation for the repo-root `BENCH_sim.json` perf
+//! trajectory, through the library read path (`reno_bench::report`).
 //!
 //! `bench_snapshot` appends entries with a text-level operation (one JSON
 //! object per line), so nothing ever re-parses the file in the write path;
-//! this test is the read-path guard: a malformed append fails CI here
-//! instead of silently corrupting the trajectory that future PRs compare
-//! against.
+//! these tests are the read-path guard: a malformed append — including one
+//! that mixes v1 and v2 metadata generations — fails CI here instead of
+//! silently corrupting the trajectory that future PRs compare against, and
+//! the noise-aware regression gate must pass on the committed history.
 
-use std::collections::HashSet;
+use reno_bench::report::{check, validate, NOISE_FLOOR};
 
-/// A parsed flat JSON object: `(key, raw_value)` pairs in order.
-type FlatObj = Vec<(String, String)>;
-
-/// Parses one flat (non-nested) JSON object line into key/value pairs.
-/// Returns `Err` with a description on any syntax violation.
-fn parse_flat_object(line: &str) -> Result<FlatObj, String> {
-    let line = line.trim().trim_end_matches(',');
-    let inner = line
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-        .ok_or("entry is not a {...} object")?;
-    let mut pairs = Vec::new();
-    let mut rest = inner;
-    loop {
-        rest = rest.trim_start_matches(|c: char| c.is_whitespace() || c == ',');
-        if rest.is_empty() {
-            break;
-        }
-        let r = rest.strip_prefix('"').ok_or("key must be quoted")?;
-        let kend = r.find('"').ok_or("unterminated key")?;
-        let key = &r[..kend];
-        let r = r[kend + 1..]
-            .trim_start()
-            .strip_prefix(':')
-            .ok_or("missing ':' after key")?;
-        let r = r.trim_start();
-        let (value, after) = if let Some(s) = r.strip_prefix('"') {
-            let vend = s.find('"').ok_or("unterminated string value")?;
-            (format!("\"{}\"", &s[..vend]), &s[vend + 1..])
-        } else {
-            let vend = r.find(',').unwrap_or(r.len());
-            let v = r[..vend].trim();
-            if v.is_empty() {
-                return Err("empty value".into());
-            }
-            (v.to_string(), &r[vend..])
-        };
-        pairs.push((key.to_string(), value));
-        rest = after;
-    }
-    if pairs.is_empty() {
-        return Err("empty object".into());
-    }
-    Ok(pairs)
-}
-
-fn get<'a>(obj: &'a FlatObj, key: &str) -> Option<&'a str> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
-}
-
-fn get_str<'a>(obj: &'a FlatObj, key: &str) -> Option<&'a str> {
-    get(obj, key)?.strip_prefix('"')?.strip_suffix('"')
-}
-
-/// Validates the whole `BENCH_sim.json` text. Returns the number of
-/// entries, or a description of the first violation.
-fn validate(text: &str) -> Result<usize, String> {
-    let mut lines = text.lines();
-    if lines.next() != Some("{\"schema\":\"reno-bench-snapshot-v1\",") {
-        return Err("bad schema header line".into());
-    }
-    if lines.next() != Some("\"unit\":\"simulated_cycles_per_host_second\",") {
-        return Err("bad unit line".into());
-    }
-    if lines.next() != Some("\"entries\":[") {
-        return Err("bad entries opener".into());
-    }
-    let body: Vec<&str> = lines.collect();
-    let (footer, entries) = body.split_last().ok_or("missing footer")?;
-    if footer.trim() != "]}" {
-        return Err("bad footer line".into());
-    }
-    let mut seen: HashSet<(String, String, String, String)> = HashSet::new();
-    for (i, line) in entries.iter().enumerate() {
-        let last = i + 1 == entries.len();
-        if !last && !line.trim_end().ends_with(',') {
-            return Err(format!("entry {i}: missing ',' separator"));
-        }
-        if last && line.trim_end().ends_with(',') {
-            return Err(format!("entry {i}: trailing ',' on final entry"));
-        }
-        let obj = parse_flat_object(line).map_err(|e| format!("entry {i}: {e}"))?;
-        let label = get_str(&obj, "label").ok_or(format!("entry {i}: missing string 'label'"))?;
-        if label.is_empty() {
-            return Err(format!("entry {i}: empty label"));
-        }
-        for cfg in ["baseline", "cf_me", "reno"] {
-            let key = format!("{cfg}_cycles_per_sec");
-            let v = get(&obj, &key).ok_or(format!("entry {i} ({label}): missing '{key}'"))?;
-            let parsed: f64 = v
-                .parse()
-                .map_err(|_| format!("entry {i} ({label}): '{key}' not numeric"))?;
-            if !(parsed > 0.0) {
-                return Err(format!("entry {i} ({label}): '{key}' not positive"));
-            }
-        }
-        // Identity tuple: one measurement per (label, scale, threads, mode).
-        // Older entries omit some of these fields; absent fields compare as
-        // empty, which the seed file's history satisfies.
-        let tuple = (
-            label.to_string(),
-            get(&obj, "scale").unwrap_or("").to_string(),
-            get(&obj, "threads").unwrap_or("").to_string(),
-            get(&obj, "mode").unwrap_or("").to_string(),
-        );
-        if !seen.insert(tuple) {
-            return Err(format!(
-                "entry {i}: duplicate (label, scale, threads, mode) for '{label}'"
-            ));
-        }
-    }
-    Ok(entries.len())
+fn committed_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::read_to_string(path).expect("BENCH_sim.json exists")
 }
 
 #[test]
 fn bench_sim_json_is_well_formed() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_sim.json exists");
-    let n = validate(&text).expect("BENCH_sim.json validates");
-    assert!(n >= 2, "the trajectory has history ({n} entries)");
+    let entries = validate(&committed_text()).expect("BENCH_sim.json validates");
+    assert!(
+        entries.len() >= 2,
+        "the trajectory has history ({} entries)",
+        entries.len()
+    );
+    // The PR5 v2 entries must parse with full metadata.
+    let v2: Vec<_> = entries.iter().filter(|e| e.meta.is_some()).collect();
+    assert!(v2.len() >= 4, "the v2 generation is present ({})", v2.len());
+    for e in &v2 {
+        let m = e.meta.as_ref().unwrap();
+        assert!(!m.git_rev.is_empty());
+        assert!(m.reps >= 2);
+        assert!(e.spread() >= 0.0);
+    }
 }
 
 #[test]
-fn validator_rejects_malformed_entries() {
-    let header = "{\"schema\":\"reno-bench-snapshot-v1\",\n\"unit\":\"simulated_cycles_per_host_second\",\n\"entries\":[\n";
-    let ok = "{\"label\":\"a\",\"baseline_cycles_per_sec\":1,\"cf_me_cycles_per_sec\":2,\"reno_cycles_per_sec\":3}";
-    let good = format!("{header}{ok}\n]}}\n");
-    assert_eq!(validate(&good), Ok(1));
-
-    // Missing a required throughput key.
-    let bad = format!(
-        "{header}{}\n]}}\n",
-        "{\"label\":\"a\",\"baseline_cycles_per_sec\":1,\"cf_me_cycles_per_sec\":2}"
+fn committed_trajectory_passes_the_regression_gate() {
+    let entries = validate(&committed_text()).unwrap();
+    let verdicts = check(&entries);
+    assert!(
+        !verdicts.is_empty(),
+        "the PR5 pre/post windows must pair up"
     );
-    assert!(validate(&bad).unwrap_err().contains("reno_cycles_per_sec"));
+    for v in &verdicts {
+        assert!(
+            v.pass(),
+            "window {} regressed {:?} (noise {:.1}% + {:.1}% floor, changes {:?})",
+            v.label,
+            v.regressed,
+            v.noise * 100.0,
+            NOISE_FLOOR * 100.0,
+            v.change
+        );
+    }
+}
 
-    // Non-numeric throughput.
-    let bad = format!(
-        "{header}{}\n]}}\n",
-        "{\"label\":\"a\",\"baseline_cycles_per_sec\":\"fast\",\"cf_me_cycles_per_sec\":2,\"reno_cycles_per_sec\":3}"
+#[test]
+fn appending_a_regressed_window_fails_the_gate() {
+    // Synthesize tomorrow's append: a pre/post pair whose post medians
+    // collapsed far beyond the recorded noise. The gate must refuse it —
+    // this is the unit-level proof behind the CI `bench_report --check`.
+    let text = committed_text();
+    let meta = "\"scale\":\"default\",\"threads\":1,\"mode\":\"full\",\
+                \"rustc\":\"rustc 1.95.0\",\"git_rev\":\"feedbee\",\"reps\":5";
+    let pre = format!(
+        "{{\"label\":\"pre-slowdown-pr6\",{meta},\"timestamp_unix\":1785442100,\
+         \"baseline_cycles_per_sec\":4000000,\"baseline_cycles_per_sec_best\":4100000,\
+         \"cf_me_cycles_per_sec\":4000000,\"cf_me_cycles_per_sec_best\":4100000,\
+         \"reno_cycles_per_sec\":4000000,\"reno_cycles_per_sec_best\":4100000}}"
     );
-    assert!(validate(&bad).unwrap_err().contains("not numeric"));
-
-    // Duplicate identity tuple.
-    let bad = format!("{header}{ok},\n{ok}\n]}}\n");
-    assert!(validate(&bad).unwrap_err().contains("duplicate"));
-
-    // Truncated object (the classic corrupted-append shape).
-    let bad = format!("{header}{}\n]}}\n", &ok[..ok.len() - 1]);
-    assert!(validate(&bad).is_err());
-
-    // Missing separator between entries.
-    let bad = format!("{header}{ok}\n{}\n]}}\n", ok.replace("\"a\"", "\"b\""));
-    assert!(validate(&bad).unwrap_err().contains("separator"));
-
-    // Bad footer.
-    let bad = format!("{header}{ok}\n");
-    assert!(validate(&bad).is_err());
+    let post = format!(
+        "{{\"label\":\"slowdown-pr6\",{meta},\"timestamp_unix\":1785442200,\
+         \"baseline_cycles_per_sec\":2000000,\"baseline_cycles_per_sec_best\":2100000,\
+         \"cf_me_cycles_per_sec\":3900000,\"cf_me_cycles_per_sec_best\":4000000,\
+         \"reno_cycles_per_sec\":3900000,\"reno_cycles_per_sec_best\":4000000}}"
+    );
+    let appended = text.replace("\n]}", &format!(",\n{pre},\n{post}\n]}}"));
+    let entries = validate(&appended).expect("synthetic append is well-formed");
+    let verdicts = check(&entries);
+    let bad = verdicts
+        .iter()
+        .find(|v| v.label == "slowdown-pr6")
+        .expect("synthetic window pairs up");
+    assert!(!bad.pass(), "a halved baseline must trip the gate");
+    assert_eq!(bad.regressed, vec!["baseline"]);
+    // And the committed windows still pass alongside it.
+    assert!(verdicts
+        .iter()
+        .filter(|v| v.label != "slowdown-pr6")
+        .all(|v| v.pass()));
 }

@@ -15,6 +15,9 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// The byte stream ended early or carries trailing garbage.
     Truncated,
+    /// A field holds a value [`Checkpoint::to_bytes`] can never produce
+    /// (non-canonical halt flag, unsorted or duplicate delta pages).
+    BadField(&'static str),
 }
 
 impl fmt::Display for CheckpointError {
@@ -23,6 +26,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a reno checkpoint (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint bytes truncated or oversized"),
+            CheckpointError::BadField(which) => {
+                write!(f, "checkpoint field `{which}` holds a non-canonical value")
+            }
         }
     }
 }
@@ -194,6 +200,14 @@ impl Checkpoint {
     /// Deserializes a checkpoint previously produced by
     /// [`Checkpoint::to_bytes`].
     ///
+    /// The parser is strict: it accepts exactly the image of `to_bytes`, so
+    /// `to_bytes(from_bytes(x)) == x` for every accepted `x` (the fuzz
+    /// harness in `reno-fuzz` holds it to that). In particular the declared
+    /// page count is validated against the actual remaining length *before*
+    /// any allocation — a length-field lie cannot trigger a huge reserve —
+    /// and non-canonical encodings (a halt flag other than 0/1, delta pages
+    /// out of order or duplicated) are rejected, never silently normalized.
+    ///
     /// # Errors
     ///
     /// See [`CheckpointError`].
@@ -211,7 +225,11 @@ impl Checkpoint {
             *reg = r.u64()? as i64;
         }
         let pc = r.u64()?;
-        let halted = r.u64()? != 0;
+        let halted = match r.u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CheckpointError::BadField("halted")),
+        };
         let checksum = r.u64()?;
         let executed = r.u64()?;
         let mut mix_w = [0u64; MIX_WORDS];
@@ -219,14 +237,24 @@ impl Checkpoint {
             *w = r.u64()?;
         }
         let npages = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
-        let mut pages = Vec::with_capacity(npages);
-        for _ in 0..npages {
-            let pno = r.u64()?;
-            pages.push((pno, r.take(PAGE_BYTES)?.to_vec()));
-        }
-        if r.pos != bytes.len() {
+        // The whole remainder must be exactly `npages` fixed-size records:
+        // checked up front so the declared count never drives an allocation
+        // the bytes can't back, and trailing garbage is caught here too.
+        let record = 8 + PAGE_BYTES;
+        if bytes.len() - r.pos != npages.saturating_mul(record) {
             return Err(CheckpointError::Truncated);
         }
+        let mut pages = Vec::with_capacity(npages);
+        let mut prev_pno = None;
+        for _ in 0..npages {
+            let pno = r.u64()?;
+            if prev_pno.is_some_and(|p| p >= pno) {
+                return Err(CheckpointError::BadField("pages"));
+            }
+            prev_pno = Some(pno);
+            pages.push((pno, r.take(PAGE_BYTES)?.to_vec()));
+        }
+        debug_assert_eq!(r.pos, bytes.len(), "length pre-validated");
         Ok(Checkpoint {
             regs,
             pc,

@@ -1,0 +1,157 @@
+//! Checkpoint coverage at `Scale::Large` footprints: multi-MB page deltas,
+//! and `take_with_dirty_pages` (the sampling engine's fast path, fed from
+//! native dirty tracking) against the full-image delta scan — on a machine
+//! that has also stored into the text address range (SMC), the one path
+//! `checkpoint_differential.rs` does not cross.
+//!
+//! Restored machines are compared by architectural observables
+//! (`state_digest`, step-for-step resume), never by `Checkpoint` equality:
+//! the two take paths may legitimately store a different page *set* (the
+//! dirty-tracking path keeps pages whose content happens to match the
+//! base), but the machines they restore must be indistinguishable.
+
+use reno_func::{Checkpoint, Cpu};
+use reno_isa::{Asm, Program, Reg, TEXT_BASE};
+use reno_workloads::Scale;
+
+const PAGE_BYTES: usize = 4096;
+
+/// A streaming kernel sized from the `Scale::Large` factor: one outer trip
+/// per page of a `factor * 2`-page buffer (4 MiB at Large), dirtying every
+/// page, folding loaded values into a checksum, and — when `smc` is set —
+/// aiming stores into the text address range every few pages.
+fn streaming_kernel(pages: usize, smc: bool) -> Program {
+    let mut a = Asm::named("large-stream");
+    let buf = a.zeros("buf", pages * PAGE_BYTES);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::S1, TEXT_BASE as i64);
+    a.li(Reg::T0, pages as i64);
+    a.li(Reg::T1, 0x00c0_ffee);
+    a.label("page");
+    a.st(Reg::T1, Reg::S0, 0);
+    a.sth(Reg::T0, Reg::S0, 2048);
+    a.ld(Reg::T2, Reg::S0, 0);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    if smc {
+        // Architecturally a plain data write (fetch reads the immutable
+        // instruction array), but it lands inside the text range, so the
+        // page under TEXT_BASE joins the dirty set.
+        a.andi(Reg::T3, Reg::T0, 7);
+        a.bnez(Reg::T3, "nosmc");
+        a.st(Reg::T1, Reg::S1, 8);
+        a.label("nosmc");
+    }
+    a.addi(Reg::S0, Reg::S0, PAGE_BYTES as i16);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "page");
+    a.out(Reg::T1);
+    a.halt();
+    a.assemble().expect("streaming kernel assembles")
+}
+
+fn run_steps(p: &Program, steps: usize) -> Cpu {
+    let mut cpu = Cpu::new(p);
+    for _ in 0..steps {
+        cpu.step(p).expect("kernel executes cleanly");
+        if cpu.halted() {
+            break;
+        }
+    }
+    cpu
+}
+
+fn assert_same_machine(a: &Cpu, b: &Cpu, what: &str) {
+    assert_eq!(a.executed(), b.executed(), "executed [{what}]");
+    assert_eq!(a.pc(), b.pc(), "pc [{what}]");
+    assert_eq!(a.checksum(), b.checksum(), "checksum [{what}]");
+    assert_eq!(a.state_digest(), b.state_digest(), "digest [{what}]");
+    assert_eq!(a.mix(), b.mix(), "mix [{what}]");
+}
+
+#[test]
+fn large_scale_round_trip_with_multi_mb_delta() {
+    let pages = Scale::Large.factor() * 2; // 4 MiB of stores at Large
+    let p = streaming_kernel(pages, false);
+    // Stop mid-run with most of the buffer dirtied.
+    let cpu = run_steps(&p, pages * 7);
+    assert!(!cpu.halted(), "checkpoint taken mid-run");
+
+    let ck = Checkpoint::take(&cpu, &p);
+    assert!(
+        ck.delta_pages() * PAGE_BYTES >= 2 << 20,
+        "multi-MB delta ({} pages)",
+        ck.delta_pages()
+    );
+    let bytes = ck.to_bytes();
+    assert!(
+        bytes.len() >= 2 << 20,
+        "serialized size {} bytes",
+        bytes.len()
+    );
+
+    let back = Checkpoint::from_bytes(&bytes).expect("round-trips");
+    assert_eq!(back, ck, "multi-MB checkpoint survives serialization");
+    assert_eq!(back.to_bytes(), bytes, "re-serialization is the identity");
+
+    // The restored machine resumes bit-identically to the original.
+    let mut restored = back.restore(&p);
+    assert_same_machine(&restored, &cpu, "restored at boundary");
+    let mut orig = cpu;
+    loop {
+        let a = orig.step(&p).expect("original");
+        let b = restored.step(&p).expect("restored");
+        assert_eq!(a, b, "DynInst streams must match record-for-record");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_same_machine(&restored, &orig, "after resume to completion");
+}
+
+#[test]
+fn dirty_page_fast_path_matches_full_scan_after_smc() {
+    let pages = Scale::Large.factor() / 2; // 1 MiB: enough to stay Large-ish
+    let p = streaming_kernel(pages, true);
+    let cpu = run_steps(&p, pages * 9);
+    assert!(!cpu.halted());
+
+    let full = Checkpoint::take(&cpu, &p);
+    let fast = Checkpoint::take_with_dirty_pages(&cpu, &cpu.mem().dirty_pages_sorted());
+
+    // The SMC stores must have dirtied the text-range page, so this run
+    // covers the path where the dirty set includes pages outside the
+    // kernel's data buffer.
+    let text_page = TEXT_BASE / PAGE_BYTES as u64;
+    assert!(
+        cpu.mem().dirty_pages_sorted().contains(&text_page),
+        "the text-range page is in the dirty set"
+    );
+
+    // The fast path may carry extra (content-identical) pages, never fewer.
+    assert!(fast.delta_pages() >= full.delta_pages());
+
+    // Both serialize/deserialize cleanly...
+    let full2 = Checkpoint::from_bytes(&full.to_bytes()).unwrap();
+    let fast2 = Checkpoint::from_bytes(&fast.to_bytes()).unwrap();
+    assert_eq!(full2, full);
+    assert_eq!(fast2, fast);
+
+    // ...and restore indistinguishable machines that resume in lockstep
+    // with the original to the halt.
+    let mut a = full2.restore(&p);
+    let mut b = fast2.restore(&p);
+    assert_same_machine(&a, &b, "restored full vs dirty-tracked");
+    let mut orig = cpu;
+    loop {
+        let x = orig.step(&p).expect("original");
+        let y = a.step(&p).expect("full-scan restore");
+        let z = b.step(&p).expect("dirty-tracked restore");
+        assert_eq!(x, y, "full-scan restore diverged");
+        assert_eq!(x, z, "dirty-tracked restore diverged");
+        if x.is_none() {
+            break;
+        }
+    }
+    assert_same_machine(&a, &orig, "full-scan at halt");
+    assert_same_machine(&b, &orig, "dirty-tracked at halt");
+}

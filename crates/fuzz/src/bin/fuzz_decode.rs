@@ -1,0 +1,31 @@
+//! Byte-level fuzzer for instruction decode.
+//!
+//! ```text
+//! RENO_FUZZ_SEED=1 RENO_FUZZ_ITERS=100000 cargo run --release -p reno-fuzz --bin fuzz_decode
+//! ```
+//!
+//! Exits nonzero if any word panics the decoder or decodes to a
+//! non-canonical form (one that does not re-encode to itself). See the
+//! `reno-fuzz` crate docs for the contract and the input strategies.
+
+use reno_fuzz::{iters_from_env, run_decode_fuzz, seed_from_env, DEFAULT_ITERS, DEFAULT_SEED};
+
+fn main() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let iters = iters_from_env(DEFAULT_ITERS);
+    // Keep expected panics (if the contract is broken) from spamming the
+    // log: the report prints one reproduction line per violation instead.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_decode_fuzz(seed, iters);
+    let _ = std::panic::take_hook();
+    println!(
+        "fuzz_decode: seed={seed} iters={iters} accepted={} rejected={} violations={}",
+        report.accepted, report.rejected, report.failure_count
+    );
+    for f in &report.failures {
+        eprintln!("VIOLATION: {f}");
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,380 @@
+//! # reno-fuzz — deterministic fuzzing of the untrusted byte surfaces
+//!
+//! The repository trusts exactly two byte formats it did not produce in the
+//! same process: 32-bit instruction words handed to [`reno_isa::decode`],
+//! and serialized [`reno_func::Checkpoint`] images handed to
+//! `Checkpoint::from_bytes`. Both must *reject, never panic* on arbitrary
+//! input, and both parsers are strict enough to be bijections on their
+//! image — an accepted input re-serializes to exactly the bytes that came
+//! in. This crate holds the harnesses that hammer on those two contracts:
+//!
+//! * [`run_decode_fuzz`] — byte-level fuzzing of instruction decode:
+//!   uniformly random words, opcode-biased words, and bit-flip mutants of
+//!   previously accepted encodings. Accepted words must satisfy
+//!   `encode(decode(w)) == w`.
+//! * [`run_checkpoint_fuzz`] — structure-aware mutational fuzzing of
+//!   checkpoint deserialization over a corpus of real checkpoints: bit
+//!   flips, truncations, extensions, length-field lies, and page-record
+//!   shuffles. Accepted images must satisfy `to_bytes(from_bytes(x)) == x`,
+//!   and a mutation may never trigger a panic or an attacker-sized
+//!   allocation.
+//!
+//! Everything is seeded (`RENO_FUZZ_SEED`) and iteration-bounded
+//! (`RENO_FUZZ_ITERS`), so a CI smoke run and a long local soak use the same
+//! binaries (`fuzz_decode`, `fuzz_checkpoint`) and any finding reproduces
+//! exactly. Findings graduate into plain `#[test]` regression cases under
+//! `crates/isa/tests/decode_corpus.rs` and
+//! `crates/func/tests/checkpoint_corpus.rs`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reno_func::{Checkpoint, Cpu, PAGE_BYTES};
+use reno_isa::{decode, encode, Asm, Program, Reg};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default iteration count: what the acceptance bar asks of a local soak.
+pub const DEFAULT_ITERS: u64 = 100_000;
+/// Default deterministic seed (CI and local runs agree unless overridden).
+pub const DEFAULT_SEED: u64 = 0x5eed_4e40;
+
+/// Reads `RENO_FUZZ_ITERS`, falling back to `default`.
+pub fn iters_from_env(default: u64) -> u64 {
+    std::env::var("RENO_FUZZ_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads `RENO_FUZZ_SEED`, falling back to `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    std::env::var("RENO_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Outcome tallies of one fuzz run. `failures` holds human-readable
+/// reproduction notes for the first few contract violations (empty on a
+/// clean run).
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Inputs the parser accepted (and that round-tripped byte-exactly).
+    pub accepted: u64,
+    /// Inputs the parser rejected with a structured `Err`.
+    pub rejected: u64,
+    /// Contract violations: panics, or accepted inputs that failed
+    /// re-serialization equality. Capped at [`FuzzReport::MAX_FAILURES`].
+    pub failures: Vec<String>,
+    /// Total violations seen (counts past the stored cap).
+    pub failure_count: u64,
+}
+
+impl FuzzReport {
+    /// Stored-failure cap (the count keeps going past it).
+    pub const MAX_FAILURES: usize = 10;
+
+    fn fail(&mut self, msg: String) {
+        self.failure_count += 1;
+        if self.failures.len() < Self::MAX_FAILURES {
+            self.failures.push(msg);
+        }
+    }
+
+    /// True when the run finished without a single contract violation.
+    pub fn clean(&self) -> bool {
+        self.failure_count == 0
+    }
+}
+
+// ------------------------------------------------------------------ decode
+
+/// Fuzzes [`reno_isa::decode`] for `iters` iterations from `seed`.
+///
+/// Every word must decode-or-reject without panicking, and every accepted
+/// word must re-encode to itself (strict canonical decode = bijection on
+/// the image). Inputs mix uniform random words, words with a uniformly
+/// random opcode field (so all 64 opcode slots — legal and reserved — see
+/// deep coverage), and 1–3-bit mutants of previously accepted words (so
+/// near-legal encodings probe each format's pad/canonicality rules).
+pub fn run_decode_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    // Pool of known-legal words to mutate; seeded with one trivial add so
+    // the mutation arm is live from iteration one.
+    let mut legal: Vec<u32> = vec![encode(&reno_isa::Inst::alu_ri(
+        reno_isa::Opcode::Addi,
+        Reg::T0,
+        Reg::T0,
+        1,
+    ))];
+    for _ in 0..iters {
+        let word: u32 = match rng.gen_range(0u32..3) {
+            0 => rng.gen::<u32>(),
+            1 => (rng.gen_range(0u32..64) << 26) | (rng.gen::<u32>() & 0x03ff_ffff),
+            _ => {
+                let base = legal[rng.gen_range(0usize..legal.len())];
+                let mut w = base;
+                for _ in 0..rng.gen_range(1u32..=3) {
+                    w ^= 1 << rng.gen_range(0u32..32);
+                }
+                w
+            }
+        };
+        check_decode_word(word, &mut report, Some(&mut legal));
+    }
+    report
+}
+
+/// One decode-contract check: decode-or-reject without panic; accepted
+/// words re-encode to themselves. Newly accepted words are appended to
+/// `legal` (bounded) for the mutation arm.
+pub fn check_decode_word(word: u32, report: &mut FuzzReport, legal: Option<&mut Vec<u32>>) {
+    match catch_unwind(|| decode(word)) {
+        Err(_) => report.fail(format!("decode(0x{word:08x}) panicked")),
+        Ok(Err(_)) => report.rejected += 1,
+        Ok(Ok(inst)) => {
+            let back = encode(&inst);
+            if back != word {
+                report.fail(format!(
+                    "decode(0x{word:08x}) accepted non-canonical form (re-encodes to 0x{back:08x})"
+                ));
+                return;
+            }
+            report.accepted += 1;
+            if let Some(pool) = legal {
+                if pool.len() < 4096 {
+                    pool.push(word);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- checkpoint
+
+/// Byte offset of the `npages` length field in a serialized checkpoint:
+/// magic + version + register file + (pc, halted, checksum, executed) +
+/// instruction-mix words.
+pub const NPAGES_OFFSET: usize = 8 + 4 + 8 * Reg::COUNT + 8 * 4 + 8 * 11;
+
+/// Size of one serialized page record (page number + contents).
+pub const PAGE_RECORD: usize = 8 + PAGE_BYTES;
+
+/// A small program whose stores spread across several pages, so corpus
+/// checkpoints carry genuine multi-page deltas.
+fn corpus_program() -> Program {
+    let mut a = Asm::named("fuzz-corpus");
+    let buf = a.zeros("buf", 6 * PAGE_BYTES);
+    a.li(Reg::S0, buf as i64);
+    a.li(Reg::T0, 40);
+    a.li(Reg::T1, 0);
+    a.label("loop");
+    a.st(Reg::T0, Reg::S0, 0);
+    // Stride just under a page so successive iterations dirty new pages.
+    a.addi(Reg::S0, Reg::S0, 4000);
+    a.ld(Reg::T2, Reg::S0, -4000);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.out(Reg::T1);
+    a.halt();
+    a.assemble().expect("corpus program assembles")
+}
+
+/// Builds the mutation corpus: serialized checkpoints of a real machine at
+/// several execution depths — entry (zero delta), mid-loop (several dirty
+/// pages), and the halted end state.
+pub fn checkpoint_corpus() -> Vec<Vec<u8>> {
+    let p = corpus_program();
+    let mut cpu = Cpu::new(&p);
+    let mut corpus = vec![Checkpoint::take(&cpu, &p).to_bytes()];
+    for stop in [10u64, 80, 200] {
+        while cpu.executed() < stop && !cpu.halted() {
+            cpu.step(&p).expect("corpus program executes cleanly");
+        }
+        corpus.push(Checkpoint::take(&cpu, &p).to_bytes());
+    }
+    cpu.run_program(&p, 1 << 20).expect("corpus program halts");
+    corpus.push(Checkpoint::take(&cpu, &p).to_bytes());
+    corpus
+}
+
+/// Applies one random structure-aware mutation to `bytes`.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..8) {
+        // Single bit flip anywhere.
+        0 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Overwrite one byte.
+        1 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = rng.gen::<u8>();
+            }
+        }
+        // Truncate to a random prefix.
+        2 => {
+            let keep = rng.gen_range(0usize..=bytes.len());
+            bytes.truncate(keep);
+        }
+        // Append random garbage.
+        3 => {
+            for _ in 0..rng.gen_range(1usize..=16) {
+                bytes.push(rng.gen::<u8>());
+            }
+        }
+        // Length-field lie: claim an arbitrary page count (up to u32::MAX ≈
+        // 16 TiB of page records) without supplying the bytes.
+        4 => {
+            if bytes.len() >= NPAGES_OFFSET + 4 {
+                let lie: u32 = match rng.gen_range(0u32..3) {
+                    0 => u32::MAX,
+                    1 => rng.gen::<u32>(),
+                    _ => {
+                        let real = u32::from_le_bytes(
+                            bytes[NPAGES_OFFSET..NPAGES_OFFSET + 4]
+                                .try_into()
+                                .expect("4 bytes"),
+                        );
+                        real.wrapping_add(rng.gen_range(1u32..=4))
+                    }
+                };
+                bytes[NPAGES_OFFSET..NPAGES_OFFSET + 4].copy_from_slice(&lie.to_le_bytes());
+            }
+        }
+        // Swap two page records (breaks the sorted-pages invariant).
+        5 => {
+            let n = bytes.len().saturating_sub(NPAGES_OFFSET + 4) / PAGE_RECORD;
+            if n >= 2 {
+                let a = rng.gen_range(0usize..n);
+                let b = rng.gen_range(0usize..n);
+                if a != b {
+                    let off = |k: usize| NPAGES_OFFSET + 4 + k * PAGE_RECORD;
+                    let rec_a = bytes[off(a)..off(a) + PAGE_RECORD].to_vec();
+                    let rec_b = bytes[off(b)..off(b) + PAGE_RECORD].to_vec();
+                    bytes[off(a)..off(a) + PAGE_RECORD].copy_from_slice(&rec_b);
+                    bytes[off(b)..off(b) + PAGE_RECORD].copy_from_slice(&rec_a);
+                }
+            }
+        }
+        // Duplicate the last page record and bump the count to match
+        // (structurally valid length, invalid page ordering).
+        6 => {
+            let n = bytes.len().saturating_sub(NPAGES_OFFSET + 4) / PAGE_RECORD;
+            if n >= 1 && bytes.len() >= NPAGES_OFFSET + 4 {
+                let start = bytes.len() - PAGE_RECORD;
+                let rec = bytes[start..].to_vec();
+                bytes.extend_from_slice(&rec);
+                let count = (n as u32).wrapping_add(1);
+                bytes[NPAGES_OFFSET..NPAGES_OFFSET + 4].copy_from_slice(&count.to_le_bytes());
+            }
+        }
+        // Corrupt the halt-flag word with a non-0/1 value.
+        _ => {
+            let off = 8 + 4 + 8 * Reg::COUNT + 8; // after pc
+            if bytes.len() >= off + 8 {
+                let v: u64 = rng.gen_range(2u64..=u64::MAX);
+                bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Fuzzes [`reno_func::Checkpoint::from_bytes`] for `iters` iterations from
+/// `seed`, mutating a corpus of real serialized checkpoints.
+///
+/// Every mutant must parse-or-reject without panicking, and every accepted
+/// mutant must re-serialize to exactly the input bytes — so a mutation can
+/// never smuggle in a checkpoint that restores silently-wrong state while
+/// claiming to be the bytes it came from.
+pub fn run_checkpoint_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let corpus = checkpoint_corpus();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let mut bytes = corpus[rng.gen_range(0usize..corpus.len())].clone();
+        for _ in 0..rng.gen_range(1u32..=3) {
+            mutate(&mut bytes, &mut rng);
+        }
+        check_checkpoint_bytes(&bytes, &mut report, &format!("iter {i} (seed {seed})"));
+    }
+    report
+}
+
+/// One checkpoint-contract check: parse-or-reject without panic; accepted
+/// images re-serialize byte-exactly.
+pub fn check_checkpoint_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) {
+    match catch_unwind(AssertUnwindSafe(|| Checkpoint::from_bytes(bytes))) {
+        Err(_) => report.fail(format!(
+            "from_bytes panicked on {}-byte input, {ctx}",
+            bytes.len()
+        )),
+        Ok(Err(_)) => report.rejected += 1,
+        Ok(Ok(ck)) => {
+            if ck.to_bytes() != bytes {
+                report.fail(format!(
+                    "accepted {}-byte input does not re-serialize to itself, {ctx}",
+                    bytes.len()
+                ));
+                return;
+            }
+            report.accepted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_fuzz_smoke_is_clean() {
+        let r = run_decode_fuzz(DEFAULT_SEED, 3000);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.accepted > 0, "some words decode");
+        assert!(r.rejected > 0, "some words are rejected");
+    }
+
+    #[test]
+    fn checkpoint_fuzz_smoke_is_clean() {
+        let r = run_checkpoint_fuzz(DEFAULT_SEED, 300);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.rejected > 0, "mutations mostly break the image");
+    }
+
+    #[test]
+    fn corpus_has_real_deltas() {
+        let corpus = checkpoint_corpus();
+        assert!(corpus.len() >= 4);
+        let deepest = corpus
+            .iter()
+            .map(|b| Checkpoint::from_bytes(b).expect("corpus entries parse"))
+            .map(|c| c.delta_pages())
+            .max()
+            .unwrap();
+        assert!(deepest >= 3, "corpus spans multiple dirty pages: {deepest}");
+    }
+
+    #[test]
+    fn npages_offset_matches_format() {
+        let corpus = checkpoint_corpus();
+        for bytes in &corpus {
+            let ck = Checkpoint::from_bytes(bytes).expect("parses");
+            let n = u32::from_le_bytes(
+                bytes[NPAGES_OFFSET..NPAGES_OFFSET + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            assert_eq!(n as usize, ck.delta_pages(), "offset constant is right");
+            assert_eq!(
+                bytes.len(),
+                NPAGES_OFFSET + 4 + ck.delta_pages() * PAGE_RECORD,
+                "record size constant is right"
+            );
+        }
+    }
+}

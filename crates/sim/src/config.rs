@@ -65,6 +65,13 @@ pub struct MachineConfig {
     /// variable (`batched` / `perinst`) overrides this field, so CI can
     /// force either path through existing binaries.
     pub batched_feed: bool,
+    /// Record a structured pipeline event trace (fetch/rename/issue/
+    /// complete/retire/squash per dynamic instruction, plus per-cycle
+    /// occupancy samples) for export as Chrome trace-event JSON via
+    /// `reno-trace`. Zero-cost when off: the sink is `None` and the hot
+    /// loop only ever checks the option. Timing and counters are identical
+    /// either way (enforced by the `trace_differential` tests).
+    pub trace: bool,
 }
 
 impl MachineConfig {
@@ -95,6 +102,7 @@ impl MachineConfig {
             collect_cpa: false,
             naive_sched: false,
             batched_feed: true,
+            trace: false,
         }
     }
 
@@ -163,6 +171,13 @@ impl MachineConfig {
     /// see [`MachineConfig::batched_feed`]).
     pub fn with_per_inst_feed(mut self) -> MachineConfig {
         self.batched_feed = false;
+        self
+    }
+
+    /// Record a structured pipeline event trace for Chrome/Perfetto export
+    /// (see [`MachineConfig::trace`]).
+    pub fn with_trace(mut self) -> MachineConfig {
+        self.trace = true;
         self
     }
 

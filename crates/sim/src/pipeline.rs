@@ -5,6 +5,7 @@ use reno_cpa::{Bucket, InstRecord};
 use reno_func::{Cpu, DynInst, Oracle};
 use reno_isa::{OpClass, Opcode, Program, Reg, RenameClass, STACK_TOP};
 use reno_mem::{MemHierarchy, ServedBy};
+use reno_trace::{EventKind, PipelineTrace, RenameOutcome, SquashCause};
 use reno_uarch::{ControlKind, FrontEnd, StoreSets};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -377,6 +378,10 @@ pub struct Simulator<'p> {
     halt_retired: bool,
     stats: SimStats,
     cpa: Vec<InstRecord>,
+    /// Structured event sink (present only when `cfg.trace`): every stage
+    /// guards its hook with one `Option` check, so a disabled trace costs
+    /// nothing and changes nothing (`trace_differential` tests pin both).
+    trace: Option<Box<PipelineTrace>>,
 
     /// Retired-instruction boundaries of the requested measure window
     /// (`u64::MAX` = no window): snapshots are taken when `retired` first
@@ -500,6 +505,7 @@ impl<'p> Simulator<'p> {
             halt_retired: false,
             stats: SimStats::default(),
             cpa: Vec::new(),
+            trace: cfg.trace.then(Box::default),
             mark_at: (u64::MAX, u64::MAX),
             mark_start: None,
             mark_end: None,
@@ -586,6 +592,9 @@ impl<'p> Simulator<'p> {
             self.fetch_stage();
             self.stats.iq_occ_sum += self.iq_count as u64;
             self.stats.rob_occ_sum += self.rob.len() as u64;
+            if let Some(t) = &mut self.trace {
+                t.sample(self.cycle, self.rob.len(), self.iq_count);
+            }
             self.cycle += 1;
 
             // Deadlock guard: something must retire every so often.
@@ -650,7 +659,7 @@ impl<'p> Simulator<'p> {
             if expected != self.dyn_of(seq).dst_val {
                 self.stats.misintegrations += 1;
                 self.suppress_integration.insert(seq);
-                self.squash_from(idx, self.cycle + 1);
+                self.squash_from(idx, self.cycle + 1, SquashCause::Misintegration);
                 continue;
             }
             self.stats.reexec_loads += 1;
@@ -689,6 +698,7 @@ impl<'p> Simulator<'p> {
             cpa: self.cpa,
             mark_start: self.mark_start,
             mark_end: self.mark_end,
+            trace: self.trace,
         };
         let warm = WarmState {
             mem: self.mem,
@@ -758,7 +768,7 @@ impl<'p> Simulator<'p> {
         u64::from(fused && self.cfg.fused_extra_cycle)
     }
 
-    fn squash_from(&mut self, rob_idx: usize, refetch_at: u64) {
+    fn squash_from(&mut self, rob_idx: usize, refetch_at: u64, cause: SquashCause) {
         let first_seq = self.rob[rob_idx].seq;
         // Fetch-buffered instructions replay *after* the squashed ROB slots:
         // push them first, back to front, so the ROB slots land in front of
@@ -792,6 +802,9 @@ impl<'p> Simulator<'p> {
                 pr.complete = u64::MAX;
             }
             self.stats.squashed += 1;
+            if let Some(t) = &mut self.trace {
+                t.push(self.cycle, slot.seq, EventKind::Squash { cause });
+            }
         }
         self.storesets.squash_from(first_seq);
         if matches!(self.waiting_branch, Some(wb) if wb >= first_seq) {
@@ -826,6 +839,9 @@ impl<'p> Simulator<'p> {
             }
 
             let head = self.rob.pop_front().expect("nonempty");
+            if let Some(t) = &mut self.trace {
+                t.push(self.cycle, head.seq, EventKind::Retire);
+            }
             if head.old_preg != NONE32 {
                 self.reno
                     .retire_old(reno_core::PhysReg(head.old_preg as u16));
@@ -1002,6 +1018,9 @@ impl<'p> Simulator<'p> {
                     self.fetch_stalled_until = self.fetch_stalled_until.max(complete + 1);
                     self.waiting_branch = None;
                 }
+                if let Some(t) = &mut self.trace {
+                    t.push(complete, seq, EventKind::Complete);
+                }
             }
         }
     }
@@ -1158,6 +1177,9 @@ impl<'p> Simulator<'p> {
         slot.complete = complete;
         slot.set(F_COMPLETED | F_EXEC_DONE | F_ADDR_KNOWN);
         let dst = slot.dst_preg;
+        if let Some(t) = &mut self.trace {
+            t.push(complete, seq, EventKind::Complete);
+        }
         if self.cfg.collect_cpa {
             self.aux[idx].served = Some(served);
         }
@@ -1176,7 +1198,7 @@ impl<'p> Simulator<'p> {
     }
 
     fn execute_store(&mut self, idx: usize) {
-        let (seq, srange) = {
+        let (seq, srange, complete) = {
             let s = &self.rob[idx];
             let agen_pen = self.agen_fuse_penalty(s);
             let complete = s.exec_start + agen_pen;
@@ -1184,8 +1206,11 @@ impl<'p> Simulator<'p> {
             let slot = &mut self.rob[idx];
             slot.complete = complete;
             slot.set(F_COMPLETED | F_EXEC_DONE | F_ADDR_KNOWN);
-            (seq, srange)
+            (seq, srange, complete)
         };
+        if let Some(t) = &mut self.trace {
+            t.push(complete, seq, EventKind::Complete);
+        }
         let pc = self.dyn_of(seq).pc;
         Self::lsq_mark_done(&mut self.sq, seq);
         self.storesets.store_executed(pc as u64, seq);
@@ -1197,7 +1222,7 @@ impl<'p> Simulator<'p> {
             self.stats.violations += 1;
             self.storesets
                 .train_violation(self.dyn_of(self.rob[j].seq).pc as u64, pc as u64);
-            self.squash_from(j, self.cycle + 1);
+            self.squash_from(j, self.cycle + 1, SquashCause::MemOrder);
         }
     }
 
@@ -1459,6 +1484,9 @@ impl<'p> Simulator<'p> {
     /// speculative load-hit promise stay identical between them.
     fn issue_at(&mut self, i: usize) {
         self.stats.issued += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(self.cycle, self.rob[i].seq, EventKind::Issue);
+        }
         let exec_start = self.cycle + EXE_OFFSET;
         let (seq, dst, complete) = {
             let agen_pen = self.agen_fuse_penalty(&self.rob[i]);
@@ -1653,6 +1681,23 @@ impl<'p> Simulator<'p> {
                 served: None,
                 dep_seq: None,
             });
+            if let Some(t) = &mut self.trace {
+                let outcome = match renamed.kind {
+                    reno_core::RenamedKind::Issued => RenameOutcome::Issued,
+                    reno_core::RenamedKind::Eliminated(c) => match c {
+                        reno_core::ElimClass::Move => RenameOutcome::MoveElim,
+                        reno_core::ElimClass::ConstFold => RenameOutcome::ConstFold,
+                        reno_core::ElimClass::LoadCse => RenameOutcome::LoadCse,
+                        reno_core::ElimClass::AluCse => RenameOutcome::AluCse,
+                    },
+                };
+                t.push(self.cycle, f.seq, EventKind::Rename { outcome });
+                if eliminated {
+                    // Eliminated instructions complete at rename2 (the
+                    // `complete` field the slot was just built with).
+                    t.push(self.cycle + 1, f.seq, EventKind::Complete);
+                }
+            }
             if needs_iq && !self.cfg.naive_sched {
                 self.file_iq(f.seq);
             }
@@ -1772,6 +1817,17 @@ impl<'p> Simulator<'p> {
                 mispredicted,
                 from_replay,
             });
+            if let Some(t) = &mut self.trace {
+                t.push(
+                    self.cycle,
+                    seq,
+                    EventKind::Fetch {
+                        pc: pc as u32,
+                        op,
+                        replay: from_replay,
+                    },
+                );
+            }
             fetched += 1;
 
             if op == Opcode::Halt {

@@ -1,6 +1,7 @@
 use reno_core::{ItStats, RenoStats};
 use reno_cpa::InstRecord;
 use reno_mem::CacheStats;
+use reno_trace::PipelineTrace;
 use reno_uarch::FrontEndStats;
 
 /// Event counters accumulated during a simulation.
@@ -82,6 +83,9 @@ pub struct SimResult {
     /// Snapshot at the measure-window end boundary, if reached before the
     /// program (or the fuel) ran out.
     pub mark_end: Option<SampleMark>,
+    /// Structured pipeline event trace (present only when
+    /// `MachineConfig::trace` was set; see `reno-trace` for the export).
+    pub trace: Option<Box<PipelineTrace>>,
 }
 
 impl SimResult {
@@ -145,6 +149,7 @@ mod tests {
             cpa: Vec::new(),
             mark_start: None,
             mark_end: None,
+            trace: None,
         }
     }
 

@@ -1,0 +1,604 @@
+//! # reno-trace — structured pipeline event traces and Chrome JSON export
+//!
+//! The cycle-level simulator (`reno-sim`) can record a structured event
+//! stream while it runs: one [`TraceEvent`] per pipeline milestone (fetch,
+//! rename with its RENO elimination outcome, issue, complete, retire, or a
+//! squash with its cause) plus per-cycle occupancy samples. Recording is
+//! gated behind `MachineConfig::trace` and costs nothing when off — the
+//! sink is an `Option` the hot loop never touches unless it is `Some`, and
+//! the `pinned_timing` / `alloctrack` suites pin that a build with tracing
+//! compiled in but disabled is cycle- and allocation-identical.
+//!
+//! [`chrome_trace_json`] renders a recorded [`PipelineTrace`] as Chrome
+//! trace-event JSON (the `{"traceEvents":[...]}` flavor): one async track
+//! per dynamic sequence number spanning fetch→retire (or fetch→squash, with
+//! the cause), async instants for the rename/issue/complete milestones, and
+//! counter tracks for ROB/IQ occupancy and windowed IPC. The output opens
+//! directly in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`,
+//! turning a single simulation into a browsable pipeline visualization; the
+//! `trace_dump` binary in `reno-bench` is the command-line entry point.
+
+use reno_isa::Opcode;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What the RENO renamer decided for an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RenameOutcome {
+    /// Entered the issue queue and executes normally.
+    Issued,
+    /// RENO_ME: move eliminated at rename.
+    MoveElim,
+    /// RENO_CF: register-immediate addition folded into a displacement.
+    ConstFold,
+    /// RENO_CSE+RA: load integrated (re-executes before retirement).
+    LoadCse,
+    /// RENO_CSE: ALU operation integrated an existing register.
+    AluCse,
+}
+
+impl RenameOutcome {
+    /// Short label used in the exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RenameOutcome::Issued => "issued",
+            RenameOutcome::MoveElim => "move-elim",
+            RenameOutcome::ConstFold => "const-fold",
+            RenameOutcome::LoadCse => "load-cse",
+            RenameOutcome::AluCse => "alu-cse",
+        }
+    }
+}
+
+/// Why a window of instructions was squashed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SquashCause {
+    /// Memory-ordering violation (a load ran ahead of a conflicting store).
+    MemOrder,
+    /// An integrated load failed its pre-retirement re-execution.
+    Misintegration,
+}
+
+impl SquashCause {
+    /// Short label used in the exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SquashCause::MemOrder => "squash:mem-order",
+            SquashCause::Misintegration => "squash:misintegration",
+        }
+    }
+}
+
+/// One pipeline milestone for one dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The instruction entered the fetch buffer (`replay` = refetched from
+    /// the squash-replay queue).
+    Fetch {
+        /// Static instruction index.
+        pc: u32,
+        /// The opcode (for track labels).
+        op: Opcode,
+        /// Whether this fetch came from the squash-replay queue.
+        replay: bool,
+    },
+    /// The instruction was renamed, with RENO's verdict.
+    Rename {
+        /// Issued or eliminated (and how).
+        outcome: RenameOutcome,
+    },
+    /// Selected for execution (replays may issue an instruction again).
+    Issue,
+    /// Result available; `cycle` is the (possibly future) completion cycle.
+    Complete,
+    /// Retired in program order.
+    Retire,
+    /// Squashed out of the window.
+    Squash {
+        /// What caused the squash.
+        cause: SquashCause,
+    },
+}
+
+/// One recorded event: a milestone for sequence number `seq` at `cycle`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the milestone is attributed to.
+    pub cycle: u64,
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// The milestone.
+    pub kind: EventKind,
+}
+
+/// A per-cycle structure occupancy sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OccSample {
+    /// Sampled cycle.
+    pub cycle: u64,
+    /// Reorder-buffer occupancy.
+    pub rob: u32,
+    /// Issue-queue occupancy.
+    pub iq: u32,
+}
+
+/// The full recorded trace of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTrace {
+    /// Milestones in recording order (per seq, recording order is pipeline
+    /// order; `Complete` events may carry a future cycle).
+    pub events: Vec<TraceEvent>,
+    /// Occupancy samples, one per simulated cycle.
+    pub counters: Vec<OccSample>,
+}
+
+impl PipelineTrace {
+    /// Records one milestone.
+    #[inline]
+    pub fn push(&mut self, cycle: u64, seq: u64, kind: EventKind) {
+        self.events.push(TraceEvent { cycle, seq, kind });
+    }
+
+    /// Records one occupancy sample.
+    #[inline]
+    pub fn sample(&mut self, cycle: u64, rob: usize, iq: usize) {
+        self.counters.push(OccSample {
+            cycle,
+            rob: rob as u32,
+            iq: iq as u32,
+        });
+    }
+
+    /// All retire events, in retirement (= program) order.
+    pub fn retires(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Retire))
+    }
+
+    /// Number of retire events recorded.
+    pub fn retire_count(&self) -> u64 {
+        self.retires().count() as u64
+    }
+
+    /// Number of issue events recorded (includes replay re-issues).
+    pub fn issue_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Issue))
+            .count() as u64
+    }
+
+    /// Number of squash events recorded (one per squashed ROB slot).
+    pub fn squash_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Squash { .. }))
+            .count() as u64
+    }
+}
+
+/// One fetch→(retire|squash|requeue) residency of a sequence number in the
+/// pipeline. A squashed instruction is refetched, so one seq can have
+/// several attempts; the Chrome export draws each as its own async span.
+struct Attempt {
+    seq: u64,
+    pc: u32,
+    op: Opcode,
+    replay: bool,
+    fetch: u64,
+    outcome: Option<RenameOutcome>,
+    /// `(cycle, instant-name)` milestones inside the span.
+    marks: Vec<(u64, &'static str)>,
+    /// `(cycle, reason)` closing the span; `None` = still in flight.
+    end: Option<(u64, &'static str)>,
+}
+
+/// IPC counter window width (cycles) in the exported trace.
+const IPC_WINDOW: u64 = 64;
+/// Occupancy counters are emitted at this cycle granularity.
+const OCC_STRIDE: u64 = 8;
+
+fn json_escape(s: &str) -> String {
+    // Labels here are opcode names and fixed strings; quotes/backslashes
+    // cannot occur, but escape defensively so the writer stays total.
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a recorded trace as Chrome trace-event JSON (see the crate docs).
+/// Cycle numbers are written as microsecond timestamps, so one displayed
+/// microsecond = one simulated cycle. The output is deterministic: equal
+/// traces serialize to equal bytes.
+pub fn chrome_trace_json(trace: &PipelineTrace) -> String {
+    let mut attempts: Vec<Attempt> = Vec::new();
+    let mut open: HashMap<u64, usize> = HashMap::new();
+    let mut last_cycle = 0u64;
+    for ev in &trace.events {
+        last_cycle = last_cycle.max(ev.cycle);
+        match ev.kind {
+            EventKind::Fetch { pc, op, replay } => {
+                if let Some(&i) = open.get(&ev.seq) {
+                    // A refetch while the previous residency never closed:
+                    // the earlier copy was discarded from the fetch buffer
+                    // by a squash (only ROB slots get Squash events).
+                    if attempts[i].end.is_none() {
+                        attempts[i].end = Some((ev.cycle, "requeue"));
+                    }
+                }
+                open.insert(ev.seq, attempts.len());
+                attempts.push(Attempt {
+                    seq: ev.seq,
+                    pc,
+                    op,
+                    replay,
+                    fetch: ev.cycle,
+                    outcome: None,
+                    marks: Vec::new(),
+                    end: None,
+                });
+            }
+            _ => {
+                let Some(&i) = open.get(&ev.seq) else {
+                    continue;
+                };
+                let a = &mut attempts[i];
+                if a.end.is_some() {
+                    continue;
+                }
+                match ev.kind {
+                    EventKind::Rename { outcome } => {
+                        a.outcome = Some(outcome);
+                        a.marks.push((ev.cycle, "rename"));
+                    }
+                    EventKind::Issue => a.marks.push((ev.cycle, "issue")),
+                    EventKind::Complete => a.marks.push((ev.cycle, "complete")),
+                    EventKind::Retire => a.end = Some((ev.cycle, "retire")),
+                    EventKind::Squash { cause } => a.end = Some((ev.cycle, cause.label())),
+                    EventKind::Fetch { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+    for s in &trace.counters {
+        last_cycle = last_cycle.max(s.cycle);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"reno-sim\"}},\n",
+    );
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"pipeline\"}}",
+    );
+
+    for a in &attempts {
+        let name = json_escape(&format!("{:?}@{}", a.op, a.pc));
+        let (end_cycle, end_reason) = a.end.unwrap_or((last_cycle, "inflight"));
+        let outcome = a.outcome.map_or("none", RenameOutcome::label);
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"b\",\"cat\":\"pipe\",\"id\":{},\"pid\":1,\"tid\":1,\"name\":\"{}\",\"ts\":{},\
+             \"args\":{{\"seq\":{},\"pc\":{},\"outcome\":\"{}\",\"replay\":{}}}}}",
+            a.seq, name, a.fetch, a.seq, a.pc, outcome, a.replay
+        );
+        let mut marks: Vec<(u64, &'static str)> = a
+            .marks
+            .iter()
+            .copied()
+            .filter(|&(c, _)| c <= end_cycle)
+            .collect();
+        marks.sort_by_key(|&(c, _)| c);
+        for (c, m) in marks {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"n\",\"cat\":\"pipe\",\"id\":{},\"pid\":1,\"tid\":1,\"name\":\"{}\",\"ts\":{}}}",
+                a.seq, m, c
+            );
+        }
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"e\",\"cat\":\"pipe\",\"id\":{},\"pid\":1,\"tid\":1,\"name\":\"{}\",\"ts\":{},\
+             \"args\":{{\"end\":\"{}\"}}}}",
+            a.seq, name, end_cycle, end_reason
+        );
+    }
+
+    // Occupancy counter tracks, emitted on change at OCC_STRIDE granularity.
+    let mut last_emitted: Option<(u32, u32)> = None;
+    for s in &trace.counters {
+        if s.cycle % OCC_STRIDE != 0 {
+            continue;
+        }
+        if last_emitted == Some((s.rob, s.iq)) {
+            continue;
+        }
+        last_emitted = Some((s.rob, s.iq));
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"C\",\"pid\":1,\"name\":\"ROB occupancy\",\"ts\":{},\"args\":{{\"slots\":{}}}}}",
+            s.cycle, s.rob
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"C\",\"pid\":1,\"name\":\"IQ occupancy\",\"ts\":{},\"args\":{{\"slots\":{}}}}}",
+            s.cycle, s.iq
+        );
+    }
+
+    // Windowed IPC from the retire stream.
+    let mut window_start = 0u64;
+    let mut in_window = 0u64;
+    let emit_ipc = |out: &mut String, start: u64, retired: u64| {
+        let ipc = retired as f64 / IPC_WINDOW as f64;
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"C\",\"pid\":1,\"name\":\"IPC\",\"ts\":{},\"args\":{{\"ipc\":{:.3}}}}}",
+            start, ipc
+        );
+    };
+    for e in trace.retires() {
+        while e.cycle >= window_start + IPC_WINDOW {
+            emit_ipc(&mut out, window_start, in_window);
+            window_start += IPC_WINDOW;
+            in_window = 0;
+        }
+        in_window += 1;
+    }
+    if in_window > 0 {
+        emit_ipc(&mut out, window_start, in_window);
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal JSON syntax check (objects, arrays, strings, numbers, literals).
+/// Not a full RFC 8259 validator, but strict enough to catch any structural
+/// bug in the writer: unbalanced brackets, bad separators, bare tokens.
+///
+/// # Errors
+///
+/// Returns a description and byte offset of the first syntax violation.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, pos);
+                    string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {pos}"));
+                    }
+                    *pos += 1;
+                    value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, pos),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                *pos += 1;
+                while *pos < b.len()
+                    && (b[*pos].is_ascii_digit()
+                        || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *pos += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if s_at(b, *pos, lit) {
+                        *pos += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected token at byte {pos}"))
+            }
+        }
+    }
+    fn s_at(b: &[u8], pos: usize, lit: &str) -> bool {
+        b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit.as_bytes()
+    }
+    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => *pos += 2,
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> PipelineTrace {
+        let mut t = PipelineTrace::default();
+        // seq 0: full life.
+        t.push(
+            0,
+            0,
+            EventKind::Fetch {
+                pc: 0,
+                op: Opcode::Addi,
+                replay: false,
+            },
+        );
+        t.push(
+            2,
+            0,
+            EventKind::Rename {
+                outcome: RenameOutcome::ConstFold,
+            },
+        );
+        t.push(3, 0, EventKind::Complete);
+        t.push(9, 0, EventKind::Retire);
+        // seq 1: squashed, refetched, retired.
+        t.push(
+            0,
+            1,
+            EventKind::Fetch {
+                pc: 1,
+                op: Opcode::Ld,
+                replay: false,
+            },
+        );
+        t.push(
+            2,
+            1,
+            EventKind::Rename {
+                outcome: RenameOutcome::Issued,
+            },
+        );
+        t.push(4, 1, EventKind::Issue);
+        t.push(
+            6,
+            1,
+            EventKind::Squash {
+                cause: SquashCause::MemOrder,
+            },
+        );
+        t.push(
+            7,
+            1,
+            EventKind::Fetch {
+                pc: 1,
+                op: Opcode::Ld,
+                replay: true,
+            },
+        );
+        t.push(
+            9,
+            1,
+            EventKind::Rename {
+                outcome: RenameOutcome::Issued,
+            },
+        );
+        t.push(10, 1, EventKind::Issue);
+        t.push(14, 1, EventKind::Complete);
+        t.push(16, 1, EventKind::Retire);
+        for c in 0..=16 {
+            t.sample(c, 2, 1);
+        }
+        t
+    }
+
+    #[test]
+    fn counts_match_events() {
+        let t = demo_trace();
+        assert_eq!(t.retire_count(), 2);
+        assert_eq!(t.issue_count(), 2);
+        assert_eq!(t.squash_count(), 1);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_structured() {
+        let j = chrome_trace_json(&demo_trace());
+        validate_json(&j).expect("writer emits syntactically valid JSON");
+        assert!(j.starts_with("{\"displayTimeUnit\""));
+        // One async span per attempt: 3 fetches -> 3 b/e pairs.
+        assert_eq!(j.matches("\"ph\":\"b\"").count(), 3);
+        assert_eq!(j.matches("\"ph\":\"e\"").count(), 3);
+        assert!(j.contains("\"end\":\"retire\""));
+        assert!(j.contains("squash:mem-order"));
+        assert!(j.contains("\"outcome\":\"const-fold\""));
+        assert!(j.contains("\"name\":\"IPC\""));
+        assert!(j.contains("\"name\":\"ROB occupancy\""));
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let t = demo_trace();
+        assert_eq!(chrome_trace_json(&t), chrome_trace_json(&t));
+    }
+
+    #[test]
+    fn open_attempts_close_at_trace_end() {
+        let mut t = PipelineTrace::default();
+        t.push(
+            5,
+            7,
+            EventKind::Fetch {
+                pc: 3,
+                op: Opcode::Add,
+                replay: false,
+            },
+        );
+        t.sample(12, 1, 0);
+        let j = chrome_trace_json(&t);
+        validate_json(&j).unwrap();
+        assert!(j.contains("\"end\":\"inflight\""));
+        assert!(j.contains("\"ts\":12"), "closes at the last sampled cycle");
+    }
+
+    #[test]
+    fn json_validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":1}").is_ok());
+        assert!(validate_json("[1,2,{\"x\":[true,null]}]").is_ok());
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("{\"a\":1} trailing").is_err());
+        assert!(validate_json("[1,2").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+}

@@ -10,5 +10,6 @@ pub use reno_isa as isa;
 pub use reno_mem as mem;
 pub use reno_sample as sample;
 pub use reno_sim as sim;
+pub use reno_trace as trace;
 pub use reno_uarch as uarch;
 pub use reno_workloads as workloads;
