@@ -104,6 +104,20 @@ pub fn header_str(first: &str, cols: &[&str]) -> String {
     out
 }
 
+/// Formats one data row with `prec` decimal places — the general form of
+/// [`row_str`] shared with `reno-dse`'s sweep reports (IPC wants 3 decimals
+/// where the figure tables want 1).
+pub fn row_prec_str(name: &str, vals: &[f64], prec: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{name:<10}");
+    for v in vals {
+        let _ = write!(out, " {v:>10.prec$}");
+    }
+    out.push('\n');
+    out
+}
+
 /// Formats one data row of percentages (see [`row`]).
 pub fn row_str(name: &str, vals: &[f64]) -> String {
     use std::fmt::Write as _;

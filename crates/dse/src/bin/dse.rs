@@ -1,0 +1,95 @@
+//! `dse <spec-file> --store <dir> [--out <file>]` — run (or resume) a
+//! design-space sweep.
+//!
+//! stdout and `--out` carry exactly the deterministic report; all cache and
+//! store diagnostics go to stderr, so two runs of the same spec are
+//! byte-comparable with a plain `diff`. Exit status: 0 on success (even
+//! with failed cells — they are *in* the report), nonzero on unusable
+//! input or an unwritable store.
+//!
+//! `RENO_DSE_FAILPOINT=abort-at-io:<n>` (test hook) aborts the process
+//! mid-way through its n-th store/journal write, simulating `kill -9` at
+//! the worst possible moment; a subsequent run with the same arguments
+//! resumes and must produce the identical report.
+
+use reno_dse::{parse_spec, run_sweep, Store, SweepOptions};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dse <spec-file> --store <dir> [--out <file>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path = None;
+    let mut store_dir = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => match it.next() {
+                Some(v) => store_dir = Some(v.clone()),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => return usage(),
+            },
+            _ if spec_path.is_none() && !a.starts_with('-') => spec_path = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let (Some(spec_path), Some(store_dir)) = (spec_path, store_dir) else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dse: cannot read spec {spec_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match parse_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dse: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let store = match Store::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dse: cannot open store {store_dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match run_sweep(&spec, &store, &SweepOptions::default()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dse: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let s = &outcome.stats;
+    eprintln!(
+        "dse: cells={} computed={} cached={} failed={} passes_computed={} passes_cached={} store_corrupt={}",
+        s.cells, s.computed, s.cached, s.failed, s.passes_computed, s.passes_cached, s.store_corrupt
+    );
+
+    if let Some(out) = out_path {
+        if let Err(e) = std::fs::write(&out, outcome.report.as_bytes()) {
+            eprintln!("dse: cannot write report {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut stdout = std::io::stdout();
+    if stdout.write_all(outcome.report.as_bytes()).is_err() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,284 @@
+//! Append-only sweep journal: the crash-recovery log that lets a killed
+//! sweep resume exactly where it left off.
+//!
+//! One journal file per (spec, simulator-rev) lives under the store's
+//! `journal/` directory, named by the sweep hash. Each line is a
+//! self-validating record:
+//!
+//! ```text
+//! sweep <sweep-hash-hex> <line-checksum-hex>        # header, written once
+//! done <cell-key-hex> <line-checksum-hex>           # cell result committed
+//! fail <cell-key-hex> <message-hex> <line-checksum-hex>
+//! ```
+//!
+//! The checksum is FNV-1a over everything before the final space. Replay
+//! stops at the first malformed line: because the file is append-only and
+//! writes go through a single mutex, only the **tail** can ever be torn
+//! (a `kill -9` mid-append), and everything before it is intact. A `done`
+//! record is appended only *after* the cell's result is committed to the
+//! store, so replay can trust it — and if the store entry has since been
+//! corrupted, the store's own validation turns that cell into a recompute,
+//! not a wrong report.
+//!
+//! Failure messages are hex-encoded so arbitrary panic text (spaces,
+//! newlines) cannot break the line framing.
+
+use crate::store::{fnv1a64, Store};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// One replayed journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// The cell's result is committed in the store.
+    Done { key: u64 },
+    /// The cell failed (after its retry); `message` is the panic/error text.
+    Fail { key: u64, message: String },
+}
+
+impl JournalEvent {
+    /// The cell key this record is about.
+    pub fn key(&self) -> u64 {
+        match self {
+            JournalEvent::Done { key } | JournalEvent::Fail { key, .. } => *key,
+        }
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// Appends `" <checksum-hex>"` to a line body.
+fn seal(body: &str) -> String {
+    format!("{body} {:016x}\n", fnv1a64(body.as_bytes()))
+}
+
+/// Splits a sealed line back into its body, verifying the checksum.
+fn unseal(line: &str) -> Option<&str> {
+    let (body, ck) = line.rsplit_once(' ')?;
+    let ck = u64::from_str_radix(ck, 16).ok()?;
+    (ck == fnv1a64(body.as_bytes())).then_some(body)
+}
+
+/// The writable journal handle plus the records replayed at open.
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating or resuming) the journal for `sweep_hash` under the
+    /// store's journal directory and replays its intact prefix.
+    ///
+    /// Replay stops at the first malformed line (the torn tail of a killed
+    /// append); a well-formed `sweep` header for a *different* hash is an
+    /// error (the file name collided with another spec — should be
+    /// impossible since the name is the hash, but never trust disk).
+    pub fn open(store: &Store, sweep_hash: u64) -> io::Result<(Journal, Vec<JournalEvent>)> {
+        let path = store.journal_dir().join(format!("{sweep_hash:016x}.log"));
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        // Replay the longest intact prefix of complete, checksummed lines,
+        // tracking its byte length so a torn tail can be truncated away
+        // (appending after a torn partial line would corrupt the next
+        // record too).
+        let mut events = Vec::new();
+        let mut saw_header = false;
+        let mut intact = 0usize;
+        for raw in bytes.split_inclusive(|&b| b == b'\n') {
+            if raw.last() != Some(&b'\n') {
+                break; // torn: the append died before the newline
+            }
+            let Ok(line) = std::str::from_utf8(&raw[..raw.len() - 1]) else {
+                break;
+            };
+            let Some(body) = unseal(line) else {
+                break;
+            };
+            let mut parts = body.split(' ');
+            let ok = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some("sweep"), Some(h), None, None) if !saw_header => {
+                    match u64::from_str_radix(h, 16) {
+                        Ok(h) if h == sweep_hash => {
+                            saw_header = true;
+                            true
+                        }
+                        Ok(h) => {
+                            return Err(io::Error::other(format!(
+                                "journal {} belongs to sweep {h:016x}, not {sweep_hash:016x}",
+                                path.display()
+                            )))
+                        }
+                        Err(_) => false,
+                    }
+                }
+                (Some("done"), Some(k), None, None) => match u64::from_str_radix(k, 16) {
+                    Ok(key) => {
+                        events.push(JournalEvent::Done { key });
+                        true
+                    }
+                    Err(_) => false,
+                },
+                (Some("fail"), Some(k), Some(msg), None) => {
+                    match (u64::from_str_radix(k, 16), hex_decode(msg)) {
+                        (Ok(key), Some(m)) => {
+                            events.push(JournalEvent::Fail {
+                                key,
+                                message: String::from_utf8_lossy(&m).into_owned(),
+                            });
+                            true
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if !ok {
+                break;
+            }
+            intact += raw.len();
+        }
+        if !saw_header {
+            // No valid header: treat the whole file as torn.
+            intact = 0;
+            events.clear();
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        if (intact as u64) < file.metadata()?.len() {
+            file.set_len(intact as u64)?;
+        }
+        let mut file = OpenOptions::new().append(true).open(&path)?;
+        if !saw_header {
+            Store::journal_write(
+                &mut file,
+                seal(&format!("sweep {sweep_hash:016x}")).as_bytes(),
+            )?;
+        }
+
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                path,
+            },
+            events,
+        ))
+    }
+
+    /// This journal's on-disk path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// Appends one record. Goes through the failpoint hook, so the
+    /// crash-resume tests can die mid-append and exercise the torn tail.
+    /// An append failure (e.g. disk-full) is returned to the caller, who
+    /// degrades to running without resume capability for that record.
+    pub fn append(&self, ev: &JournalEvent) -> io::Result<()> {
+        let body = match ev {
+            JournalEvent::Done { key } => format!("done {key:016x}"),
+            JournalEvent::Fail { key, message } => {
+                format!("fail {key:016x} {}", hex_encode(message.as_bytes()))
+            }
+        };
+        let mut f = self.file.lock().expect("journal mutex poisoned");
+        Store::journal_write(&mut f, seal(&body).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_store(tag: &str) -> (PathBuf, Store) {
+        let dir =
+            std::env::temp_dir().join(format!("reno-dse-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn replay_roundtrip() {
+        let (dir, store) = tmp_store("roundtrip");
+        let (j, replayed) = Journal::open(&store, 0xabcd).unwrap();
+        assert!(replayed.is_empty());
+        j.append(&JournalEvent::Done { key: 1 }).unwrap();
+        j.append(&JournalEvent::Fail {
+            key: 2,
+            message: "boom with spaces\nand newline".into(),
+        })
+        .unwrap();
+        drop(j);
+
+        let (_j, replayed) = Journal::open(&store, 0xabcd).unwrap();
+        assert_eq!(
+            replayed,
+            vec![
+                JournalEvent::Done { key: 1 },
+                JournalEvent::Fail {
+                    key: 2,
+                    message: "boom with spaces\nand newline".into()
+                },
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_wrong_sweep_is_an_error() {
+        let (dir, store) = tmp_store("torn");
+        let (j, _) = Journal::open(&store, 7).unwrap();
+        j.append(&JournalEvent::Done { key: 10 }).unwrap();
+        j.append(&JournalEvent::Done { key: 11 }).unwrap();
+        let path = j.path().clone();
+        drop(j);
+
+        // Tear the last line mid-append.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let (_j, replayed) = Journal::open(&store, 7).unwrap();
+        assert_eq!(replayed, vec![JournalEvent::Done { key: 10 }]);
+
+        // A different sweep hash must refuse the same journal file... it
+        // gets a different file name, so simulate by asking for the same
+        // hash file with a conflicting header.
+        let other = Journal::open(&store, 8).unwrap();
+        drop(other);
+        let seven = store.journal_dir().join("0000000000000007.log");
+        let eight = store.journal_dir().join("0000000000000008.log");
+        fs::copy(&eight, &seven).unwrap();
+        assert!(Journal::open(&store, 7).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,40 @@
+//! # reno-dse — crash-safe design-space exploration service
+//!
+//! Turns the one-shot figure/table binaries into a batch sweep driver: a
+//! declarative spec describes a (workload × scale × machine-config) grid,
+//! and the service simulates every cell, reusing work across runs through a
+//! persistent store — engineered from the start so that **no failure mode
+//! produces a wrong report**:
+//!
+//! | failure | handling |
+//! |---------|----------|
+//! | corrupt store entry | checksum validation rejects it: quarantined, logged, recomputed — never trusted, never a panic |
+//! | process killed (any point, incl. mid-write) | atomic writes + append-only journal: resume serves completed cells from cache, recomputes the rest; the resumed report is **byte-identical** to an uninterrupted run |
+//! | panicking cell | caught per-job ([`reno_par::try_par_map`]), retried once, then quarantined into the report's failed-cells section while the rest of the sweep completes |
+//! | disk full / write error | logged; the sweep degrades to cache-less operation for that entry and still completes |
+//!
+//! The store is content-addressed: entries are keyed by an FNV-1a hash of
+//! everything that determines their content (workload, scale, mode,
+//! machine config, simulator revision [`SIM_REV`]), so a config tweak or a
+//! simulator change can never serve a stale result — the key simply never
+//! matches again. In sampled mode the expensive functional checkpointing
+//! pass is keyed per (workload, scale, sampling shape) — *not* per machine
+//! config — so one pass is computed once and reused across every config in
+//! the grid (and across runs), which is the service's main computational
+//! win ([`reno_sample::run_sampled_with_pass`] validates the fit and
+//! rejects a mismatched pass rather than mis-sampling).
+//!
+//! The `dse` binary drives it: `dse <spec> --store <dir> [--out <file>]`.
+//! Cache/traffic statistics go to stderr only; stdout (and `--out`) carry
+//! exactly the deterministic report bytes.
+
+pub mod journal;
+pub mod report;
+pub mod spec;
+pub mod store;
+pub mod sweep;
+
+pub use journal::{Journal, JournalEvent};
+pub use spec::{parse_spec, Mode, SpecError, SweepSpec};
+pub use store::{decode_entry, encode_entry, fnv1a64, EntryKind, Store, StoreError, HEADER_LEN};
+pub use sweep::{run_sweep, CellResult, SweepOptions, SweepOutcome, SweepStats, SIM_REV};

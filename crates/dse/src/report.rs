@@ -1,0 +1,98 @@
+//! Deterministic sweep-report rendering.
+//!
+//! The report is the *only* output of a sweep, and its bytes are part of
+//! the crash-safety contract: resumed, cached and cold runs must all render
+//! the identical document. Nothing here may therefore depend on cache
+//! traffic, wall-clock, thread count or iteration order — only on cell
+//! content in plan order.
+
+use crate::spec::{Mode, SweepSpec};
+use crate::sweep::CellResult;
+use reno_bench::{amean, header_str, row_prec_str};
+use std::fmt::Write as _;
+
+/// Renders the report: an IPC table (workloads × configs, `FAIL` for
+/// quarantined cells), an arithmetic-mean row, a cross-config architectural
+/// checksum audit, and the failed-cells section.
+pub fn render(spec: &SweepSpec, resolved: &[(String, Result<CellResult, String>)]) -> String {
+    let ncfg = spec.configs.len();
+    let labels: Vec<&str> = spec.configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mode = match &spec.mode {
+        Mode::Full => format!("full, fuel {}", spec.fuel),
+        Mode::Sampled {
+            warmup,
+            interval,
+            period,
+        } => format!("sampled {warmup}/{interval}/{period}"),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep {} | scale {:?} | mode {mode} | IPC per (workload, config)",
+        spec.name, spec.scale
+    );
+    out.push_str(&header_str("workload", &labels));
+
+    // One row per workload; a failed cell renders as FAIL in its column.
+    let mut per_cfg_means: Vec<Vec<f64>> = vec![Vec::new(); ncfg];
+    for (wl_idx, wl) in spec.workloads.iter().enumerate() {
+        let row = &resolved[wl_idx * ncfg..(wl_idx + 1) * ncfg];
+        if row.iter().all(|(_, r)| r.is_ok()) {
+            let vals: Vec<f64> = row
+                .iter()
+                .enumerate()
+                .map(|(c, (_, r))| {
+                    let ipc = r.as_ref().expect("all ok").ipc();
+                    per_cfg_means[c].push(ipc);
+                    ipc
+                })
+                .collect();
+            out.push_str(&row_prec_str(wl, &vals, 3));
+        } else {
+            let _ = write!(out, "{wl:<10}");
+            for (c, (_, r)) in row.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        per_cfg_means[c].push(v.ipc());
+                        let _ = write!(out, " {:>10.3}", v.ipc());
+                    }
+                    Err(_) => {
+                        let _ = write!(out, " {:>10}", "FAIL");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    let means: Vec<f64> = per_cfg_means.iter().map(|v| amean(v)).collect();
+    out.push_str(&row_prec_str("amean", &means, 3));
+
+    // Architectural audit: every config must compute the same program
+    // output. A mismatch is a simulator bug worth shouting about in the
+    // report itself, not just stderr.
+    for (wl_idx, wl) in spec.workloads.iter().enumerate() {
+        let row = &resolved[wl_idx * ncfg..(wl_idx + 1) * ncfg];
+        let sums: Vec<u64> = row
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok().map(|v| v.checksum))
+            .collect();
+        if sums.windows(2).any(|w| w[0] != w[1]) {
+            let _ = writeln!(
+                out,
+                "WARNING: {wl}: architectural checksum differs across configs"
+            );
+        }
+    }
+
+    let failed: Vec<&(String, Result<CellResult, String>)> =
+        resolved.iter().filter(|(_, r)| r.is_err()).collect();
+    if !failed.is_empty() {
+        let _ = writeln!(out, "\nfailed cells ({}):", failed.len());
+        for (id, r) in failed {
+            let msg = r.as_ref().expect_err("filtered to failures");
+            let _ = writeln!(out, "  {id}: {msg}");
+        }
+    }
+    out
+}

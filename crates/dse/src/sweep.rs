@@ -1,0 +1,432 @@
+//! The sweep driver: plans the cell grid, resumes from the journal, reuses
+//! checkpoint passes across configs, fans cells over `reno-par` with panic
+//! isolation, and renders a deterministic report.
+//!
+//! ## Determinism contract
+//!
+//! The returned report is **byte-identical** across: cold runs, fully-cached
+//! re-runs, resumed runs after a kill at any point, any `RENO_THREADS`, and
+//! runs whose store entries were corrupted (they are quarantined and
+//! recomputed). Everything observable in the report derives from cell
+//! *content* in plan order; cache hit/miss traffic, timings and store
+//! diagnostics go to stderr and [`SweepStats`] only.
+//!
+//! ## Failure handling
+//!
+//! A panicking cell is caught by [`reno_par::try_par_map`], retried once,
+//! and — if it panics again — recorded in the journal and reported in the
+//! `failed cells` section while every other cell completes. A cell that
+//! failed in a *previous* (killed) run stays failed with its recorded
+//! message, without re-running, so the resumed report matches the
+//! uninterrupted one.
+
+use crate::journal::{Journal, JournalEvent};
+use crate::spec::{Mode, SweepSpec};
+use crate::store::{fnv1a64, EntryKind, Store, StoreError};
+use reno_par::try_par_map;
+use reno_sample::{run_sampled_with_pass, CheckpointPass, SampleConfig};
+use reno_sim::{MachineConfig, Simulator};
+use reno_workloads::{all_workloads, Workload};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies the simulator revision in every cache key: bump whenever a
+/// change alters simulated timing or architectural results, so stale store
+/// entries become unreachable instead of wrong.
+pub const SIM_REV: &str = concat!("reno-sim-", env!("CARGO_PKG_VERSION"), "+dse1");
+
+/// Cycle cap per detailed simulation (safety net, same as `reno-bench`).
+const MAX_CYCLES: u64 = 1 << 28;
+
+/// The numeric result of one cell, as cached and reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellResult {
+    /// Simulated (full) or estimated (sampled) cycles.
+    pub cycles: u64,
+    /// Retired (full) or total executed (sampled) instructions.
+    pub retired: u64,
+    /// Architectural output checksum — must agree across configs.
+    pub checksum: u64,
+    /// Whether the program ran to `halt` (full mode stops at `fuel`).
+    pub halted: bool,
+}
+
+impl CellResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fixed 32-byte little-endian encoding (the store-entry payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.cycles.to_le_bytes());
+        out.extend_from_slice(&self.retired.to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        out.extend_from_slice(&u64::from(self.halted).to_le_bytes());
+        out
+    }
+
+    /// Strict inverse of [`CellResult::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<CellResult, StoreError> {
+        if bytes.len() != 32 {
+            return Err(StoreError::BadPayload("cell result is not 32 bytes"));
+        }
+        let u = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let halted = match u(3) {
+            0 => false,
+            1 => true,
+            _ => return Err(StoreError::BadPayload("halted flag is not 0/1")),
+        };
+        Ok(CellResult {
+            cycles: u(0),
+            retired: u(1),
+            checksum: u(2),
+            halted,
+        })
+    }
+}
+
+/// Test hooks for fault injection. Cells are addressed as
+/// `"<workload>/<config-label>"`.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Cells that panic on **every** attempt (exercises retry-then-
+    /// quarantine).
+    pub panic_always: Vec<String>,
+    /// Cells that panic on the **first** attempt only (exercises
+    /// retry-succeeds).
+    pub panic_first_attempt: Vec<String>,
+}
+
+/// Counters describing what one `run_sweep` call actually did. Never part
+/// of the report (which must be byte-identical regardless).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total cells in the grid.
+    pub cells: u64,
+    /// Cells simulated in this call.
+    pub computed: u64,
+    /// Cells served from the store/journal.
+    pub cached: u64,
+    /// Cells in the failed section (this call or replayed).
+    pub failed: u64,
+    /// Checkpoint passes computed in this call (sampled mode).
+    pub passes_computed: u64,
+    /// Checkpoint passes served from the store (sampled mode).
+    pub passes_cached: u64,
+    /// Store validation failures observed (entries quarantined).
+    pub store_corrupt: u64,
+}
+
+/// A finished sweep: the deterministic report plus this run's traffic.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The deterministic plain-text report.
+    pub report: String,
+    /// What this call computed vs. served from cache.
+    pub stats: SweepStats,
+}
+
+struct Cell<'a> {
+    workload: &'a Workload,
+    wl_idx: usize,
+    cfg: &'a MachineConfig,
+    key: u64,
+    /// `"<workload>/<label>"`, for fault injection and failure reports.
+    id: String,
+}
+
+fn cell_key(spec: &SweepSpec, wl: &str, cfg: &MachineConfig) -> u64 {
+    let mode = match &spec.mode {
+        Mode::Full => format!("full:{}", spec.fuel),
+        Mode::Sampled {
+            warmup,
+            interval,
+            period,
+        } => format!("sampled:{warmup}:{interval}:{period}"),
+    };
+    fnv1a64(
+        format!(
+            "cell|{SIM_REV}|wl={wl}|scale={:?}|mode={mode}|cfg={cfg:?}",
+            spec.scale
+        )
+        .as_bytes(),
+    )
+}
+
+fn pass_key(spec: &SweepSpec, wl: &str, sc: &SampleConfig) -> u64 {
+    fnv1a64(format!("pass|{SIM_REV}|wl={wl}|scale={:?}|sc={sc:?}", spec.scale).as_bytes())
+}
+
+fn sample_config(mode: &Mode) -> Option<SampleConfig> {
+    match mode {
+        Mode::Full => None,
+        Mode::Sampled {
+            warmup,
+            interval,
+            period,
+        } => Some(SampleConfig::new(*warmup, *interval, *period)),
+    }
+}
+
+/// Computes one cell (no caching, no catching) — the unit of work the pool
+/// fans out. Sampled cells take the shared pass for their workload.
+fn simulate_cell(
+    spec: &SweepSpec,
+    cell: &Cell<'_>,
+    sc: Option<&SampleConfig>,
+    pass: Option<&CheckpointPass>,
+) -> CellResult {
+    match (sc, pass) {
+        (Some(sc), Some(pass)) => {
+            let r = match run_sampled_with_pass(&cell.workload.program, cell.cfg.clone(), sc, pass)
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    // A mismatched pass should be impossible (the key pins
+                    // workload, scale and sampling shape); recompute from
+                    // scratch rather than fail the cell — correctness over
+                    // speed.
+                    eprintln!(
+                        "dse: pass for {} rejected ({e}); recomputing inline",
+                        cell.id
+                    );
+                    let own = CheckpointPass::compute(&cell.workload.program, sc);
+                    run_sampled_with_pass(&cell.workload.program, cell.cfg.clone(), sc, &own)
+                        .expect("a freshly-computed pass fits its own shape")
+                }
+            };
+            CellResult {
+                cycles: r.est_cycles(),
+                retired: r.total_insts,
+                checksum: r.checksum,
+                halted: r.halted,
+            }
+        }
+        _ => {
+            let r = Simulator::with_fuel(&cell.workload.program, cell.cfg.clone(), spec.fuel)
+                .run(MAX_CYCLES);
+            CellResult {
+                cycles: r.cycles,
+                retired: r.retired,
+                checksum: r.checksum,
+                halted: r.halted,
+            }
+        }
+    }
+}
+
+/// Loads the per-workload checkpoint passes (sampled mode), store-first.
+fn load_passes(
+    spec: &SweepSpec,
+    sc: &SampleConfig,
+    workloads: &[&Workload],
+    store: &Store,
+    stats_computed: &AtomicU64,
+    stats_cached: &AtomicU64,
+) -> Vec<CheckpointPass> {
+    let jobs: Vec<&Workload> = workloads.to_vec();
+    reno_par::par_map(&jobs, |wl| {
+        let key = pass_key(spec, wl.name, sc);
+        if let Some(bytes) = store.get(EntryKind::Pass, key) {
+            match CheckpointPass::from_bytes(&bytes) {
+                Ok(pass) => {
+                    stats_cached.fetch_add(1, Ordering::Relaxed);
+                    return pass;
+                }
+                Err(e) => {
+                    // The frame checksum was valid but the payload is not a
+                    // pass (format drift): recompute and overwrite.
+                    eprintln!(
+                        "dse: pass payload for {} invalid ({e}); recomputing",
+                        wl.name
+                    );
+                }
+            }
+        }
+        let pass = CheckpointPass::compute(&wl.program, sc);
+        if pass.error.is_none() {
+            store.put(EntryKind::Pass, key, &pass.to_bytes());
+        }
+        stats_computed.fetch_add(1, Ordering::Relaxed);
+        pass
+    })
+}
+
+/// Runs (or resumes) the sweep described by `spec` against `store`.
+///
+/// See the module docs for the determinism and failure-handling contracts.
+pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Result<SweepOutcome> {
+    let sweep_hash = fnv1a64(spec.canonical().as_bytes());
+    let (journal, replayed) = Journal::open(store, sweep_hash)?;
+    let mut journaled: HashMap<u64, JournalEvent> = HashMap::new();
+    for ev in replayed {
+        journaled.insert(ev.key(), ev); // later records win
+    }
+
+    let workloads = all_workloads(spec.scale);
+    let selected: Vec<&Workload> = spec
+        .workloads
+        .iter()
+        .map(|name| {
+            workloads
+                .iter()
+                .find(|w| w.name == *name)
+                .expect("spec parser validated workload names")
+        })
+        .collect();
+
+    let cells: Vec<Cell<'_>> = selected
+        .iter()
+        .enumerate()
+        .flat_map(|(wl_idx, wl)| {
+            spec.configs.iter().map(move |(label, cfg)| Cell {
+                workload: wl,
+                wl_idx,
+                cfg,
+                key: cell_key(spec, wl.name, cfg),
+                id: format!("{}/{label}", wl.name),
+            })
+        })
+        .collect();
+
+    let computed = AtomicU64::new(0);
+    let passes_computed = AtomicU64::new(0);
+    let passes_cached = AtomicU64::new(0);
+    let sc = sample_config(&spec.mode);
+
+    // Resolve each cell: journaled failure, cached result, or to-run.
+    // `done` journal records whose store entry has gone missing or corrupt
+    // fall through to recompute — the journal is an index, the store's
+    // validation is the authority.
+    let mut cached = 0u64;
+    let mut outcomes: Vec<Option<Result<CellResult, String>>> = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        match journaled.get(&cell.key) {
+            Some(JournalEvent::Fail { message, .. }) => {
+                outcomes.push(Some(Err(message.clone())));
+            }
+            _ => match store.get(EntryKind::Cell, cell.key) {
+                Some(bytes) => match CellResult::from_bytes(&bytes) {
+                    Ok(r) => {
+                        cached += 1;
+                        outcomes.push(Some(Ok(r)));
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "dse: cell payload for {} invalid ({e}); recomputing",
+                            cell.id
+                        );
+                        outcomes.push(None);
+                    }
+                },
+                None => outcomes.push(None),
+            },
+        }
+    }
+
+    // Sampled mode: one functional checkpointing pass per workload, shared
+    // by every config's cell (the pass is machine-config-independent).
+    // Only loaded when something actually needs simulating — a fully
+    // cached re-run touches no pass at all.
+    let any_pending = outcomes.iter().any(|o| o.is_none());
+    let passes: Vec<CheckpointPass> = match &sc {
+        Some(sc) if any_pending => {
+            load_passes(spec, sc, &selected, store, &passes_computed, &passes_cached)
+        }
+        _ => Vec::new(),
+    };
+
+    // First attempt: fan the pending cells out with per-job panic capture.
+    // Workers commit store entry + journal record as soon as their cell
+    // finishes, so a kill mid-sweep loses at most in-flight cells.
+    let run_one = |cell: &Cell<'_>, attempt: u32| -> CellResult {
+        if opts.panic_always.iter().any(|c| *c == cell.id)
+            || (attempt == 1 && opts.panic_first_attempt.iter().any(|c| *c == cell.id))
+        {
+            panic!("injected panic in cell {}", cell.id);
+        }
+        let pass = sc.as_ref().map(|_| &passes[cell.wl_idx]);
+        simulate_cell(spec, cell, sc.as_ref(), pass)
+    };
+    let commit_ok = |cell: &Cell<'_>, r: &CellResult| {
+        store.put(EntryKind::Cell, cell.key, &r.to_bytes());
+        let _ = journal
+            .append(&JournalEvent::Done { key: cell.key })
+            .map_err(|e| eprintln!("dse: journal append failed ({e}); resume will recompute"));
+    };
+
+    let pending: Vec<usize> = (0..cells.len())
+        .filter(|&i| outcomes[i].is_none())
+        .collect();
+    let first: Vec<Result<CellResult, reno_par::JobPanic>> = try_par_map(&pending, |&i| {
+        let r = run_one(&cells[i], 1);
+        commit_ok(&cells[i], &r);
+        computed.fetch_add(1, Ordering::Relaxed);
+        r
+    });
+
+    // Retry pass: each first-attempt panic gets exactly one more try; a
+    // second panic quarantines the cell into the failed section.
+    let panicked: Vec<usize> = pending
+        .iter()
+        .zip(&first)
+        .filter_map(|(&i, r)| r.is_err().then_some(i))
+        .collect();
+    let second: Vec<Result<CellResult, reno_par::JobPanic>> = try_par_map(&panicked, |&i| {
+        let r = run_one(&cells[i], 2);
+        commit_ok(&cells[i], &r);
+        computed.fetch_add(1, Ordering::Relaxed);
+        r
+    });
+    for (&i, r) in panicked.iter().zip(&second) {
+        if let Err(p) = r {
+            let _ = journal
+                .append(&JournalEvent::Fail {
+                    key: cells[i].key,
+                    message: p.message.clone(),
+                })
+                .map_err(|e| eprintln!("dse: journal append failed ({e})"));
+        }
+    }
+
+    // Fold the run results back into the outcome table, in plan order.
+    for (&i, r) in pending.iter().zip(&first) {
+        if let Ok(v) = r {
+            outcomes[i] = Some(Ok(*v));
+        }
+    }
+    for (&i, r) in panicked.iter().zip(&second) {
+        outcomes[i] = Some(match r {
+            Ok(v) => Ok(*v),
+            Err(p) => Err(p.message.clone()),
+        });
+    }
+
+    let resolved: Vec<(String, Result<CellResult, String>)> = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(c, o)| (c.id.clone(), o.expect("every cell resolved")))
+        .collect();
+    let report = crate::report::render(spec, &resolved);
+
+    let failed = resolved.iter().filter(|(_, r)| r.is_err()).count() as u64;
+    Ok(SweepOutcome {
+        report,
+        stats: SweepStats {
+            cells: cells.len() as u64,
+            computed: computed.load(Ordering::Relaxed),
+            cached,
+            failed,
+            passes_computed: passes_computed.load(Ordering::Relaxed),
+            passes_cached: passes_cached.load(Ordering::Relaxed),
+            store_corrupt: store.stats.corrupt.load(Ordering::Relaxed),
+        },
+    })
+}

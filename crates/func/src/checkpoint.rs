@@ -265,6 +265,25 @@ impl Checkpoint {
             pages,
         })
     }
+
+    /// Reads the `executed` counter out of a serialized checkpoint without
+    /// parsing (or allocating for) the whole image — a cheap plausibility
+    /// probe for callers that index many serialized checkpoints by position
+    /// (e.g. a checkpoint store validating that an entry belongs where its
+    /// key says it does). Only the magic, version and header length are
+    /// checked here; full validation still happens at
+    /// [`Checkpoint::from_bytes`] time.
+    pub fn peek_executed(bytes: &[u8]) -> Option<u64> {
+        let off = MAGIC.len() + 4 + 8 * Reg::COUNT + 8 + 8 + 8;
+        if bytes.len() < off + 8 || &bytes[..MAGIC.len()] != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().ok()?);
+        if version != VERSION {
+            return None;
+        }
+        Some(u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?))
+    }
 }
 
 const MIX_WORDS: usize = 11;
@@ -388,6 +407,21 @@ mod tests {
         let ck = Checkpoint::take(&cpu, &p);
         assert_eq!(ck.delta_pages(), 0, "no page differs before execution");
         assert_eq!(ck.executed(), 0);
+    }
+
+    #[test]
+    fn peek_executed_matches_full_parse() {
+        let p = store_loop();
+        let mut cpu = Cpu::new(&p);
+        for _ in 0..17 {
+            cpu.step(&p).unwrap();
+        }
+        let bytes = Checkpoint::take(&cpu, &p).to_bytes();
+        assert_eq!(Checkpoint::peek_executed(&bytes), Some(17));
+        assert_eq!(Checkpoint::peek_executed(b"short"), None);
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xff;
+        assert_eq!(Checkpoint::peek_executed(&wrong), None);
     }
 
     #[test]

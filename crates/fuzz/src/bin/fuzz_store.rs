@@ -1,0 +1,30 @@
+//! Structure-aware mutational fuzzer for `reno-dse` store-entry frames.
+//!
+//! ```text
+//! RENO_FUZZ_SEED=1 RENO_FUZZ_ITERS=100000 cargo run --release -p reno-fuzz --bin fuzz_store
+//! ```
+//!
+//! Mutates real store frames (bit flips, truncations, length/checksum/key
+//! lies, kind swaps, duplicated frames) and exits nonzero if any mutant
+//! panics `decode_entry`, over-claims payload, or is accepted without
+//! re-encoding to exactly the input bytes. See the `reno-fuzz` crate docs.
+
+use reno_fuzz::{iters_from_env, run_store_fuzz, seed_from_env, DEFAULT_ITERS, DEFAULT_SEED};
+
+fn main() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let iters = iters_from_env(DEFAULT_ITERS);
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_store_fuzz(seed, iters);
+    let _ = std::panic::take_hook();
+    println!(
+        "fuzz_store: seed={seed} iters={iters} accepted={} rejected={} violations={}",
+        report.accepted, report.rejected, report.failure_count
+    );
+    for f in &report.failures {
+        eprintln!("VIOLATION: {f}");
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

@@ -18,18 +18,30 @@
 //!   shuffles. Accepted images must satisfy `to_bytes(from_bytes(x)) == x`,
 //!   and a mutation may never trigger a panic or an attacker-sized
 //!   allocation.
+//! * [`run_store_fuzz`] — the same contract for `reno-dse`'s store-entry
+//!   frames (`decode_entry`): bit flips, truncations, length/checksum/key
+//!   lies, kind swaps and duplicated frames must be rejected-as-miss, never
+//!   panic, never over-allocate; accepted frames re-encode byte-exactly.
+//! * [`run_asm_fuzz`] — the remaining semi-trusted *text* surface:
+//!   randomized `Asm` builder programs (labels, forward/backward branches,
+//!   deliberate undefined/duplicate labels, a rare out-of-range-branch arm)
+//!   must `assemble()`-or-`Err` without panicking, the error must match the
+//!   defect the generator planted, and every accepted instruction must
+//!   encode/decode round-trip.
 //!
 //! Everything is seeded (`RENO_FUZZ_SEED`) and iteration-bounded
 //! (`RENO_FUZZ_ITERS`), so a CI smoke run and a long local soak use the same
-//! binaries (`fuzz_decode`, `fuzz_checkpoint`) and any finding reproduces
-//! exactly. Findings graduate into plain `#[test]` regression cases under
-//! `crates/isa/tests/decode_corpus.rs` and
-//! `crates/func/tests/checkpoint_corpus.rs`.
+//! binaries (`fuzz_decode`, `fuzz_checkpoint`, `fuzz_store`, `fuzz_asm`)
+//! and any finding reproduces exactly. Findings graduate into plain
+//! `#[test]` regression cases under `crates/isa/tests/decode_corpus.rs`,
+//! `crates/func/tests/checkpoint_corpus.rs`,
+//! `crates/dse/tests/store_corpus.rs` and `crates/isa/tests/asm_corpus.rs`.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use reno_dse::{decode_entry, encode_entry, EntryKind, HEADER_LEN};
 use reno_func::{Checkpoint, Cpu, PAGE_BYTES};
-use reno_isa::{decode, encode, Asm, Program, Reg};
+use reno_isa::{decode, encode, Asm, AsmError, Program, Reg};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default iteration count: what the acceptance bar asks of a local soak.
@@ -327,6 +339,361 @@ pub fn check_checkpoint_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) 
     }
 }
 
+// ------------------------------------------------------------------- store
+//
+// Structure-aware mutation of `reno-dse` store-entry frames. Field layout
+// (see `reno_dse::store`): magic 0..8, version 8..12, kind 12, key 13..21,
+// payload-len 21..29, checksum 29..37, payload 37.. .
+
+/// The store corpus: real frames of both kinds, with payloads ranging from
+/// empty through a 32-byte cell result to multi-KiB checkpoint images, so
+/// mutations probe every field against every payload size class.
+pub fn store_corpus() -> Vec<(Vec<u8>, EntryKind, u64)> {
+    let mut corpus = vec![
+        (
+            encode_entry(EntryKind::Cell, 0x1111, &[]),
+            EntryKind::Cell,
+            0x1111,
+        ),
+        (
+            encode_entry(EntryKind::Cell, 0x2222, &[7u8; 32]),
+            EntryKind::Cell,
+            0x2222,
+        ),
+    ];
+    for (i, ck) in checkpoint_corpus().into_iter().enumerate() {
+        let key = 0x3333 + i as u64;
+        corpus.push((
+            encode_entry(EntryKind::Pass, key, &ck),
+            EntryKind::Pass,
+            key,
+        ));
+    }
+    corpus
+}
+
+/// Applies one random structure-aware mutation to a store frame.
+fn mutate_store(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..10) {
+        // Single bit flip anywhere (header or payload).
+        0 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Overwrite one byte.
+        1 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = rng.gen::<u8>();
+            }
+        }
+        // Truncate to a random prefix (torn write).
+        2 => {
+            let keep = rng.gen_range(0usize..=bytes.len());
+            bytes.truncate(keep);
+        }
+        // Append garbage (trailing bytes after the claimed payload).
+        3 => {
+            for _ in 0..rng.gen_range(1usize..=16) {
+                bytes.push(rng.gen::<u8>());
+            }
+        }
+        // Length lie: claim up to u64::MAX payload bytes without supplying
+        // them — must reject, never allocate.
+        4 => {
+            if bytes.len() >= 29 {
+                let lie: u64 = match rng.gen_range(0u32..3) {
+                    0 => u64::MAX,
+                    1 => rng.gen::<u64>(),
+                    _ => {
+                        let real = u64::from_le_bytes(bytes[21..29].try_into().expect("8 bytes"));
+                        real.wrapping_add(rng.gen_range(1u64..=8))
+                    }
+                };
+                bytes[21..29].copy_from_slice(&lie.to_le_bytes());
+            }
+        }
+        // Checksum lie.
+        5 => {
+            if bytes.len() >= 37 {
+                let v = rng.gen::<u64>();
+                bytes[29..37].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Key rename (a moved/renamed object file).
+        6 => {
+            if bytes.len() >= 21 {
+                let i = 13 + rng.gen_range(0usize..8);
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Kind swap / invalid kind.
+        7 => {
+            if bytes.len() >= 13 {
+                bytes[12] = match rng.gen_range(0u32..3) {
+                    0 => 1,
+                    1 => 2,
+                    _ => rng.gen::<u8>(),
+                };
+            }
+        }
+        // Duplicate the whole frame (self-concatenation: the length field
+        // now disagrees with the file size).
+        8 => {
+            let dup = bytes.clone();
+            bytes.extend_from_slice(&dup);
+        }
+        // Version bump.
+        _ => {
+            if bytes.len() >= 12 {
+                let v = rng.gen::<u32>();
+                bytes[8..12].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Fuzzes [`reno_dse::decode_entry`] for `iters` iterations from `seed`.
+///
+/// Every mutant must decode-or-reject without panicking — a rejection is
+/// what the store turns into a cache miss — and every accepted mutant must
+/// re-encode to exactly the input bytes, so a mutation can never smuggle a
+/// wrong payload through a frame that still claims to be authentic.
+pub fn run_store_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let corpus = store_corpus();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let (base, kind, key) = &corpus[rng.gen_range(0usize..corpus.len())];
+        let mut bytes = base.clone();
+        for _ in 0..rng.gen_range(1u32..=3) {
+            mutate_store(&mut bytes, &mut rng);
+        }
+        check_store_bytes(
+            &bytes,
+            *kind,
+            *key,
+            &mut report,
+            &format!("iter {i} (seed {seed})"),
+        );
+    }
+    report
+}
+
+/// One store-frame contract check: decode-or-reject without panic;
+/// accepted frames re-encode byte-exactly and never claim more payload
+/// than the input held.
+pub fn check_store_bytes(
+    bytes: &[u8],
+    kind: EntryKind,
+    key: u64,
+    report: &mut FuzzReport,
+    ctx: &str,
+) {
+    match catch_unwind(AssertUnwindSafe(|| decode_entry(bytes, kind, key))) {
+        Err(_) => report.fail(format!(
+            "decode_entry panicked on {}-byte input, {ctx}",
+            bytes.len()
+        )),
+        Ok(Err(_)) => report.rejected += 1,
+        Ok(Ok(payload)) => {
+            if payload.len() + HEADER_LEN != bytes.len() {
+                report.fail(format!(
+                    "accepted payload of {} bytes from a {}-byte frame, {ctx}",
+                    payload.len(),
+                    bytes.len()
+                ));
+                return;
+            }
+            if encode_entry(kind, key, &payload) != bytes {
+                report.fail(format!(
+                    "accepted {}-byte frame does not re-encode to itself, {ctx}",
+                    bytes.len()
+                ));
+                return;
+            }
+            report.accepted += 1;
+        }
+    }
+}
+
+// --------------------------------------------------------------------- asm
+
+/// What the generator deliberately planted in one random program, so the
+/// harness can check `assemble()`'s verdict against ground truth.
+#[derive(Clone, Debug, Default)]
+struct PlantedDefects {
+    /// Labels referenced by a branch but never defined.
+    undefined: Vec<String>,
+    /// Labels defined more than once.
+    duplicated: Vec<String>,
+    /// A branch whose resolved offset cannot fit in 16 bits.
+    out_of_range: bool,
+}
+
+/// Builds one random program. Returns the builder and the planted defects.
+fn gen_asm_program(rng: &mut SmallRng) -> (Asm, PlantedDefects) {
+    const REGS: [Reg; 6] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::S0, Reg::A0];
+    let mut a = Asm::named("fuzz-asm");
+    let mut planted = PlantedDefects::default();
+    let r = |rng: &mut SmallRng| REGS[rng.gen_range(0usize..REGS.len())];
+
+    // Rare arm: an out-of-range branch needs > 32767 instructions between
+    // the site and its target, which dwarfs a normal iteration — keep it
+    // cheap and dedicated.
+    if rng.gen_range(0u32..256) == 0 {
+        a.label("near");
+        a.br("far");
+        for _ in 0..33_000 {
+            a.addi(Reg::T0, Reg::T0, 1);
+        }
+        a.label("far");
+        a.halt();
+        planted.out_of_range = true;
+        return (a, planted);
+    }
+
+    let n_labels = rng.gen_range(1usize..=5);
+    let labels: Vec<String> = (0..n_labels).map(|i| format!("L{i}")).collect();
+    // Each label is either defined once, left undefined (forcing any
+    // reference to fail), or — rarely — defined twice.
+    let mut defined: Vec<bool> = Vec::new();
+    let mut dup: Option<usize> = None;
+    for (i, l) in labels.iter().enumerate() {
+        let roll = rng.gen_range(0u32..10);
+        if roll == 0 {
+            defined.push(false);
+            planted.undefined.push(l.clone()); // provisional: only a defect if referenced
+        } else {
+            defined.push(true);
+            if roll == 1 && dup.is_none() {
+                dup = Some(i);
+                planted.duplicated.push(l.clone());
+            }
+        }
+    }
+    // Only defined labels get placed; spread definitions (and the one
+    // duplicate) across the instruction stream below.
+    let mut to_place: Vec<String> = labels
+        .iter()
+        .zip(&defined)
+        .filter(|(_, d)| **d)
+        .map(|(l, _)| l.clone())
+        .collect();
+    if let Some(i) = dup {
+        to_place.push(labels[i].clone());
+    }
+
+    let n_insts = rng.gen_range(4usize..40);
+    let mut referenced: Vec<String> = Vec::new();
+    for _ in 0..n_insts {
+        if !to_place.is_empty() && rng.gen_range(0u32..4) == 0 {
+            let l = to_place.remove(rng.gen_range(0usize..to_place.len()));
+            a.label(&l);
+        }
+        match rng.gen_range(0u32..8) {
+            0 => {
+                a.add(r(rng), r(rng), r(rng));
+            }
+            1 => {
+                a.addi(r(rng), r(rng), rng.gen_range(-100i16..=100));
+            }
+            2 => {
+                a.xor(r(rng), r(rng), r(rng));
+            }
+            3 => {
+                a.slli(r(rng), r(rng), rng.gen_range(0i16..64));
+            }
+            4 => {
+                a.mov(r(rng), r(rng));
+            }
+            5 | 6 => {
+                let l = &labels[rng.gen_range(0usize..labels.len())];
+                referenced.push(l.clone());
+                match rng.gen_range(0u32..3) {
+                    0 => a.beqz(r(rng), l),
+                    1 => a.bnez(r(rng), l),
+                    _ => a.br(l),
+                };
+            }
+            _ => {
+                let l = &labels[rng.gen_range(0usize..labels.len())];
+                referenced.push(l.clone());
+                a.la_code(r(rng), l);
+            }
+        }
+    }
+    // Place any leftover labels at the end, then terminate.
+    for l in to_place {
+        a.label(&l);
+    }
+    a.halt();
+
+    // An undefined label is only a defect if something referenced it.
+    planted.undefined.retain(|l| referenced.contains(l));
+    (a, planted)
+}
+
+/// Fuzzes [`reno_isa::Asm::assemble`] (labels, fixups, branch-range
+/// checks) for `iters` iterations from `seed`.
+///
+/// `assemble()` must return `Ok` or a structured [`AsmError`] — never
+/// panic — and its verdict must match the defects the generator planted:
+/// a clean program must assemble, a program with an undefined/duplicate
+/// label or out-of-range branch must fail with that error, and every
+/// instruction of an accepted program must encode/decode round-trip.
+pub fn run_asm_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let (a, planted) = gen_asm_program(&mut rng);
+        let ctx = format!("iter {i} (seed {seed})");
+        match catch_unwind(AssertUnwindSafe(|| a.assemble())) {
+            Err(_) => report.fail(format!("assemble() panicked, {ctx}")),
+            Ok(Err(e)) => {
+                let justified = match &e {
+                    AsmError::UndefinedLabel(l) => planted.undefined.contains(l),
+                    AsmError::DuplicateLabel(l) => planted.duplicated.contains(l),
+                    AsmError::BranchOutOfRange { .. } => planted.out_of_range,
+                };
+                if justified {
+                    report.rejected += 1;
+                } else {
+                    report.fail(format!("spurious {e} on a clean program, {ctx}"));
+                }
+            }
+            Ok(Ok(p)) => {
+                if !planted.undefined.is_empty() || !planted.duplicated.is_empty() {
+                    report.fail(format!(
+                        "assemble() accepted a program with planted defects {planted:?}, {ctx}"
+                    ));
+                    continue;
+                }
+                let mut ok = true;
+                for (pc, inst) in p.insts.iter().enumerate() {
+                    let word = encode(inst);
+                    match decode(word) {
+                        Ok(back) if back == *inst => {}
+                        other => {
+                            report.fail(format!(
+                                "inst at pc {pc} does not round-trip ({inst:?} -> {word:#010x} -> {other:?}), {ctx}"
+                            ));
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    report.accepted += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +711,21 @@ mod tests {
         let r = run_checkpoint_fuzz(DEFAULT_SEED, 300);
         assert!(r.clean(), "violations: {:?}", r.failures);
         assert!(r.rejected > 0, "mutations mostly break the image");
+    }
+
+    #[test]
+    fn store_fuzz_smoke_is_clean() {
+        let r = run_store_fuzz(DEFAULT_SEED, 2000);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.rejected > 0, "mutations mostly break the frame");
+    }
+
+    #[test]
+    fn asm_fuzz_smoke_is_clean() {
+        let r = run_asm_fuzz(DEFAULT_SEED, 1500);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.accepted > 0, "some programs assemble");
+        assert!(r.rejected > 0, "some planted defects are caught");
     }
 
     #[test]

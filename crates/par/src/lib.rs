@@ -1,18 +1,33 @@
 //! # reno-par — deterministic order-preserving parallel map
 //!
-//! One primitive, [`par_map`]: apply a function to every item of a slice,
+//! One primitive in two flavors: apply a function to every item of a slice,
 //! fanning the work across scoped worker threads (a work-stealing-free
 //! atomic-cursor pool on `std::thread::scope` — no dependencies), and return
 //! the results **in item order**. Callers therefore produce byte-identical
 //! output whether the map runs on 1 core or 64; `RENO_THREADS` overrides the
 //! worker count (`RENO_THREADS=1` forces the sequential path).
 //!
+//! * [`par_map`] — the plain map. A panicking job no longer poisons or
+//!   aborts the pool: every other job still runs to completion, and the
+//!   panic of the **lowest-indexed** failing item is re-raised afterwards
+//!   with its original payload — deterministic regardless of which worker
+//!   hit it first or how many jobs panicked.
+//! * [`try_par_map`] — the degradation-tolerant map. Each job's panic is
+//!   caught and surfaced as an `Err(`[`JobPanic`]`)` in that job's result
+//!   slot instead of being raised at all, so a fleet of independent jobs
+//!   (e.g. a design-space sweep's cells) can lose one cell and keep the
+//!   rest.
+//!
 //! Both the experiment harness (`reno-bench`, which fans workload ×
-//! configuration sweeps) and the sampling engine (`reno-sample`, which fans
-//! checkpoint-delimited segments of one sampled run) are built on it; it
-//! lives in its own crate so the two can share it without a dependency
-//! cycle.
+//! configuration sweeps), the sampling engine (`reno-sample`, which fans
+//! checkpoint-delimited segments of one sampled run) and the DSE service
+//! (`reno-dse`, which fans sweep cells and must survive a panicking cell)
+//! are built on it; it lives in its own crate so they can share it without
+//! a dependency cycle.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -27,10 +42,42 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Applies `f` to every item, fanning the work across [`thread_count`]
-/// scoped threads. Results are returned in item order, so callers produce
-/// identical output whether this runs on 1 core or 64.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// A captured job panic: the payload of a panic that occurred inside one
+/// [`try_par_map`] job, reduced to its human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message (`&str` and `String` payloads are extracted;
+    /// anything else is reported as an opaque payload).
+    pub message: String,
+}
+
+impl JobPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> JobPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        JobPanic { message }
+    }
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+type Caught<R> = Result<R, Box<dyn Any + Send>>;
+
+/// The shared pool loop: every job runs under `catch_unwind`, so one
+/// panicking job can never tear down a worker thread (which would abort the
+/// whole `thread::scope`) or leave later items unprocessed.
+fn pool_run<T, R, F>(items: &[T], f: F) -> Vec<Caught<R>>
 where
     T: Sync,
     R: Send,
@@ -38,10 +85,13 @@ where
 {
     let workers = thread_count().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|it| catch_unwind(AssertUnwindSafe(|| f(it))))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Caught<R>>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -49,7 +99,7 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
@@ -64,9 +114,66 @@ where
         .collect()
 }
 
+/// Applies `f` to every item, fanning the work across [`thread_count`]
+/// scoped threads. Results are returned in item order, so callers produce
+/// identical output whether this runs on 1 core or 64.
+///
+/// # Panics
+///
+/// If any job panics, every *other* job still runs to completion, and the
+/// panic of the lowest-indexed panicking item is then re-raised with its
+/// original payload. The choice is by item order — never by wall-clock
+/// order — so a panicking sweep behaves identically at any thread count.
+/// Callers that want to keep the surviving results instead use
+/// [`try_par_map`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in pool_run(items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`par_map`], but a panicking job is captured and surfaced as an
+/// `Err(`[`JobPanic`]`)` in its own result slot, leaving every other job's
+/// result intact — graceful degradation for fleets of independent jobs.
+///
+/// The panic hook still runs at the point of panic (so default stderr
+/// backtraces appear unless the process installed a quieter hook); the
+/// payload itself is reduced to its message.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    pool_run(items, f)
+        .into_iter()
+        .map(|r| r.map_err(|p| JobPanic::from_payload(p.as_ref())))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Silences the default panic hook around a block that provokes panics
+    /// on purpose (worker panics would otherwise spam test output).
+    fn quietly<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
 
     #[test]
     fn par_map_preserves_order_and_results() {
@@ -85,5 +192,75 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = quietly(|| {
+            try_par_map(&items, |&x| {
+                if x % 13 == 5 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            })
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let e = r.as_ref().expect_err("panicking slot is Err");
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().expect("clean slot is Ok"), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_string_and_opaque_payloads() {
+        let out = quietly(|| {
+            try_par_map(&[0u8, 1, 2], |&x| match x {
+                0 => std::panic::panic_any(format!("owned {x}")),
+                1 => std::panic::panic_any(42u32),
+                _ => x,
+            })
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "owned 0");
+        assert_eq!(
+            out[1].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
+        assert_eq!(*out[2].as_ref().unwrap(), 2);
+    }
+
+    #[test]
+    fn par_map_reraises_lowest_index_panic_after_completing_the_rest() {
+        use std::sync::atomic::AtomicU64;
+        let done = AtomicU64::new(0);
+        let items: Vec<u64> = (0..40).collect();
+        let caught = quietly(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                par_map(&items, |&x| {
+                    if x == 7 || x == 31 {
+                        panic!("item {x} failed");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }))
+        });
+        let payload = caught.expect_err("par_map re-raises");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic payload");
+        assert_eq!(
+            msg, "item 7 failed",
+            "lowest item index wins, not wall-clock order"
+        );
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            38,
+            "every non-panicking job still ran"
+        );
     }
 }

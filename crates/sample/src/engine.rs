@@ -373,22 +373,223 @@ fn segment_checkpoint_position(grid_start: u64, period: u64, k: u64, m: u64, j: 
     grid_start + (j * k - m) * period
 }
 
-/// Phase 1 — the serial functional pass over the whole program: exact
-/// architectural totals, plus one dirty-page checkpoint per future segment.
-/// Runs on the predecoded-block engine with no warming or shadow cost, so
-/// it is the cheap serial fraction of a sampled run.
-struct FunctionalPass {
-    /// Serialized checkpoints for segments `1..`, in segment order
-    /// (`checkpoints[j - 1]` belongs to segment `j`).
-    checkpoints: Vec<Vec<u8>>,
-    total_insts: u64,
-    halted: bool,
-    checksum: u64,
-    digest: u64,
-    error: Option<ExecError>,
+/// Errors raised when reusing a serialized [`CheckpointPass`]: either the
+/// bytes are not a valid pass image, or the pass does not match the
+/// (program, config) it is being replayed against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassError {
+    /// The byte stream does not start with the pass magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u32),
+    /// The byte stream ended early, carries trailing garbage, or declares
+    /// lengths its bytes cannot back.
+    Truncated,
+    /// A field holds a value [`CheckpointPass::to_bytes`] can never produce.
+    BadField(&'static str),
+    /// An embedded checkpoint failed [`Checkpoint::from_bytes`] validation.
+    Checkpoint(reno_func::CheckpointError),
+    /// The pass's checkpoints do not line up with the segmentation the
+    /// sampling config derives — it was taken for a different program,
+    /// scale, or sampling shape.
+    Mismatch {
+        /// Segment index whose checkpoint is wrong or missing.
+        segment: u64,
+        /// Dynamic-instruction position the segmentation expects.
+        expected: u64,
+        /// Position the checkpoint actually carries (`None` = missing).
+        got: Option<u64>,
+    },
 }
 
-fn functional_pass(program: &Program, sc: &SampleConfig, period: u64) -> FunctionalPass {
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::BadMagic => write!(f, "not a reno checkpoint pass (bad magic)"),
+            PassError::BadVersion(v) => write!(f, "unsupported checkpoint-pass version {v}"),
+            PassError::Truncated => write!(f, "checkpoint-pass bytes truncated or oversized"),
+            PassError::BadField(which) => {
+                write!(
+                    f,
+                    "checkpoint-pass field `{which}` holds a non-canonical value"
+                )
+            }
+            PassError::Checkpoint(e) => write!(f, "embedded checkpoint invalid: {e}"),
+            PassError::Mismatch {
+                segment,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checkpoint pass does not fit this run: segment {segment} expects a \
+                 checkpoint at instruction {expected}, pass carries {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+const PASS_MAGIC: &[u8; 8] = b"RENOPASS";
+const PASS_VERSION: u32 = 1;
+
+/// Phase 1 of a sampled run — the serial functional pass over the whole
+/// program: exact architectural totals, plus one dirty-page checkpoint per
+/// future segment. Runs on the predecoded-block engine with no warming or
+/// shadow cost, so it is the cheap serial fraction of a sampled run.
+///
+/// The pass is **machine-config-independent**: checkpoints are purely
+/// architectural and their positions derive from the sampling shape alone
+/// (head, period), never from ROB sizes, cache shapes, or RENO settings.
+/// One pass per (program, sampling shape) therefore serves an *arbitrary
+/// sweep of machine configs* via [`run_sampled_with_pass`] — the
+/// amortization the `reno-dse` checkpoint store is built on. The
+/// serialization ([`CheckpointPass::to_bytes`] / `from_bytes`) is strict:
+/// `from_bytes` accepts exactly the image of `to_bytes` (every embedded
+/// checkpoint re-validated through the hardened
+/// [`Checkpoint::from_bytes`]), so a corrupted store entry is rejected as a
+/// structured error, never trusted and never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPass {
+    /// Serialized checkpoints for segments `1..`, in segment order
+    /// (`checkpoints[j - 1]` belongs to segment `j`).
+    pub checkpoints: Vec<Vec<u8>>,
+    /// Exact dynamic-instruction count of the (possibly capped) run.
+    pub total_insts: u64,
+    /// Whether the program ran to its `halt`.
+    pub halted: bool,
+    /// Output checksum of the functional run.
+    pub checksum: u64,
+    /// Architectural state digest at the end of the functional run.
+    pub digest: u64,
+    /// Functional execution error, if the program misbehaved (never set on
+    /// a pass that [`CheckpointPass::to_bytes`] will serialize).
+    pub error: Option<ExecError>,
+}
+
+impl CheckpointPass {
+    /// Runs the serial functional pass for `program` under sampling shape
+    /// `sc` (the period taken from `sc.period`). See the type docs.
+    pub fn compute(program: &Program, sc: &SampleConfig) -> CheckpointPass {
+        functional_pass(program, sc, sc.period)
+    }
+
+    /// Serializes to a self-describing little-endian byte stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pass recorded a functional [`ExecError`] — an errored
+    /// pass describes a broken run and must not enter a persistent store.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(
+            self.error.is_none(),
+            "refusing to serialize a checkpoint pass that recorded an exec error"
+        );
+        let payload: usize = self.checkpoints.iter().map(|c| 4 + c.len()).sum();
+        let mut out = Vec::with_capacity(8 + 4 + 8 * 4 + 4 + payload);
+        out.extend_from_slice(PASS_MAGIC);
+        out.extend_from_slice(&PASS_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.total_insts.to_le_bytes());
+        out.extend_from_slice(&u64::from(self.halted).to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&(self.checkpoints.len() as u32).to_le_bytes());
+        for ck in &self.checkpoints {
+            out.extend_from_slice(&(ck.len() as u32).to_le_bytes());
+            out.extend_from_slice(ck);
+        }
+        out
+    }
+
+    /// Deserializes a pass previously produced by
+    /// [`CheckpointPass::to_bytes`].
+    ///
+    /// The parser is strict: declared counts and lengths are validated
+    /// against the remaining bytes *before* any allocation (a length lie
+    /// cannot trigger a huge reserve), every embedded checkpoint must pass
+    /// [`Checkpoint::from_bytes`], and the checkpoints must be in strictly
+    /// increasing `executed` order. Accepted images re-serialize to exactly
+    /// the input bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`PassError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<CheckpointPass, PassError> {
+        struct R<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> R<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], PassError> {
+                let end = self.pos.checked_add(n).ok_or(PassError::Truncated)?;
+                if end > self.bytes.len() {
+                    return Err(PassError::Truncated);
+                }
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            fn u64(&mut self) -> Result<u64, PassError> {
+                Ok(u64::from_le_bytes(
+                    self.take(8)?.try_into().expect("8 bytes"),
+                ))
+            }
+            fn u32(&mut self) -> Result<u32, PassError> {
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("4 bytes"),
+                ))
+            }
+        }
+        let mut r = R { bytes, pos: 0 };
+        if r.take(8)? != PASS_MAGIC {
+            return Err(PassError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != PASS_VERSION {
+            return Err(PassError::BadVersion(version));
+        }
+        let total_insts = r.u64()?;
+        let halted = match r.u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(PassError::BadField("halted")),
+        };
+        let checksum = r.u64()?;
+        let digest = r.u64()?;
+        let n = r.u32()? as usize;
+        // Each record carries at least its 4-byte length prefix: a claimed
+        // count the remaining bytes cannot back is rejected before the
+        // count sizes any allocation.
+        if n.saturating_mul(4) > bytes.len() - r.pos {
+            return Err(PassError::Truncated);
+        }
+        let mut checkpoints = Vec::with_capacity(n);
+        let mut prev_exec = None;
+        for _ in 0..n {
+            let len = r.u32()? as usize;
+            let ck = r.take(len)?;
+            let parsed = Checkpoint::from_bytes(ck).map_err(PassError::Checkpoint)?;
+            if prev_exec.is_some_and(|p| p >= parsed.executed()) {
+                return Err(PassError::BadField("checkpoint order"));
+            }
+            prev_exec = Some(parsed.executed());
+            checkpoints.push(ck.to_vec());
+        }
+        if r.pos != bytes.len() {
+            return Err(PassError::Truncated);
+        }
+        Ok(CheckpointPass {
+            checkpoints,
+            total_insts,
+            halted,
+            checksum,
+            digest,
+            error: None,
+        })
+    }
+}
+
+fn functional_pass(program: &Program, sc: &SampleConfig, period: u64) -> CheckpointPass {
     let (k, m) = segment_shape(period);
     let mut cpu = Cpu::new(program);
     let mut dp = DecodedProgram::new(program);
@@ -416,7 +617,7 @@ fn functional_pass(program: &Program, sc: &SampleConfig, period: u64) -> Functio
             error = Some(e);
         }
     }
-    FunctionalPass {
+    CheckpointPass {
         checkpoints,
         total_insts: cpu.executed(),
         halted: cpu.halted(),
@@ -867,8 +1068,40 @@ fn feature_drift(result: &SampledResult, ft: &FeatureTable) -> Option<f64> {
 /// Panics if `sc` is inconsistent (see [`SampleConfig::new`]).
 pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> SampledResult {
     sc.validate();
+    let pass = functional_pass(program, sc, sc.period);
+    run_sampled_with_pass(program, cfg, sc, &pass)
+        .expect("a self-computed pass always fits its own sampling shape")
+}
+
+/// Like [`run_sampled`], but reusing a precomputed (possibly
+/// store-cached) phase-1 [`CheckpointPass`] instead of re-executing the
+/// serial functional pass — the amortization path for design-space sweeps,
+/// where one architectural pass per (program, sampling shape) serves every
+/// machine config in the grid.
+///
+/// The pass is validated before any worker runs: every segment the
+/// segmentation derives must have a checkpoint at exactly the expected
+/// dynamic-instruction position (checked via the cheap
+/// [`Checkpoint::peek_executed`] header probe; full validation still
+/// happens when each worker deserializes its checkpoint). A pass taken for
+/// a different program, scale, or sampling shape is rejected as
+/// [`PassError::Mismatch`], never silently mis-sampled.
+///
+/// # Errors
+///
+/// See [`PassError`].
+///
+/// # Panics
+///
+/// Panics if `sc` is inconsistent (see [`SampleConfig::new`]).
+pub fn run_sampled_with_pass(
+    program: &Program,
+    cfg: MachineConfig,
+    sc: &SampleConfig,
+    pass: &CheckpointPass,
+) -> Result<SampledResult, PassError> {
+    sc.validate();
     let period = sc.period;
-    let pass = functional_pass(program, sc, period);
     let total = pass.total_insts;
     let grid_start = sc.head;
     let measure_head = sc.head > 0 && sc.max_insts > 0;
@@ -897,43 +1130,51 @@ pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> 
     // strata), whether or not it measures a window.
     let (seg_k, seg_m) = segment_shape(period);
     let seg_count = strata_total.div_ceil(seg_k).max(u64::from(measure_head));
-    let mut checkpoints = pass.checkpoints.into_iter();
-    let jobs: Vec<SegmentJob> = (0..seg_count)
-        .map(|j| {
-            let s_first = j * seg_k;
-            let s_last = ((j + 1) * seg_k).min(strata_total);
-            let seg_end = if s_last >= strata_total {
-                total
-            } else {
-                grid_start + s_last * period
-            };
-            let (ck, start) = if j == 0 {
-                (None, 0)
-            } else {
-                (
-                    Some(
-                        checkpoints
-                            .next()
-                            .expect("phase 1 checkpointed every segment"),
-                    ),
-                    segment_checkpoint_position(grid_start, period, seg_k, seg_m, j),
-                )
-            };
-            SegmentJob {
-                index: j,
-                ck,
-                start,
-                measure_head: measure_head && j == 0,
-                windows: planned
-                    .iter()
-                    .filter(|&&(s, _)| s >= s_first && s < s_last)
-                    .copied()
-                    .collect(),
-                strata: (s_first, s_last),
-                seg_end,
+    let mut jobs: Vec<SegmentJob> = Vec::with_capacity(seg_count as usize);
+    for j in 0..seg_count {
+        let s_first = j * seg_k;
+        let s_last = ((j + 1) * seg_k).min(strata_total);
+        let seg_end = if s_last >= strata_total {
+            total
+        } else {
+            grid_start + s_last * period
+        };
+        let (ck, start) = if j == 0 {
+            (None, 0)
+        } else {
+            let expected = segment_checkpoint_position(grid_start, period, seg_k, seg_m, j);
+            let bytes = pass
+                .checkpoints
+                .get(j as usize - 1)
+                .ok_or(PassError::Mismatch {
+                    segment: j,
+                    expected,
+                    got: None,
+                })?;
+            let got = Checkpoint::peek_executed(bytes);
+            if got != Some(expected) {
+                return Err(PassError::Mismatch {
+                    segment: j,
+                    expected,
+                    got,
+                });
             }
-        })
-        .collect();
+            (Some(bytes.clone()), expected)
+        };
+        jobs.push(SegmentJob {
+            index: j,
+            ck,
+            start,
+            measure_head: measure_head && j == 0,
+            windows: planned
+                .iter()
+                .filter(|&&(s, _)| s >= s_first && s < s_last)
+                .copied()
+                .collect(),
+            strata: (s_first, s_last),
+            seg_end,
+        });
+    }
 
     let base_mem = Cpu::new(program).mem().clone();
     let outs = par_map(&jobs, |job| {
@@ -949,7 +1190,7 @@ pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> 
     };
     let mut intervals: Vec<IntervalStat> = Vec::new();
     let mut detailed_insts = 0u64;
-    let mut error = pass.error;
+    let mut error = pass.error.clone();
     for out in outs {
         if out.head.is_some() {
             head = out.head;
@@ -990,7 +1231,7 @@ pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> 
     };
     model_assist(sc, period, &mut result, &ft);
     result.feature_drift = feature_drift(&result, &ft);
-    result
+    Ok(result)
 }
 
 /// Runs `program` fully detailed and reports it as a degenerate
@@ -1332,5 +1573,114 @@ mod tests {
     #[should_panic(expected = "must fit inside the sampling period")]
     fn oversized_window_rejected() {
         let _ = SampleConfig::new(600, 600, 1000);
+    }
+
+    /// Two `SampledResult`s are "the same run" when every estimate-bearing
+    /// field matches bit-for-bit.
+    fn assert_same_run(a: &SampledResult, b: &SampledResult) {
+        assert_eq!(a.total_insts, b.total_insts);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.detailed_insts, b.detailed_insts);
+        assert_eq!(a.intervals.len(), b.intervals.len());
+        for (x, y) in a.intervals.iter().zip(&b.intervals) {
+            assert_eq!(
+                (x.start_inst, x.stratum, x.insts, x.cycles),
+                (y.start_inst, y.stratum, y.insts, y.cycles)
+            );
+        }
+        assert_eq!(a.est_cpi().to_bits(), b.est_cpi().to_bits());
+        assert_eq!(
+            a.model_cycles.map(f64::to_bits),
+            b.model_cycles.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn pass_round_trips_and_reuses_across_configs() {
+        let p = kernel(100_000);
+        let sc = SampleConfig::new(100, 300, 65536);
+        let pass = CheckpointPass::compute(&p, &sc);
+        assert!(pass.error.is_none());
+        assert!(!pass.checkpoints.is_empty(), "long run spans segments");
+
+        // Strict serialization bijection.
+        let bytes = pass.to_bytes();
+        let again = CheckpointPass::from_bytes(&bytes).unwrap();
+        assert_eq!(pass, again);
+        assert_eq!(again.to_bytes(), bytes);
+
+        // One pass (round-tripped through bytes, as the store would hand it
+        // back) serves arbitrary machine configs bit-identically to each
+        // config's own self-computed pass.
+        for mc in [
+            MachineConfig::four_wide(RenoConfig::reno()),
+            MachineConfig::four_wide(RenoConfig::baseline()).with_pregs(96),
+        ] {
+            let direct = run_sampled(&p, mc.clone(), &sc);
+            let reused = run_sampled_with_pass(&p, mc, &sc, &again).unwrap();
+            assert_same_run(&direct, &reused);
+        }
+    }
+
+    #[test]
+    fn foreign_pass_is_rejected_not_missampled() {
+        let p = kernel(100_000);
+        let sc = SampleConfig::new(100, 300, 65536);
+        // A pass missing a segment's checkpoint (e.g. taken for a shorter
+        // cap or a different sampling shape) must be rejected up front.
+        let mut short = CheckpointPass::compute(&p, &sc);
+        short.checkpoints.pop();
+        let err = run_sampled_with_pass(&p, cfg(), &sc, &short).unwrap_err();
+        assert!(
+            matches!(err, PassError::Mismatch { got: None, .. }),
+            "got {err:?}"
+        );
+        // A pass whose checkpoints sit at the wrong positions (here: the
+        // segment order swapped) must be rejected, never mis-restored.
+        let mut swapped = CheckpointPass::compute(&p, &sc);
+        assert!(swapped.checkpoints.len() >= 2, "test needs two segments");
+        swapped.checkpoints.swap(0, 1);
+        let err = run_sampled_with_pass(&p, cfg(), &sc, &swapped).unwrap_err();
+        assert!(
+            matches!(err, PassError::Mismatch { got: Some(_), .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_pass_bytes_are_rejected() {
+        let p = kernel(100_000);
+        let sc = SampleConfig::new(100, 300, 65536);
+        let bytes = CheckpointPass::compute(&p, &sc).to_bytes();
+
+        assert_eq!(
+            CheckpointPass::from_bytes(b"garbage!").unwrap_err(),
+            PassError::BadMagic
+        );
+        assert_eq!(
+            CheckpointPass::from_bytes(b"short").unwrap_err(),
+            PassError::Truncated
+        );
+        let mut t = bytes.clone();
+        t.truncate(t.len() - 3);
+        assert_eq!(
+            CheckpointPass::from_bytes(&t).unwrap_err(),
+            PassError::Truncated
+        );
+        let mut lie = bytes.clone();
+        // Claim u32::MAX checkpoints: must reject before any allocation.
+        lie[8 + 4 + 8 * 4..8 + 4 + 8 * 4 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            CheckpointPass::from_bytes(&lie).unwrap_err(),
+            PassError::Truncated
+        );
+        let mut flip = bytes.clone();
+        let first_ck = 8 + 4 + 8 * 4 + 4 + 4; // first embedded checkpoint's magic
+        flip[first_ck] ^= 0x40;
+        assert!(matches!(
+            CheckpointPass::from_bytes(&flip).unwrap_err(),
+            PassError::Checkpoint(_)
+        ));
     }
 }

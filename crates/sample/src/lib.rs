@@ -94,5 +94,7 @@
 mod engine;
 mod result;
 
-pub use engine::{run_sampled, run_sampled_auto, SampleConfig};
+pub use engine::{
+    run_sampled, run_sampled_auto, run_sampled_with_pass, CheckpointPass, PassError, SampleConfig,
+};
 pub use result::{IntervalStat, SampledResult};
