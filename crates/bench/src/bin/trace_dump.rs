@@ -3,15 +3,24 @@
 //!
 //! ```text
 //! cargo run --release -p reno-bench --bin trace_dump > trace.json
+//! cargo run --release -p reno-bench --bin trace_dump -- --sampled > sampled.json
 //! ```
 //!
 //! Load the file in Perfetto (ui.perfetto.dev) or `chrome://tracing`: one
 //! async track per dynamic instruction (fetch -> rename -> issue ->
 //! complete -> retire, with the rename outcome and squash cause in the
-//! span args) plus ROB/IQ occupancy and windowed-IPC counter tracks. The
-//! output is byte-deterministic and pinned by
-//! `crates/bench/golden/trace_dump_tiny.json`.
+//! span args), memory and predictor instant tracks, plus ROB/IQ/MSHR
+//! occupancy, per-level cache activity, and windowed-IPC counter tracks.
+//! With `--sampled` the dump is the merged trace of a sampled run (head
+//! stratum + periodic detailed windows, rebased end to end). Both outputs
+//! are byte-deterministic and pinned by
+//! `crates/bench/golden/trace_dump_tiny.json` /
+//! `crates/bench/golden/trace_sampled_tiny.json`.
 
 fn main() {
-    print!("{}", reno_bench::trace_demo::demo_json());
+    if std::env::args().any(|a| a == "--sampled") {
+        print!("{}", reno_bench::trace_demo::sampled_demo_json());
+    } else {
+        print!("{}", reno_bench::trace_demo::demo_json());
+    }
 }

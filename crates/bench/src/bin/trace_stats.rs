@@ -1,0 +1,39 @@
+//! Analyzes an exported Chrome trace (see `reno_bench::trace_stats`).
+//!
+//! Usage: `trace_stats [FILE]` — reads the trace JSON from `FILE`, or from
+//! stdin when no argument (or `-`) is given. Prints the plain-text report
+//! to stdout; parse/analysis errors go to stderr with exit code 1.
+//!
+//! ```text
+//! cargo run -p reno-bench --bin trace_dump | cargo run -p reno-bench --bin trace_stats
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let json = match arg.as_deref() {
+        None | Some("-") => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("trace_stats: reading stdin: {e}");
+                std::process::exit(1);
+            }
+            s
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace_stats: reading {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    match reno_bench::trace_stats::analyze(&json) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("trace_stats: {e}");
+            std::process::exit(1);
+        }
+    }
+}

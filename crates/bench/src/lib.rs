@@ -40,6 +40,7 @@ pub mod figures;
 pub mod report;
 pub mod sampling;
 pub mod trace_demo;
+pub mod trace_stats;
 
 pub use reno_par::{par_map, thread_count};
 

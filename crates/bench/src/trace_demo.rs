@@ -13,17 +13,20 @@
 
 use reno_core::RenoConfig;
 use reno_isa::{Asm, Program, Reg};
+use reno_sample::{run_sampled, SampleConfig, SampledResult};
 use reno_sim::{MachineConfig, SimResult, Simulator};
 use reno_trace::chrome_trace_json;
 
-/// Assembles the demo kernel.
-pub fn demo_program() -> Program {
+/// Assembles the demo kernel with a caller-chosen trip count. Six trips
+/// is the `trace_dump` demo; the sampled demo runs the same kernel long
+/// enough for several detailed windows.
+pub fn demo_kernel(trips: i64) -> Program {
     let mut a = Asm::named("trace-demo");
     let buf = a.zeros("buf", 512);
     let ptr = a.words("ptr", &[buf + 64]);
     a.li(Reg::S0, buf as i64);
     a.li(Reg::S1, ptr as i64);
-    a.li(Reg::T0, 6); // loop trips
+    a.li(Reg::T0, trips);
     a.li(Reg::T1, 0x1234_5678);
     a.li(Reg::T2, 7);
     a.li(Reg::T3, 3);
@@ -66,6 +69,11 @@ pub fn demo_program() -> Program {
     a.assemble().expect("demo kernel assembles")
 }
 
+/// Assembles the six-trip demo kernel behind the `trace_dump` golden.
+pub fn demo_program() -> Program {
+    demo_kernel(6)
+}
+
 /// Runs the demo kernel on the 4-wide full-RENO machine with tracing on.
 pub fn demo_run() -> SimResult {
     let cfg = MachineConfig::four_wide(RenoConfig::reno()).with_trace();
@@ -75,6 +83,29 @@ pub fn demo_run() -> SimResult {
 /// The deterministic Chrome trace-event JSON for the demo run.
 pub fn demo_json() -> String {
     let r = demo_run();
+    chrome_trace_json(r.trace.as_ref().expect("tracing was enabled"))
+}
+
+/// Runs a longer demo kernel under the sampled engine with tracing on:
+/// a detailed head stratum plus a few periodic detailed windows, each
+/// captured and merged (rebased end to end, segment order) into one trace.
+/// `golden/trace_sampled_tiny.json` pins the export, and CI regenerates it
+/// under `RENO_THREADS=2` as well — the committed bytes double as the
+/// thread-invariance check for the sampled-trace merge path.
+pub fn sampled_demo_run() -> SampledResult {
+    let cfg = MachineConfig::four_wide(RenoConfig::reno()).with_trace();
+    // ~1.6k dynamic instructions; head 64, then a (16 warmup + 32 measured)
+    // window every 256 instructions, capped at 3 periodic windows so the
+    // golden stays reviewably small.
+    let sc = SampleConfig::new(16, 32, 256)
+        .with_head(64)
+        .with_max_intervals(3);
+    run_sampled(&demo_kernel(64), cfg, &sc)
+}
+
+/// The deterministic Chrome trace-event JSON for the sampled demo run.
+pub fn sampled_demo_json() -> String {
+    let r = sampled_demo_run();
     chrome_trace_json(r.trace.as_ref().expect("tracing was enabled"))
 }
 
@@ -98,6 +129,41 @@ mod tests {
         );
     }
 
+    /// Pins the sampled-run trace export: window capture, segment-ordered
+    /// merge, cycle rebase, and the JSON writer. CI regenerates this dump
+    /// at the default worker count *and* under `RENO_THREADS=2` and diffs
+    /// both against the same file, so the committed bytes also certify the
+    /// merge's thread invariance.
+    #[test]
+    fn sampled_trace_dump_matches_golden() {
+        let got = sampled_demo_json();
+        let want = include_str!("../golden/trace_sampled_tiny.json");
+        assert!(
+            got == want,
+            "sampled trace_dump output drifted from golden/trace_sampled_tiny.json;\n\
+             if the change is intentional, regenerate with\n\
+             cargo run -p reno-bench --bin trace_dump -- --sampled \
+             > crates/bench/golden/trace_sampled_tiny.json"
+        );
+    }
+
+    #[test]
+    fn sampled_demo_merges_several_windows() {
+        let r = sampled_demo_run();
+        assert!(
+            r.intervals.len() >= 3,
+            "head + periodic windows expected, got {}",
+            r.intervals.len()
+        );
+        let t = r.trace.as_ref().expect("tracing was enabled");
+        assert!(t.retire_count() > 100, "windows recorded pipeline events");
+        assert!(!t.sys.is_empty(), "windows recorded system-track events");
+        let json = sampled_demo_json();
+        validate_json(&json).expect("valid Chrome trace JSON");
+        let report = crate::trace_stats::analyze(&json).expect("analyzable");
+        assert!(report.contains("## per-window table"));
+    }
+
     #[test]
     fn demo_run_crosses_every_event_class() {
         let r = demo_run();
@@ -114,5 +180,17 @@ mod tests {
         );
         assert!(json.contains("\"name\":\"IPC\""));
         assert!(json.contains("\"name\":\"ROB occupancy\""));
+        // The memory and predictor tracks added for the full-stack trace.
+        assert!(json.contains("\"name\":\"L1D miss\""), "memory instants");
+        assert!(json.contains("\"name\":\"MSHR alloc\""), "MSHR lifecycle");
+        assert!(json.contains("\"name\":\"MSHR occupancy\""), "MSHR counter");
+        assert!(
+            json.contains("\"name\":\"L1I activity\""),
+            "activity counters"
+        );
+        assert!(
+            json.contains("\"name\":\"mispredict:cond\""),
+            "predictor instants"
+        );
     }
 }

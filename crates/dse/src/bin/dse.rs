@@ -3,9 +3,11 @@
 //!
 //! stdout and `--out` carry exactly the deterministic report; all cache and
 //! store diagnostics go to stderr, so two runs of the same spec are
-//! byte-comparable with a plain `diff`. Exit status: 0 on success (even
-//! with failed cells — they are *in* the report), nonzero on unusable
-//! input or an unwritable store.
+//! byte-comparable with a plain `diff`. With `--out`, the run's traffic
+//! counters are also written as machine-readable JSON to `stats.json` in
+//! the same directory (schema `reno-dse-stats-v1`, same numbers as the
+//! stderr line). Exit status: 0 on success (even with failed cells — they
+//! are *in* the report), nonzero on unusable input or an unwritable store.
 //!
 //! `RENO_DSE_FAILPOINT=abort-at-io:<n>` (test hook) aborts the process
 //! mid-way through its n-th store/journal write, simulating `kill -9` at
@@ -84,6 +86,19 @@ fn main() -> ExitCode {
     if let Some(out) = out_path {
         if let Err(e) = std::fs::write(&out, outcome.report.as_bytes()) {
             eprintln!("dse: cannot write report {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Machine-readable twin of the stderr diagnostic line, written as
+        // a sibling of the report so drivers can assert cache behavior
+        // (resume served everything, no corruption) without stderr
+        // scraping. Never part of the report itself: the report must stay
+        // byte-identical whether cells were computed or cached.
+        let stats_path = match out.rfind('/') {
+            Some(i) => format!("{}/stats.json", &out[..i]),
+            None => "stats.json".to_string(),
+        };
+        if let Err(e) = std::fs::write(&stats_path, s.to_json().as_bytes()) {
+            eprintln!("dse: cannot write stats {stats_path}: {e}");
             return ExitCode::FAILURE;
         }
     }

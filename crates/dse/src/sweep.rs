@@ -124,6 +124,27 @@ pub struct SweepStats {
     pub store_corrupt: u64,
 }
 
+impl SweepStats {
+    /// Renders the counters as one deterministic JSON object (the
+    /// `stats.json` the `dse` binary writes next to `--out`). Same payload
+    /// as the stderr diagnostic line, but machine-readable, so a driver
+    /// can assert cache behavior — `computed == 0` on a warm resume, say —
+    /// without scraping stderr.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"reno-dse-stats-v1\",\"cells\":{},\"computed\":{},\"cached\":{},\
+             \"failed\":{},\"passes_computed\":{},\"passes_cached\":{},\"store_corrupt\":{}}}\n",
+            self.cells,
+            self.computed,
+            self.cached,
+            self.failed,
+            self.passes_computed,
+            self.passes_cached,
+            self.store_corrupt
+        )
+    }
+}
+
 /// A finished sweep: the deterministic report plus this run's traffic.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -429,4 +450,45 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
             store_corrupt: store.stats.corrupt.load(Ordering::Relaxed),
         },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the `stats.json` schema the `dse` binary writes next to
+    /// `--out`: syntactically valid JSON carrying every counter under its
+    /// documented key, in a fixed order.
+    #[test]
+    fn stats_json_is_valid_and_carries_every_counter() {
+        let s = SweepStats {
+            cells: 12,
+            computed: 3,
+            cached: 9,
+            failed: 1,
+            passes_computed: 2,
+            passes_cached: 4,
+            store_corrupt: 5,
+        };
+        let json = s.to_json();
+        assert!(json.ends_with('\n'), "one newline-terminated line");
+        reno_trace::validate_json(json.trim_end()).expect("valid JSON");
+        assert!(json.starts_with("{\"schema\":\"reno-dse-stats-v1\","));
+        for (key, value) in [
+            ("cells", 12u64),
+            ("computed", 3),
+            ("cached", 9),
+            ("failed", 1),
+            ("passes_computed", 2),
+            ("passes_cached", 4),
+            ("store_corrupt", 5),
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":{value}")),
+                "missing {key}: {json}"
+            );
+        }
+        // Defaults serialize too (a sweep that did nothing still reports).
+        reno_trace::validate_json(SweepStats::default().to_json().trim_end()).expect("valid JSON");
+    }
 }

@@ -1,0 +1,30 @@
+//! Textual mutational fuzzer for the `BENCH_sim.json` trajectory reader.
+//!
+//! ```text
+//! RENO_FUZZ_SEED=1 RENO_FUZZ_ITERS=100000 cargo run --release -p reno-fuzz --bin fuzz_report
+//! ```
+//!
+//! Mutates valid trajectory files (bit flips, line edits, truncations,
+//! digit corruption, quote deletion, garbage) and exits nonzero if any
+//! mutant panics `reno_bench::report::validate`, or validates but then
+//! panics the `check`/`render` gate path. See the `reno-fuzz` crate docs.
+
+use reno_fuzz::{iters_from_env, run_report_fuzz, seed_from_env, DEFAULT_ITERS, DEFAULT_SEED};
+
+fn main() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let iters = iters_from_env(DEFAULT_ITERS);
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_report_fuzz(seed, iters);
+    let _ = std::panic::take_hook();
+    println!(
+        "fuzz_report: seed={seed} iters={iters} accepted={} rejected={} violations={}",
+        report.accepted, report.rejected, report.failure_count
+    );
+    for f in &report.failures {
+        eprintln!("VIOLATION: {f}");
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

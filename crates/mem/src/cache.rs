@@ -43,6 +43,8 @@ pub struct CacheStats {
     pub accesses: u64,
     /// Hits.
     pub hits: u64,
+    /// Dirty victims evicted by fills (write-back traffic).
+    pub writebacks: u64,
 }
 
 impl CacheStats {
@@ -107,6 +109,11 @@ pub struct Cache {
     /// Index into `lines` of the memoized line ([`NO_MRU`] = none).
     mru_idx: u32,
     stats: CacheStats,
+    /// Whether the most recent *missing* probe evicted a dirty victim.
+    /// Only `probe_scan` writes it (the MRU fast path is hit-only and
+    /// stays store-free), so it is meaningful right after a probe that
+    /// returned `false`; see [`Cache::last_fill_writeback`].
+    evicted_dirty: bool,
 }
 
 impl Cache {
@@ -126,6 +133,7 @@ impl Cache {
             mru_line: 0,
             mru_idx: NO_MRU,
             stats: CacheStats::default(),
+            evicted_dirty: false,
         }
     }
 
@@ -210,6 +218,10 @@ impl Cache {
             .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
             .map(|(i, _)| i)
             .expect("associativity >= 1");
+        self.evicted_dirty = ways[victim].valid && ways[victim].dirty;
+        if self.evicted_dirty {
+            self.stats.writebacks += 1;
+        }
         ways[victim] = Line {
             tag,
             valid: true,
@@ -219,6 +231,15 @@ impl Cache {
         self.mru_line = lnum;
         self.mru_idx = (base + victim) as u32;
         false
+    }
+
+    /// Whether the most recent probe that *missed* evicted a dirty victim
+    /// (i.e. the fill generated a writeback). Only meaningful immediately
+    /// after a [`Cache::probe_and_fill`] that returned `false`; hits through
+    /// the MRU fast path do not update it (a hit never writes back).
+    #[inline]
+    pub fn last_fill_writeback(&self) -> bool {
+        self.evicted_dirty
     }
 
     /// Probes without filling or updating LRU/stats (for tests and warmup
@@ -345,6 +366,23 @@ mod tests {
         for &a in addrs {
             assert_eq!(fast.contains(a), slow.contains(a), "directory at {a}");
         }
+    }
+
+    #[test]
+    fn writebacks_count_dirty_victims_only() {
+        let mut c = tiny();
+        // Set 0 lines: 0 (dirty), 64 (clean).
+        c.probe_and_fill(0, true);
+        c.probe_and_fill(64, false);
+        assert_eq!(c.stats().writebacks, 0, "cold fills evict nothing");
+        // Evict line 0 (LRU, dirty): one writeback, flagged on the probe.
+        assert!(!c.probe_and_fill(128, false));
+        assert!(c.last_fill_writeback());
+        assert_eq!(c.stats().writebacks, 1);
+        // Evict line 64 (clean): no writeback.
+        assert!(!c.probe_and_fill(192, false));
+        assert!(!c.last_fill_writeback());
+        assert_eq!(c.stats().writebacks, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::{Cache, CacheConfig, CacheStats};
+use reno_trace::{CacheLevel, SysEvent, SysEventKind};
 
 /// Which level of the hierarchy served an access (used by the critical-path
 /// analyzer to split "load exec" from "load mem" criticality).
@@ -67,6 +68,8 @@ pub struct HierarchyStats {
     pub mem_accesses: u64,
     /// Cycles an access spent queued for an outstanding-miss slot or the bus.
     pub queue_cycles: u64,
+    /// Accesses that merged into an already-inflight miss to the same line.
+    pub merges: u64,
 }
 
 /// The timing model for the I$/D$/L2/memory hierarchy.
@@ -92,6 +95,11 @@ pub struct MemHierarchy {
     /// Cycle at which the memory bus frees up.
     bus_free: u64,
     stats: HierarchyStats,
+    /// Event sink for the trace's memory track. `None` (the default) keeps
+    /// every hot path to a single `Option` check; the simulator arms it via
+    /// [`MemHierarchy::enable_trace`] when `MachineConfig::trace` is on and
+    /// drains it into the [`reno_trace::PipelineTrace`] once per cycle.
+    trace_buf: Option<Box<Vec<SysEvent>>>,
 }
 
 impl MemHierarchy {
@@ -105,7 +113,77 @@ impl MemHierarchy {
             inflight: Vec::new(),
             bus_free: 0,
             stats: HierarchyStats::default(),
+            trace_buf: None,
         }
+    }
+
+    /// Arms event recording for the trace's memory track. Idempotent: an
+    /// already-armed hierarchy keeps its buffered events.
+    pub fn enable_trace(&mut self) {
+        if self.trace_buf.is_none() {
+            self.trace_buf = Some(Box::default());
+        }
+    }
+
+    /// Moves all buffered memory-track events into `out` (no-op when
+    /// recording is off).
+    pub fn drain_trace(&mut self, out: &mut Vec<SysEvent>) {
+        if let Some(buf) = &mut self.trace_buf {
+            out.append(buf);
+        }
+    }
+
+    /// Final drain at end of run: records an [`SysEventKind::MshrRetire`]
+    /// for every still-inflight miss at its completion cycle (so retire
+    /// events balance allocations), then drains everything into `out`.
+    /// Timing state itself is untouched — a warm hierarchy handed to the
+    /// next measurement window behaves exactly as without tracing.
+    pub fn finish_trace(&mut self, out: &mut Vec<SysEvent>) {
+        if self.trace_buf.is_some() {
+            let mut dones: Vec<u64> = self.inflight.iter().map(|&(_, d)| d).collect();
+            dones.sort_unstable();
+            if let Some(buf) = &mut self.trace_buf {
+                for done in dones {
+                    buf.push(SysEvent {
+                        cycle: done,
+                        kind: SysEventKind::MshrRetire,
+                    });
+                }
+            }
+            self.drain_trace(out);
+        }
+    }
+
+    /// Records one memory-track event (single branch when recording is off).
+    #[inline]
+    fn push_trace(&mut self, cycle: u64, kind: SysEventKind) {
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(SysEvent { cycle, kind });
+        }
+    }
+
+    /// Drops completed misses from `inflight`, recording one MSHR retire per
+    /// dropped entry at its completion cycle. Uses `retain` so the surviving
+    /// order — and therefore all downstream timing — is byte-identical with
+    /// recording on or off. Takes disjoint field borrows so callers can hold
+    /// other parts of `self`.
+    fn retire_completed(
+        inflight: &mut Vec<(u64, u64)>,
+        trace_buf: &mut Option<Box<Vec<SysEvent>>>,
+        now: u64,
+    ) {
+        inflight.retain(|&(_, done)| {
+            let keep = done > now;
+            if !keep {
+                if let Some(buf) = trace_buf {
+                    buf.push(SysEvent {
+                        cycle: done,
+                        kind: SysEventKind::MshrRetire,
+                    });
+                }
+            }
+            keep
+        });
     }
 
     /// D$ hit latency (the load-to-use pipeline assumes this on a hit).
@@ -137,10 +215,13 @@ impl MemHierarchy {
     fn memory_access(&mut self, addr: u64, earliest: u64) -> u64 {
         let line = self.line_addr(addr);
         // Retire completed misses.
-        self.inflight.retain(|&(_, done)| done > earliest);
+        Self::retire_completed(&mut self.inflight, &mut self.trace_buf, earliest);
 
         if let Some(&(_, done)) = self.inflight.iter().find(|&&(l, _)| l == line) {
-            return done; // MSHR merge: piggyback on the in-flight fill
+            // MSHR merge: piggyback on the in-flight fill.
+            self.stats.merges += 1;
+            self.push_trace(earliest, SysEventKind::MshrMerge);
+            return done;
         }
 
         // Wait for an outstanding-miss slot.
@@ -150,7 +231,14 @@ impl MemHierarchy {
             dones.sort_unstable();
             let freed = dones[self.inflight.len() - self.cfg.max_outstanding];
             start = start.max(freed);
-            self.inflight.retain(|&(_, done)| done > start);
+            Self::retire_completed(&mut self.inflight, &mut self.trace_buf, start);
+            // `freed > earliest` always (retained dones are `> earliest`).
+            self.push_trace(
+                earliest,
+                SysEventKind::MshrFullStall {
+                    cycles: start - earliest,
+                },
+            );
         }
 
         // The line transfer occupies the bus after the DRAM access.
@@ -163,6 +251,15 @@ impl MemHierarchy {
 
         self.stats.mem_accesses += 1;
         self.stats.queue_cycles += (start - earliest) + (transfer_start - data_ready_unqueued);
+        self.push_trace(start, SysEventKind::MshrAlloc);
+        if transfer_start > data_ready_unqueued {
+            self.push_trace(
+                data_ready_unqueued,
+                SysEventKind::BusQueue {
+                    cycles: transfer_start - data_ready_unqueued,
+                },
+            );
+        }
         self.inflight.push((line, done));
         done
     }
@@ -171,11 +268,48 @@ impl MemHierarchy {
     /// merge completion time (the access piggybacks on the in-flight fill).
     fn inflight_merge(&mut self, addr: u64, now: u64) -> Option<u64> {
         let line = self.line_addr(addr);
-        self.inflight.retain(|&(_, done)| done > now);
-        self.inflight
+        Self::retire_completed(&mut self.inflight, &mut self.trace_buf, now);
+        let done = self
+            .inflight
             .iter()
             .find(|&&(l, _)| l == line)
-            .map(|&(_, done)| done)
+            .map(|&(_, done)| done);
+        if done.is_some() {
+            self.stats.merges += 1;
+            self.push_trace(now, SysEventKind::MshrMerge);
+        }
+        done
+    }
+
+    /// Probes one level with recording: the access outcome, and a writeback
+    /// event when the fill evicted a dirty victim. The off path costs one
+    /// `Option` check beyond the probe itself.
+    #[inline]
+    fn probe_recorded(&mut self, level: CacheLevel, addr: u64, now: u64, write: bool) -> bool {
+        let cache = match level {
+            CacheLevel::L1I => &mut self.l1i,
+            CacheLevel::L1D => &mut self.l1d,
+            CacheLevel::L2 => &mut self.l2,
+        };
+        let hit = cache.probe_and_fill(addr, write);
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(SysEvent {
+                cycle: now,
+                kind: SysEventKind::CacheAccess { level, hit, write },
+            });
+            let cache = match level {
+                CacheLevel::L1I => &self.l1i,
+                CacheLevel::L1D => &self.l1d,
+                CacheLevel::L2 => &self.l2,
+            };
+            if !hit && cache.last_fill_writeback() {
+                buf.push(SysEvent {
+                    cycle: now,
+                    kind: SysEventKind::CacheWriteback { level },
+                });
+            }
+        }
+        hit
     }
 
     /// Data access at cycle `now`. Returns `(ready_cycle, served_by)`:
@@ -184,15 +318,15 @@ impl MemHierarchy {
     pub fn access_data(&mut self, addr: u64, now: u64, write: bool) -> (u64, ServedBy) {
         if let Some(done) = self.inflight_merge(addr, now) {
             // Keep the directories warm for the eventual fill.
-            self.l1d.probe_and_fill(addr, write);
-            self.l2.probe_and_fill(addr, write);
+            self.probe_recorded(CacheLevel::L1D, addr, now, write);
+            self.probe_recorded(CacheLevel::L2, addr, now, write);
             return (done, ServedBy::Mem);
         }
-        if self.l1d.probe_and_fill(addr, write) {
+        if self.probe_recorded(CacheLevel::L1D, addr, now, write) {
             return (now + self.cfg.l1d.hit_latency, ServedBy::L1);
         }
         let after_l1 = now + self.cfg.l1d.hit_latency;
-        if self.l2.probe_and_fill(addr, write) {
+        if self.probe_recorded(CacheLevel::L2, addr, after_l1, write) {
             return (after_l1 + self.cfg.l2.hit_latency, ServedBy::L2);
         }
         let done = self.memory_access(addr, after_l1 + self.cfg.l2.hit_latency);
@@ -252,15 +386,15 @@ impl MemHierarchy {
     /// [`MemHierarchy::access_data`].
     pub fn access_inst(&mut self, addr: u64, now: u64) -> (u64, ServedBy) {
         if let Some(done) = self.inflight_merge(addr, now) {
-            self.l1i.probe_and_fill(addr, false);
-            self.l2.probe_and_fill(addr, false);
+            self.probe_recorded(CacheLevel::L1I, addr, now, false);
+            self.probe_recorded(CacheLevel::L2, addr, now, false);
             return (done, ServedBy::Mem);
         }
-        if self.l1i.probe_and_fill(addr, false) {
+        if self.probe_recorded(CacheLevel::L1I, addr, now, false) {
             return (now + self.cfg.l1i.hit_latency, ServedBy::L1);
         }
         let after_l1 = now + self.cfg.l1i.hit_latency;
-        if self.l2.probe_and_fill(addr, false) {
+        if self.probe_recorded(CacheLevel::L2, addr, after_l1, false) {
             return (after_l1 + self.cfg.l2.hit_latency, ServedBy::L2);
         }
         let done = self.memory_access(addr, after_l1 + self.cfg.l2.hit_latency);
@@ -389,5 +523,78 @@ mod tests {
         assert_eq!(by, ServedBy::Mem);
         let (_, by) = m.access_data(0x9000, 500, true);
         assert_eq!(by, ServedBy::L1);
+    }
+
+    /// A pseudo-random access stream whose recorded events must reconcile
+    /// exactly with the stats counters, and whose timing must be identical
+    /// with recording on and off.
+    fn drive(m: &mut MemHierarchy) -> Vec<(u64, ServedBy)> {
+        let mut outs = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut now = 0u64;
+        for i in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (1 << 20);
+            let write = x & 3 == 0;
+            now += x % 5;
+            outs.push(if i % 3 == 0 {
+                m.access_inst(addr, now)
+            } else {
+                m.access_data(addr, now, write)
+            });
+        }
+        outs
+    }
+
+    #[test]
+    fn recording_is_invisible_to_timing_and_stats() {
+        let mut off = hier();
+        let mut on = hier();
+        on.enable_trace();
+        let a = drive(&mut off);
+        let b = drive(&mut on);
+        assert_eq!(a, b, "completion times and serving levels identical");
+        assert_eq!(off.stats(), on.stats());
+        assert_eq!(off.cache_stats(), on.cache_stats());
+    }
+
+    #[test]
+    fn recorded_events_reconcile_with_stats() {
+        use reno_trace::PipelineTrace;
+        let mut m = hier();
+        m.enable_trace();
+        drive(&mut m);
+        let mut t = PipelineTrace::default();
+        m.finish_trace(&mut t.sys);
+        let (l1i, l1d, l2) = m.cache_stats();
+        for (level, s) in [
+            (CacheLevel::L1I, l1i),
+            (CacheLevel::L1D, l1d),
+            (CacheLevel::L2, l2),
+        ] {
+            assert_eq!(t.cache_accesses(level), s.accesses, "{level:?} accesses");
+            assert_eq!(t.cache_hits(level), s.hits, "{level:?} hits");
+            assert_eq!(
+                t.cache_writebacks(level),
+                s.writebacks,
+                "{level:?} writebacks"
+            );
+        }
+        assert_eq!(t.mshr_alloc_count(), m.stats().mem_accesses);
+        assert_eq!(t.mshr_merge_count(), m.stats().merges);
+        assert_eq!(
+            t.mshr_retire_count(),
+            t.mshr_alloc_count(),
+            "every allocation retires after the final flush"
+        );
+        assert_eq!(
+            t.mshr_stall_cycles() + t.bus_queue_cycles(),
+            m.stats().queue_cycles,
+            "stall + bus-queue events account for every queued cycle"
+        );
+        assert!(m.stats().merges > 0, "stream provokes MSHR merges");
+        assert!(t.bus_queue_cycles() > 0, "stream provokes bus queueing");
     }
 }

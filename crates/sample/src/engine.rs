@@ -4,6 +4,7 @@ use reno_isa::Program;
 use reno_mem::MemHierarchy;
 use reno_par::par_map;
 use reno_sim::{classify_control, MachineConfig, Simulator, WarmState};
+use reno_trace::PipelineTrace;
 use reno_uarch::FrontEnd;
 
 /// Extra fuel past the measure-window end so the end-boundary instruction
@@ -655,6 +656,10 @@ struct SegmentOut {
     windows: Vec<(u64, IntervalStat, Option<Features>)>,
     /// Per-stratum shadow features for every stratum the segment owns.
     strata_feats: Vec<(u64, Option<Features>)>,
+    /// Per-window pipeline traces in program order (head window first),
+    /// captured only when `MachineConfig::trace` is on. The merge rebases
+    /// and concatenates them segment by segment.
+    traces: Vec<Box<PipelineTrace>>,
     detailed_insts: u64,
     error: Option<ExecError>,
 }
@@ -720,6 +725,7 @@ fn run_segment(
         head_feat: None,
         windows: Vec::with_capacity(job.windows.len()),
         strata_feats: Vec::new(),
+        traces: Vec::new(),
         detailed_insts: 0,
         error: None,
     };
@@ -743,6 +749,9 @@ fn run_segment(
             if e.retired > s.retired {
                 out.head = Some(IntervalStat::from_marks(0, 0, &s, &e));
             }
+        }
+        if let Some(t) = r.trace {
+            out.traces.push(t);
         }
         out.detailed_insts += r.retired;
         warmed_until = r.retired;
@@ -791,6 +800,9 @@ fn run_segment(
                     None,
                 ));
             }
+        }
+        if let Some(t) = r.trace {
+            out.traces.push(t);
         }
         out.detailed_insts += r.retired;
         warmed_until = pos + r.retired;
@@ -1191,6 +1203,10 @@ pub fn run_sampled_with_pass(
     let mut intervals: Vec<IntervalStat> = Vec::new();
     let mut detailed_insts = 0u64;
     let mut error = pass.error.clone();
+    // Merged trace: segment order == program order (par_map preserves job
+    // order), each window rebased onto the end of the previous one, so the
+    // bytes are identical at any RENO_THREADS.
+    let mut trace: Option<Box<PipelineTrace>> = cfg.trace.then(Box::default);
     for out in outs {
         if out.head.is_some() {
             head = out.head;
@@ -1204,6 +1220,11 @@ pub fn run_sampled_with_pass(
         }
         for (s, f) in out.strata_feats {
             ft.strata[s as usize] = f;
+        }
+        if let Some(t) = &mut trace {
+            for seg_trace in &out.traces {
+                t.append_rebased(seg_trace);
+            }
         }
         detailed_insts += out.detailed_insts;
         if error.is_none() {
@@ -1228,6 +1249,7 @@ pub fn run_sampled_with_pass(
         model_cycles: None,
         model_r2: None,
         feature_drift: None,
+        trace,
     };
     model_assist(sc, period, &mut result, &ft);
     result.feature_drift = feature_drift(&result, &ft);
@@ -1257,6 +1279,7 @@ fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> Sampled
         model_cycles: None,
         model_r2: None,
         feature_drift: None,
+        trace: r.trace,
     }
 }
 

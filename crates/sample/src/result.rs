@@ -1,5 +1,6 @@
 use reno_func::ExecError;
 use reno_sim::{SampleMark, SimStats};
+use reno_trace::PipelineTrace;
 
 /// Statistics of one detailed measurement interval, as the delta between
 /// its two [`SampleMark`]s (pipeline in full flight at both edges).
@@ -113,6 +114,12 @@ pub struct SampledResult {
     /// escalates to a denser rung or the exact fallback in that case.
     /// `None` when every stratum was measured (or none were).
     pub feature_drift: Option<f64>,
+    /// Merged pipeline trace over every detailed window (head stratum
+    /// first, then the periodic windows in program order), present only
+    /// when `MachineConfig::trace` was set. Each window's events are
+    /// rebased onto the end of the previous one, so the merged timeline is
+    /// continuous and deterministic — byte-identical at any `RENO_THREADS`.
+    pub trace: Option<Box<PipelineTrace>>,
 }
 
 impl SampledResult {
@@ -313,6 +320,7 @@ mod tests {
             model_cycles: None,
             model_r2: None,
             feature_drift: None,
+            trace: None,
         }
     }
 

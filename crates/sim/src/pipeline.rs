@@ -5,7 +5,7 @@ use reno_cpa::{Bucket, InstRecord};
 use reno_func::{Cpu, DynInst, Oracle};
 use reno_isa::{OpClass, Opcode, Program, Reg, RenameClass, STACK_TOP};
 use reno_mem::{MemHierarchy, ServedBy};
-use reno_trace::{EventKind, PipelineTrace, RenameOutcome, SquashCause};
+use reno_trace::{BranchClass, EventKind, PipelineTrace, RenameOutcome, SquashCause, SysEventKind};
 use reno_uarch::{ControlKind, FrontEnd, StoreSets};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -560,6 +560,12 @@ impl<'p> Simulator<'p> {
     ///
     /// Panics if the pipeline deadlocks (an internal invariant violation).
     pub fn run_with_state(mut self, max_cycles: u64) -> (SimResult, WarmState) {
+        if self.trace.is_some() {
+            // Arm the hierarchy's memory-track sink here rather than at
+            // construction: `with_warm_state` may have swapped in a warmed
+            // (un-armed) hierarchy after the constructor ran.
+            self.mem.enable_trace();
+        }
         let naive = self.cfg.naive_sched;
         let mut last_progress = (0u64, 0u64);
         while !self.finished() && self.cycle < max_cycles {
@@ -594,6 +600,7 @@ impl<'p> Simulator<'p> {
             self.stats.rob_occ_sum += self.rob.len() as u64;
             if let Some(t) = &mut self.trace {
                 t.sample(self.cycle, self.rob.len(), self.iq_count);
+                self.mem.drain_trace(&mut t.sys);
             }
             self.cycle += 1;
 
@@ -683,7 +690,12 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn finish(self) -> (SimResult, WarmState) {
+    fn finish(mut self) -> (SimResult, WarmState) {
+        if let Some(t) = &mut self.trace {
+            // Flush buffered memory events and balance MSHR allocations with
+            // retires for misses still in flight at the end of the run.
+            self.mem.finish_trace(&mut t.sys);
+        }
         let result = SimResult {
             cycles: self.cycle,
             retired: self.retired,
@@ -692,6 +704,7 @@ impl<'p> Simulator<'p> {
             it: *self.reno.it_stats(),
             frontend: *self.frontend.stats(),
             caches: self.mem.cache_stats(),
+            hier: *self.mem.stats(),
             digest: self.oracle.cpu().state_digest(),
             checksum: self.oracle.cpu().checksum(),
             halted: self.oracle.halted(),
@@ -1013,13 +1026,17 @@ impl<'p> Simulator<'p> {
                 let slot = &mut self.rob[idx];
                 slot.complete = complete;
                 slot.set(F_COMPLETED | F_EXEC_DONE);
-                if slot.has(F_MISPRED) {
+                let mispred = slot.has(F_MISPRED);
+                if mispred {
                     // Branch resolves: fetch restarts down the correct path.
                     self.fetch_stalled_until = self.fetch_stalled_until.max(complete + 1);
                     self.waiting_branch = None;
                 }
                 if let Some(t) = &mut self.trace {
                     t.push(complete, seq, EventKind::Complete);
+                    if mispred {
+                        t.push_sys(complete, SysEventKind::Resolve);
+                    }
                 }
             }
         }
@@ -1809,6 +1826,22 @@ impl<'p> Simulator<'p> {
                     .frontend
                     .process(pc as u64, kind, d_taken, next_pc as u64);
                 mispredicted = !ok;
+                if let Some(t) = &mut self.trace {
+                    // Mirror the FrontEndStats accounting: direct jumps and
+                    // calls are always right and are not counted there, so
+                    // they get no Predict event either.
+                    let class = match kind {
+                        ControlKind::Cond => Some(BranchClass::Cond),
+                        ControlKind::Return => Some(BranchClass::Return),
+                        ControlKind::IndirectJump | ControlKind::IndirectCall => {
+                            Some(BranchClass::Indirect)
+                        }
+                        ControlKind::DirectJump | ControlKind::Call => None,
+                    };
+                    if let Some(class) = class {
+                        t.push_sys(self.cycle, SysEventKind::Predict { class, correct: ok });
+                    }
+                }
             }
             let rename_ready = ic_done + ICACHE_TO_RENAME;
             self.fetch_buf.push_back(Fetched {

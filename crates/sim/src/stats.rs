@@ -1,6 +1,6 @@
 use reno_core::{ItStats, RenoStats};
 use reno_cpa::InstRecord;
-use reno_mem::CacheStats;
+use reno_mem::{CacheStats, HierarchyStats};
 use reno_trace::PipelineTrace;
 use reno_uarch::FrontEndStats;
 
@@ -67,6 +67,8 @@ pub struct SimResult {
     pub frontend: FrontEndStats,
     /// Cache statistics: (I$, D$, L2).
     pub caches: (CacheStats, CacheStats, CacheStats),
+    /// Hierarchy-wide memory statistics (MSHR allocations, merges, queueing).
+    pub hier: HierarchyStats,
     /// Architectural state digest of the completed program (for
     /// functional-vs-timing equivalence checks).
     pub digest: u64,
@@ -143,6 +145,7 @@ mod tests {
             it: ItStats::default(),
             frontend: FrontEndStats::default(),
             caches: Default::default(),
+            hier: HierarchyStats::default(),
             digest: 0,
             checksum: 0,
             halted: true,

@@ -16,7 +16,10 @@ use proptest::prelude::*;
 use reno_core::RenoConfig;
 use reno_isa::{Asm, Program, Reg};
 use reno_sim::{MachineConfig, SimResult, Simulator};
-use reno_trace::{chrome_trace_json, validate_json, EventKind, RenameOutcome, SquashCause};
+use reno_trace::{
+    chrome_trace_json, validate_json, BranchClass, CacheLevel, EventKind, RenameOutcome,
+    SquashCause,
+};
 
 /// Same recipe as `sched_equivalence`: a random-but-terminating loop over an
 /// instruction pool that exercises folds, multiplies, partial-width
@@ -116,6 +119,7 @@ fn assert_invisible(off: &SimResult, on: &SimResult, what: &str) {
     assert_eq!(off.it, on.it, "ItStats [{what}]");
     assert_eq!(off.frontend, on.frontend, "FrontEndStats [{what}]");
     assert_eq!(off.caches, on.caches, "CacheStats [{what}]");
+    assert_eq!(off.hier, on.hier, "HierarchyStats [{what}]");
     assert_eq!(off.checksum, on.checksum, "checksum [{what}]");
     assert_eq!(off.digest, on.digest, "digest [{what}]");
     assert_eq!(off.halted, on.halted, "halted [{what}]");
@@ -158,6 +162,80 @@ fn assert_truthful(r: &SimResult, what: &str) {
         }
     }
     assert_eq!(elim, r.reno.eliminated(), "elimination events [{what}]");
+
+    // Memory track: per-level access/hit/writeback events reconcile with
+    // the caches' own counters, probe for probe.
+    let (l1i, l1d, l2) = r.caches;
+    for (level, s) in [
+        (CacheLevel::L1I, l1i),
+        (CacheLevel::L1D, l1d),
+        (CacheLevel::L2, l2),
+    ] {
+        assert_eq!(
+            t.cache_accesses(level),
+            s.accesses,
+            "{level:?} access events [{what}]"
+        );
+        assert_eq!(t.cache_hits(level), s.hits, "{level:?} hit events [{what}]");
+        assert_eq!(
+            t.cache_writebacks(level),
+            s.writebacks,
+            "{level:?} writeback events [{what}]"
+        );
+    }
+
+    // MSHR lifecycle: one alloc per memory access, one merge per recorded
+    // merge, and — after the end-of-run flush — a retire for every alloc.
+    // Stall and bus-queue events carry durations that exactly partition
+    // the hierarchy's queue-cycle counter.
+    assert_eq!(
+        t.mshr_alloc_count(),
+        r.hier.mem_accesses,
+        "MSHR alloc events [{what}]"
+    );
+    assert_eq!(
+        t.mshr_merge_count(),
+        r.hier.merges,
+        "MSHR merge events [{what}]"
+    );
+    assert_eq!(
+        t.mshr_retire_count(),
+        t.mshr_alloc_count(),
+        "every MSHR alloc retires [{what}]"
+    );
+    assert_eq!(
+        t.mshr_stall_cycles() + t.bus_queue_cycles(),
+        r.hier.queue_cycles,
+        "stall + bus cycles partition queue_cycles [{what}]"
+    );
+
+    // Predictor track: one predict event per fetched branch of each class,
+    // wrong exactly as often as the front end says, and every resolution
+    // event belongs to a genuinely mispredicted branch (a mispredict whose
+    // squash wins the race never executes, so resolve <= wrong).
+    let f = r.frontend;
+    for (class, fetched, wrong) in [
+        (BranchClass::Cond, f.cond, f.cond_wrong),
+        (BranchClass::Return, f.returns, f.returns_wrong),
+        (BranchClass::Indirect, f.indirect, f.indirect_wrong),
+    ] {
+        assert_eq!(
+            t.predict_count(class),
+            fetched,
+            "{class:?} predict events [{what}]"
+        );
+        assert_eq!(
+            t.mispredict_count(class),
+            wrong,
+            "{class:?} mispredict events [{what}]"
+        );
+    }
+    assert!(
+        t.resolve_count() <= f.total_wrong(),
+        "resolves ({}) within mispredicts ({}) [{what}]",
+        t.resolve_count(),
+        f.total_wrong()
+    );
 }
 
 #[test]
@@ -203,6 +281,14 @@ fn traced_run_exports_valid_chrome_json() {
     validate_json(&json).expect("export is syntactically valid JSON");
     assert!(json.contains("\"name\":\"IPC\""));
     assert!(json.contains("\"outcome\":\"const-fold\""));
+    // The memory/predictor tracks ride along: named threads, cold-start
+    // misses as instants, MSHR lifecycle, and per-level activity counters.
+    assert!(!t.sys.is_empty(), "system-track events recorded");
+    assert!(json.contains("\"args\":{\"name\":\"memory\"}"));
+    assert!(json.contains("\"args\":{\"name\":\"predictor\"}"));
+    assert!(json.contains("\"name\":\"L1I miss\""));
+    assert!(json.contains("\"name\":\"MSHR alloc\""));
+    assert!(json.contains("\"name\":\"L1I activity\""));
     assert_eq!(
         json.matches("\"end\":\"retire\"").count() as u64,
         r.retired,

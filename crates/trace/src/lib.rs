@@ -19,7 +19,7 @@
 //! `trace_dump` binary in `reno-bench` is the command-line entry point.
 
 use reno_isa::Opcode;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 /// What the RENO renamer decided for an instruction.
@@ -100,6 +100,110 @@ pub enum EventKind {
     },
 }
 
+/// Which cache a memory event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// L1 instruction cache.
+    L1I,
+    /// L1 data cache.
+    L1D,
+    /// Unified L2.
+    L2,
+}
+
+impl CacheLevel {
+    /// Short label used in the exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1I => "L1I",
+            CacheLevel::L1D => "L1D",
+            CacheLevel::L2 => "L2",
+        }
+    }
+}
+
+/// Which predictor structure a branch event refers to. Matches the
+/// `FrontEndStats` accounting: direct jumps and calls are always correctly
+/// predicted and are not recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchClass {
+    /// Conditional branch (gshare).
+    Cond,
+    /// Return (return-address stack).
+    Return,
+    /// Indirect jump or call (indirect target table).
+    Indirect,
+}
+
+impl BranchClass {
+    /// Short label used in the exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BranchClass::Cond => "cond",
+            BranchClass::Return => "return",
+            BranchClass::Indirect => "indirect",
+        }
+    }
+}
+
+/// One event on the system tracks: memory hierarchy or branch predictor.
+/// These are not tied to a sequence number — they describe shared structures
+/// the pipeline interacts with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysEventKind {
+    /// One probe of a cache level, with its outcome.
+    CacheAccess {
+        /// Which cache.
+        level: CacheLevel,
+        /// Whether the probe hit.
+        hit: bool,
+        /// Whether the probe was for a store.
+        write: bool,
+    },
+    /// A dirty victim was evicted on fill at this level.
+    CacheWriteback {
+        /// Which cache.
+        level: CacheLevel,
+    },
+    /// An MSHR slot was allocated for a memory request (cycle = start of
+    /// the bus transfer slot, i.e. after any full-stall wait).
+    MshrAlloc,
+    /// A request merged into an already-inflight line miss.
+    MshrMerge,
+    /// An inflight miss completed and released its slot (cycle = the cycle
+    /// the data arrived).
+    MshrRetire,
+    /// A request waited for a free MSHR slot.
+    MshrFullStall {
+        /// How many cycles it waited.
+        cycles: u64,
+    },
+    /// A request waited for the memory bus after its data was ready to
+    /// transfer.
+    BusQueue {
+        /// How many cycles it queued.
+        cycles: u64,
+    },
+    /// The front end consulted a predictor structure.
+    Predict {
+        /// Which structure.
+        class: BranchClass,
+        /// Whether the prediction turned out correct.
+        correct: bool,
+    },
+    /// A mispredicted branch resolved in the back end and redirected fetch.
+    Resolve,
+}
+
+/// One recorded system-track event at `cycle`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SysEvent {
+    /// Cycle the event is attributed to.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: SysEventKind,
+}
+
 /// One recorded event: a milestone for sequence number `seq` at `cycle`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -130,6 +234,10 @@ pub struct PipelineTrace {
     pub events: Vec<TraceEvent>,
     /// Occupancy samples, one per simulated cycle.
     pub counters: Vec<OccSample>,
+    /// Memory-hierarchy and predictor events. Recorded in pipeline order but
+    /// *attributed* cycles are not monotone: an MSHR retire carries the cycle
+    /// the data arrived, which the hierarchy only learns about later.
+    pub sys: Vec<SysEvent>,
 }
 
 impl PipelineTrace {
@@ -176,6 +284,156 @@ impl PipelineTrace {
             .filter(|e| matches!(e.kind, EventKind::Squash { .. }))
             .count() as u64
     }
+
+    /// Records one system-track event.
+    #[inline]
+    pub fn push_sys(&mut self, cycle: u64, kind: SysEventKind) {
+        self.sys.push(SysEvent { cycle, kind });
+    }
+
+    /// Number of probes recorded for one cache level.
+    pub fn cache_accesses(&self, level: CacheLevel) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::CacheAccess { level: l, .. } if l == level))
+            .count() as u64
+    }
+
+    /// Number of hits recorded for one cache level.
+    pub fn cache_hits(&self, level: CacheLevel) -> u64 {
+        self.sys
+            .iter()
+            .filter(
+                |e| matches!(e.kind, SysEventKind::CacheAccess { level: l, hit, .. } if l == level && hit),
+            )
+            .count() as u64
+    }
+
+    /// Number of dirty-victim writebacks recorded for one cache level.
+    pub fn cache_writebacks(&self, level: CacheLevel) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::CacheWriteback { level: l } if l == level))
+            .count() as u64
+    }
+
+    /// Number of MSHR allocations recorded.
+    pub fn mshr_alloc_count(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::MshrAlloc))
+            .count() as u64
+    }
+
+    /// Number of MSHR merges recorded.
+    pub fn mshr_merge_count(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::MshrMerge))
+            .count() as u64
+    }
+
+    /// Number of MSHR retires recorded.
+    pub fn mshr_retire_count(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::MshrRetire))
+            .count() as u64
+    }
+
+    /// Total cycles spent waiting for a free MSHR slot.
+    pub fn mshr_stall_cycles(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter_map(|e| match e.kind {
+                SysEventKind::MshrFullStall { cycles } => Some(cycles),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total cycles spent queued for the memory bus.
+    pub fn bus_queue_cycles(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter_map(|e| match e.kind {
+                SysEventKind::BusQueue { cycles } => Some(cycles),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of predictions recorded for one branch class.
+    pub fn predict_count(&self, class: BranchClass) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::Predict { class: c, .. } if c == class))
+            .count() as u64
+    }
+
+    /// Number of mispredictions recorded for one branch class.
+    pub fn mispredict_count(&self, class: BranchClass) -> u64 {
+        self.sys
+            .iter()
+            .filter(
+                |e| matches!(e.kind, SysEventKind::Predict { class: c, correct } if c == class && !correct),
+            )
+            .count() as u64
+    }
+
+    /// Number of mispredict resolutions recorded.
+    pub fn resolve_count(&self) -> u64 {
+        self.sys
+            .iter()
+            .filter(|e| matches!(e.kind, SysEventKind::Resolve))
+            .count() as u64
+    }
+
+    /// One past the last cycle any record in this trace refers to (0 for an
+    /// empty trace). Used as the rebase offset when traces are concatenated.
+    pub fn end_cycle(&self) -> u64 {
+        let mut end = 0u64;
+        for e in &self.events {
+            end = end.max(e.cycle + 1);
+        }
+        for s in &self.counters {
+            end = end.max(s.cycle + 1);
+        }
+        for s in &self.sys {
+            end = end.max(s.cycle + 1);
+        }
+        end
+    }
+
+    /// One past the largest sequence number in this trace (0 if empty).
+    pub fn next_seq(&self) -> u64 {
+        self.events.iter().map(|e| e.seq + 1).max().unwrap_or(0)
+    }
+
+    /// Appends `other` shifted to start where this trace ends: every cycle
+    /// is offset by [`end_cycle`](Self::end_cycle) and every sequence number
+    /// by [`next_seq`](Self::next_seq), so concatenated segment traces stay
+    /// one consistent timeline with globally unique seqs. Deterministic:
+    /// depends only on the two traces' contents.
+    pub fn append_rebased(&mut self, other: &PipelineTrace) {
+        let dc = self.end_cycle();
+        let ds = self.next_seq();
+        self.events.extend(other.events.iter().map(|e| TraceEvent {
+            cycle: e.cycle + dc,
+            seq: e.seq + ds,
+            kind: e.kind,
+        }));
+        self.counters
+            .extend(other.counters.iter().map(|s| OccSample {
+                cycle: s.cycle + dc,
+                rob: s.rob,
+                iq: s.iq,
+            }));
+        self.sys.extend(other.sys.iter().map(|s| SysEvent {
+            cycle: s.cycle + dc,
+            kind: s.kind,
+        }));
+    }
 }
 
 /// One fetch→(retire|squash|requeue) residency of a sequence number in the
@@ -196,6 +454,8 @@ struct Attempt {
 
 /// IPC counter window width (cycles) in the exported trace.
 const IPC_WINDOW: u64 = 64;
+/// Cache-activity counter window width (cycles) in the exported trace.
+const SYS_WINDOW: u64 = 64;
 /// Occupancy counters are emitted at this cycle granularity.
 const OCC_STRIDE: u64 = 8;
 
@@ -262,6 +522,9 @@ pub fn chrome_trace_json(trace: &PipelineTrace) -> String {
     for s in &trace.counters {
         last_cycle = last_cycle.max(s.cycle);
     }
+    for s in &trace.sys {
+        last_cycle = last_cycle.max(s.cycle);
+    }
 
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
@@ -269,7 +532,13 @@ pub fn chrome_trace_json(trace: &PipelineTrace) -> String {
         "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"reno-sim\"}},\n",
     );
     out.push_str(
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"pipeline\"}}",
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"pipeline\"}},\n",
+    );
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"memory\"}},\n",
+    );
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"predictor\"}}",
     );
 
     for a in &attempts {
@@ -347,6 +616,111 @@ pub fn chrome_trace_json(trace: &PipelineTrace) -> String {
     }
     if in_window > 0 {
         emit_ipc(&mut out, window_start, in_window);
+    }
+
+    // System-track instants: cache misses and writebacks, MSHR lifecycle and
+    // stalls on the "memory" thread (tid 2); mispredictions and resolutions
+    // on the "predictor" thread (tid 3). Cache *hits* are deliberately not
+    // rendered as instants — at one per probe they would dominate the JSON —
+    // but they are recorded, counted by the truthfulness tests, and visible
+    // through the per-level activity counters below.
+    let instant = |out: &mut String, tid: u32, cat: &str, name: &str, ts: u64, args: &str| {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"i\",\"cat\":\"{cat}\",\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\"ts\":{ts},\"s\":\"t\"{args}}}"
+        );
+    };
+    for e in &trace.sys {
+        match e.kind {
+            SysEventKind::CacheAccess { level, hit, write } => {
+                if !hit {
+                    let name = format!("{} miss", level.label());
+                    let args = format!(",\"args\":{{\"write\":{write}}}");
+                    instant(&mut out, 2, "mem", &name, e.cycle, &args);
+                }
+            }
+            SysEventKind::CacheWriteback { level } => {
+                let name = format!("{} writeback", level.label());
+                instant(&mut out, 2, "mem", &name, e.cycle, "");
+            }
+            SysEventKind::MshrAlloc => instant(&mut out, 2, "mem", "MSHR alloc", e.cycle, ""),
+            SysEventKind::MshrMerge => instant(&mut out, 2, "mem", "MSHR merge", e.cycle, ""),
+            SysEventKind::MshrRetire => instant(&mut out, 2, "mem", "MSHR retire", e.cycle, ""),
+            SysEventKind::MshrFullStall { cycles } => {
+                let args = format!(",\"args\":{{\"cycles\":{cycles}}}");
+                instant(&mut out, 2, "mem", "MSHR full-stall", e.cycle, &args);
+            }
+            SysEventKind::BusQueue { cycles } => {
+                let args = format!(",\"args\":{{\"cycles\":{cycles}}}");
+                instant(&mut out, 2, "mem", "bus queue", e.cycle, &args);
+            }
+            SysEventKind::Predict { class, correct } => {
+                if !correct {
+                    let name = format!("mispredict:{}", class.label());
+                    instant(&mut out, 3, "bpred", &name, e.cycle, "");
+                }
+            }
+            SysEventKind::Resolve => instant(&mut out, 3, "bpred", "resolve", e.cycle, ""),
+        }
+    }
+
+    // MSHR occupancy counter from the alloc/retire deltas. Retires sort
+    // before allocs at the same cycle (a freed slot is reusable that cycle),
+    // and one sample is emitted per cycle whose net occupancy changed.
+    let mut deltas: Vec<(u64, i64)> = trace
+        .sys
+        .iter()
+        .filter_map(|e| match e.kind {
+            SysEventKind::MshrAlloc => Some((e.cycle, 1i64)),
+            SysEventKind::MshrRetire => Some((e.cycle, -1i64)),
+            _ => None,
+        })
+        .collect();
+    deltas.sort_by_key(|&(c, d)| (c, d));
+    let mut occ = 0i64;
+    let mut last_occ = 0i64;
+    let mut i = 0usize;
+    while i < deltas.len() {
+        let cycle = deltas[i].0;
+        while i < deltas.len() && deltas[i].0 == cycle {
+            occ += deltas[i].1;
+            i += 1;
+        }
+        if occ != last_occ {
+            last_occ = occ;
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"C\",\"pid\":1,\"name\":\"MSHR occupancy\",\"ts\":{cycle},\"args\":{{\"slots\":{occ}}}}}"
+            );
+        }
+    }
+
+    // Per-level cache activity counters: hits and misses per SYS_WINDOW
+    // cycles, one counter track per level, only windows with any probe.
+    for level in [CacheLevel::L1I, CacheLevel::L1D, CacheLevel::L2] {
+        let mut windows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for e in &trace.sys {
+            if let SysEventKind::CacheAccess { level: l, hit, .. } = e.kind {
+                if l == level {
+                    let w = windows.entry(e.cycle / SYS_WINDOW).or_insert((0, 0));
+                    if hit {
+                        w.0 += 1;
+                    } else {
+                        w.1 += 1;
+                    }
+                }
+            }
+        }
+        for (w, (hits, misses)) in windows {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"C\",\"pid\":1,\"name\":\"{} activity\",\"ts\":{},\"args\":{{\"hits\":{},\"misses\":{}}}}}",
+                level.label(),
+                w * SYS_WINDOW,
+                hits,
+                misses
+            );
+        }
     }
 
     out.push_str("\n]}\n");
@@ -540,6 +914,44 @@ mod tests {
         for c in 0..=16 {
             t.sample(c, 2, 1);
         }
+        // System tracks: an L1D miss that allocates an MSHR slot, merges a
+        // second request, writes back a dirty victim and retires; plus one
+        // predictor round trip (wrong, then resolved).
+        t.push_sys(
+            4,
+            SysEventKind::CacheAccess {
+                level: CacheLevel::L1D,
+                hit: false,
+                write: false,
+            },
+        );
+        t.push_sys(
+            4,
+            SysEventKind::CacheAccess {
+                level: CacheLevel::L2,
+                hit: true,
+                write: false,
+            },
+        );
+        t.push_sys(
+            4,
+            SysEventKind::CacheWriteback {
+                level: CacheLevel::L1D,
+            },
+        );
+        t.push_sys(4, SysEventKind::MshrAlloc);
+        t.push_sys(5, SysEventKind::MshrMerge);
+        t.push_sys(6, SysEventKind::MshrFullStall { cycles: 2 });
+        t.push_sys(8, SysEventKind::BusQueue { cycles: 3 });
+        t.push_sys(14, SysEventKind::MshrRetire);
+        t.push_sys(
+            5,
+            SysEventKind::Predict {
+                class: BranchClass::Cond,
+                correct: false,
+            },
+        );
+        t.push_sys(6, SysEventKind::Resolve);
         t
     }
 
@@ -549,6 +961,77 @@ mod tests {
         assert_eq!(t.retire_count(), 2);
         assert_eq!(t.issue_count(), 2);
         assert_eq!(t.squash_count(), 1);
+    }
+
+    #[test]
+    fn sys_counts_match_events() {
+        let t = demo_trace();
+        assert_eq!(t.cache_accesses(CacheLevel::L1D), 1);
+        assert_eq!(t.cache_hits(CacheLevel::L1D), 0);
+        assert_eq!(t.cache_accesses(CacheLevel::L2), 1);
+        assert_eq!(t.cache_hits(CacheLevel::L2), 1);
+        assert_eq!(t.cache_accesses(CacheLevel::L1I), 0);
+        assert_eq!(t.cache_writebacks(CacheLevel::L1D), 1);
+        assert_eq!(t.cache_writebacks(CacheLevel::L2), 0);
+        assert_eq!(t.mshr_alloc_count(), 1);
+        assert_eq!(t.mshr_merge_count(), 1);
+        assert_eq!(t.mshr_retire_count(), 1);
+        assert_eq!(t.mshr_stall_cycles(), 2);
+        assert_eq!(t.bus_queue_cycles(), 3);
+        assert_eq!(t.predict_count(BranchClass::Cond), 1);
+        assert_eq!(t.mispredict_count(BranchClass::Cond), 1);
+        assert_eq!(t.predict_count(BranchClass::Return), 0);
+        assert_eq!(t.resolve_count(), 1);
+    }
+
+    #[test]
+    fn sys_tracks_render_as_instants_and_counters() {
+        let j = chrome_trace_json(&demo_trace());
+        validate_json(&j).expect("writer emits syntactically valid JSON");
+        assert!(j.contains("\"name\":\"memory\""));
+        assert!(j.contains("\"name\":\"predictor\""));
+        assert!(j.contains("\"name\":\"L1D miss\""));
+        assert!(j.contains("\"name\":\"L1D writeback\""));
+        assert!(j.contains("\"name\":\"MSHR alloc\""));
+        assert!(j.contains("\"name\":\"MSHR merge\""));
+        assert!(j.contains("\"name\":\"MSHR retire\""));
+        assert!(j.contains("\"name\":\"MSHR full-stall\""));
+        assert!(j.contains("\"name\":\"bus queue\""));
+        assert!(j.contains("\"name\":\"mispredict:cond\""));
+        assert!(j.contains("\"name\":\"resolve\""));
+        assert!(j.contains("\"name\":\"MSHR occupancy\""));
+        assert!(j.contains("\"name\":\"L1D activity\""));
+        // L2 hits are counted in the activity track, never as instants.
+        assert!(!j.contains("\"name\":\"L2 miss\""));
+        assert!(j.contains("\"name\":\"L2 activity\""));
+    }
+
+    #[test]
+    fn append_rebased_shifts_cycles_and_seqs() {
+        let t = demo_trace();
+        let mut merged = t.clone();
+        merged.append_rebased(&t);
+        // end_cycle of the demo trace: max attributed cycle is 16 -> 17.
+        assert_eq!(t.end_cycle(), 17);
+        assert_eq!(t.next_seq(), 2);
+        assert_eq!(merged.events.len(), t.events.len() * 2);
+        assert_eq!(merged.counters.len(), t.counters.len() * 2);
+        assert_eq!(merged.sys.len(), t.sys.len() * 2);
+        // Shifted copies: second half events are first half + (17, 2).
+        let n = t.events.len();
+        for (a, b) in merged.events[..n].iter().zip(&merged.events[n..]) {
+            assert_eq!(b.cycle, a.cycle + 17);
+            assert_eq!(b.seq, a.seq + 2);
+            assert_eq!(b.kind, a.kind);
+        }
+        // Counts double, and the writer stays valid on merged traces.
+        assert_eq!(merged.retire_count(), 2 * t.retire_count());
+        assert_eq!(merged.mshr_alloc_count(), 2 * t.mshr_alloc_count());
+        validate_json(&chrome_trace_json(&merged)).unwrap();
+        // Deterministic: merging equal inputs yields equal bytes.
+        let mut again = t.clone();
+        again.append_rebased(&t);
+        assert_eq!(chrome_trace_json(&merged), chrome_trace_json(&again));
     }
 
     #[test]
