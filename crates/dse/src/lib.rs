@@ -10,8 +10,12 @@
 //! |---------|----------|
 //! | corrupt store entry | checksum validation rejects it: quarantined, logged, recomputed — never trusted, never a panic |
 //! | process killed (any point, incl. mid-write) | atomic writes + append-only journal: resume serves completed cells from cache, recomputes the rest; the resumed report is **byte-identical** to an uninterrupted run |
-//! | panicking cell | caught per-job ([`reno_par::try_par_map`]), retried once, then quarantined into the report's failed-cells section while the rest of the sweep completes |
+//! | panicking cell | caught per-job ([`reno_par::try_par_map_deadline`]), retried once, then quarantined into the report's failed-cells section while the rest of the sweep completes |
+//! | wedged cell | the watchdog deadline abandons it on a detached thread, retries once, then journals `timeout` and reports it as failed — sweeps always terminate |
 //! | disk full / write error | logged; the sweep degrades to cache-less operation for that entry and still completes |
+//! | concurrent writer, same cell | advisory per-object lock: one writer commits, the other skips (identical content-addressed bytes either way) |
+//! | concurrent writer, same sweep | journal heartbeat lease: wait with capped backoff, take over if stale, or degrade to read-only — never corrupt, same report bytes |
+//! | killed mid-GC | two-phase eviction (journaled intent → tombstone → unlink → completion): recovery finishes recorded evictions and never touches a live object |
 //!
 //! The store is content-addressed: entries are keyed by an FNV-1a hash of
 //! everything that determines their content (workload, scale, mode,
@@ -24,17 +28,33 @@
 //! win ([`reno_sample::run_sampled_with_pass`] validates the fit and
 //! rejects a mismatched pass rather than mis-sampling).
 //!
+//! Disk growth is bounded by [`gc::run_gc`] (mark-sweep by journal
+//! liveness, LRU eviction to a byte budget, quarantine retention), exposed
+//! as the `dse gc` subcommand and the `--store-budget` auto-trigger.
+//!
 //! The `dse` binary drives it: `dse <spec> --store <dir> [--out <file>]`.
 //! Cache/traffic statistics go to stderr only; stdout (and `--out`) carry
 //! exactly the deterministic report bytes.
 
+pub mod gc;
 pub mod journal;
+pub mod lock;
 pub mod report;
 pub mod spec;
 pub mod store;
 pub mod sweep;
 
-pub use journal::{Journal, JournalEvent};
+pub use gc::{run_gc, GcConfig, GcStats};
+pub use journal::{
+    header_line, replay_journal, sealed_line, ForeignSweep, Journal, JournalEvent, JournalOpen,
+    JournalReplay,
+};
+pub use lock::{Lease, LeaseConfig};
 pub use spec::{parse_spec, Mode, SpecError, SweepSpec};
-pub use store::{decode_entry, encode_entry, fnv1a64, EntryKind, Store, StoreError, HEADER_LEN};
-pub use sweep::{run_sweep, CellResult, SweepOptions, SweepOutcome, SweepStats, SIM_REV};
+pub use store::{
+    decode_entry, encode_entry, fnv1a64, EntryKind, Store, StoreError, DEFAULT_QUARANTINE_KEEP,
+    HEADER_LEN,
+};
+pub use sweep::{
+    run_sweep, CellResult, SweepOptions, SweepOutcome, SweepStats, SIM_REV, TIMEOUT_MESSAGE,
+};

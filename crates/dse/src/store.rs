@@ -252,7 +252,16 @@ pub struct StoreStats {
     pub corrupt: AtomicU64,
     /// Writes that failed (e.g. disk-full) and were skipped.
     pub put_errors: AtomicU64,
+    /// Writes skipped because another live process held the object lock
+    /// (it commits the identical content-addressed bytes).
+    pub lock_waits: AtomicU64,
 }
+
+/// How many quarantined entries are retained (newest first) before the
+/// oldest are removed, absent an explicit override. Quarantine exists for
+/// post-mortem inspection, not as an archive: without a cap, a store under
+/// repeated corruption (e.g. a flaky disk) grows it forever.
+pub const DEFAULT_QUARANTINE_KEEP: usize = 8;
 
 /// A content-addressed store rooted at one directory. Safe to share across
 /// worker threads (`&Store: Sync`); all mutation is via the filesystem and
@@ -260,6 +269,7 @@ pub struct StoreStats {
 pub struct Store {
     root: PathBuf,
     tmp_seq: AtomicU64,
+    quarantine_keep: usize,
     /// Traffic counters for this handle's lifetime.
     pub stats: StoreStats,
 }
@@ -271,9 +281,14 @@ impl Store {
         for sub in ["objects", "tmp", "quarantine", "journal"] {
             fs::create_dir_all(root.join(sub))?;
         }
+        let quarantine_keep = std::env::var("RENO_DSE_QUARANTINE_KEEP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_QUARANTINE_KEEP);
         Ok(Store {
             root,
             tmp_seq: AtomicU64::new(0),
+            quarantine_keep,
             stats: StoreStats::default(),
         })
     }
@@ -288,12 +303,45 @@ impl Store {
         self.root.join("journal")
     }
 
-    fn object_path(&self, key: u64) -> PathBuf {
+    /// How many quarantined entries this handle retains (newest first).
+    pub fn quarantine_keep(&self) -> usize {
+        self.quarantine_keep
+    }
+
+    /// Overrides the quarantine retention count (CLI flag hook).
+    pub fn set_quarantine_keep(&mut self, keep: usize) {
+        self.quarantine_keep = keep;
+    }
+
+    pub(crate) fn object_path(&self, key: u64) -> PathBuf {
         let hex = format!("{key:016x}");
         self.root
             .join("objects")
             .join(&hex[..2])
             .join(format!("{hex}.bin"))
+    }
+
+    /// Total committed bytes under `objects/` (`.bin` files only; lock
+    /// files, tombstones and tmp wreckage are excluded). This is the
+    /// number the GC budget is measured against.
+    pub fn objects_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        let Ok(shards) = fs::read_dir(self.root.join("objects")) else {
+            return 0;
+        };
+        for shard in shards.flatten() {
+            let Ok(entries) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                if entry.path().extension().is_some_and(|e| e == "bin") {
+                    if let Ok(m) = entry.metadata() {
+                        total += m.len();
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// Fetches and validates the entry for `key`. Any validation failure is
@@ -319,6 +367,13 @@ impl Store {
         match decode_entry(&bytes, kind, key) {
             Ok(payload) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                // Atime-style last-use stamp for the GC's LRU ordering:
+                // bump the file mtime on every validated hit. Best-effort —
+                // a read-only filesystem just degrades LRU to
+                // least-recently-written.
+                if let Ok(f) = File::open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
                 Some(payload)
             }
             Err(e) => {
@@ -330,26 +385,49 @@ impl Store {
         }
     }
 
-    /// Records `payload` under `key` atomically (tmp write + rename). A
-    /// failed write is logged and skipped — the sweep continues cache-less.
-    pub fn put(&self, kind: EntryKind, key: u64, payload: &[u8]) {
-        if let Err(e) = self.try_put(kind, key, payload) {
-            self.stats.put_errors.fetch_add(1, Ordering::Relaxed);
-            eprintln!("dse-store: write for key {key:016x} failed ({e}); continuing uncached");
+    /// Records `payload` under `key` atomically (tmp write + rename),
+    /// under the key's advisory object lock. Returns true iff the entry
+    /// was durably committed **by this call**: a failed write (e.g.
+    /// disk-full) is logged and skipped, and a lock held by another live
+    /// writer skips the write too (the holder commits the identical
+    /// content-addressed bytes). Callers journaling a `done` record must
+    /// only do so on `true` — a resumed run must never trust a `done`
+    /// whose object never landed.
+    pub fn put(&self, kind: EntryKind, key: u64, payload: &[u8]) -> bool {
+        match self.try_put(kind, key, payload) {
+            Ok(committed) => committed,
+            Err(e) => {
+                self.stats.put_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("dse-store: write for key {key:016x} failed ({e}); continuing uncached");
+                false
+            }
         }
     }
 
-    fn try_put(&self, kind: EntryKind, key: u64, payload: &[u8]) -> io::Result<()> {
+    fn try_put(&self, kind: EntryKind, key: u64, payload: &[u8]) -> io::Result<bool> {
         let frame = encode_entry(kind, key, payload);
+        let final_path = self.object_path(key);
+        if let Some(parent) = final_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Advisory per-object lock: serializes duplicate computes of one
+        // key across processes. Lock failure falls back to the plain
+        // atomic write — tmp+rename is safe without it, the lock only
+        // avoids wasted duplicate IO.
+        let lock_path = final_path.with_extension("lock");
+        let _lock = match crate::lock::try_object_lock(&lock_path) {
+            Ok(crate::lock::ObjectLock::Acquired(guard)) => Some(guard),
+            Ok(crate::lock::ObjectLock::Held) => {
+                self.stats.lock_waits.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
+            Err(_) => None,
+        };
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .root
             .join("tmp")
             .join(format!("{key:016x}.{}.{seq}.tmp", std::process::id()));
-        let final_path = self.object_path(key);
-        if let Some(parent) = final_path.parent() {
-            fs::create_dir_all(parent)?;
-        }
         let mut f = File::create(&tmp)?;
         let r = write_all_with_failpoint(&mut f, &frame)
             .and_then(|_| f.sync_all())
@@ -357,10 +435,11 @@ impl Store {
         if r.is_err() {
             let _ = fs::remove_file(&tmp);
         }
-        r
+        r.map(|_| true)
     }
 
-    /// Moves a failed-validation entry aside for inspection.
+    /// Moves a failed-validation entry aside for inspection, then prunes
+    /// the quarantine directory down to the retention count.
     fn quarantine(&self, path: &Path, err: &StoreError) {
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let name = path
@@ -384,12 +463,43 @@ impl Store {
                 );
             }
         }
+        let _ = prune_quarantine(&self.root.join("quarantine"), self.quarantine_keep);
     }
 
     /// Appends a journal line honoring the failpoint (see `journal`).
     pub(crate) fn journal_write(file: &mut File, line: &[u8]) -> io::Result<()> {
         write_all_with_failpoint(file, line)
     }
+}
+
+/// Removes all but the `keep` newest entries (by mtime, name tie-break) of
+/// a quarantine directory. Returns how many were removed. Shared by the
+/// store's inline pruning and the GC sweep.
+pub(crate) fn prune_quarantine(dir: &Path, keep: usize) -> io::Result<u64> {
+    let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)?.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        entries.push((mtime, path));
+    }
+    if entries.len() <= keep {
+        return Ok(0);
+    }
+    // Newest first; remove the tail.
+    entries.sort_by(|a, b| b.cmp(a));
+    let mut removed = 0u64;
+    for (_, path) in entries.drain(keep..) {
+        if fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -467,6 +577,61 @@ mod tests {
         assert_eq!(fs::read_dir(dir.join("quarantine")).unwrap().count(), 1);
         store.put(EntryKind::Cell, 42, b"payload");
         assert_eq!(store.get(EntryKind::Cell, 42).unwrap(), b"payload");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_is_bounded_under_repeated_corruption() {
+        let dir = std::env::temp_dir().join(format!("reno-dse-store-qcap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).unwrap();
+        store.set_quarantine_keep(4);
+
+        // Corrupt the same key far more times than the retention count:
+        // every event quarantines + recomputes, but the directory stays
+        // capped at `keep`.
+        for round in 0..25u64 {
+            store.put(EntryKind::Cell, 7, b"payload");
+            let path = store.object_path(7);
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+            assert_eq!(store.get(EntryKind::Cell, 7), None, "round {round}");
+            assert!(
+                fs::read_dir(dir.join("quarantine")).unwrap().count() <= 4,
+                "round {round}: quarantine exceeded retention"
+            );
+        }
+        assert_eq!(store.stats.corrupt.load(Ordering::Relaxed), 25);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_reports_commitment_and_objects_bytes_counts_bins_only() {
+        let dir = std::env::temp_dir().join(format!("reno-dse-store-bytes-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.objects_bytes(), 0);
+        assert!(store.put(EntryKind::Cell, 1, b"abc"));
+        assert!(store.put(EntryKind::Pass, 2, b"defg"));
+        let expect = (HEADER_LEN + 3 + HEADER_LEN + 4) as u64;
+        assert_eq!(store.objects_bytes(), expect);
+
+        // A held object lock (live pid) turns put into a skip.
+        let lock_path = store.object_path(3).with_extension("lock");
+        fs::create_dir_all(lock_path.parent().unwrap()).unwrap();
+        let body = format!("lock {} {}", std::process::id(), 0);
+        fs::write(
+            &lock_path,
+            format!("{body} {:016x}\n", fnv1a64(body.as_bytes())),
+        )
+        .unwrap();
+        assert!(!store.put(EntryKind::Cell, 3, b"xyz"));
+        assert_eq!(store.stats.lock_waits.load(Ordering::Relaxed), 1);
+        assert_eq!(store.get(EntryKind::Cell, 3), None);
 
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,35 +1,57 @@
 //! The sweep driver: plans the cell grid, resumes from the journal, reuses
-//! checkpoint passes across configs, fans cells over `reno-par` with panic
-//! isolation, and renders a deterministic report.
+//! checkpoint passes across configs, fans cells over `reno-par` under a
+//! watchdog deadline with panic isolation, and renders a deterministic
+//! report.
 //!
 //! ## Determinism contract
 //!
 //! The returned report is **byte-identical** across: cold runs, fully-cached
-//! re-runs, resumed runs after a kill at any point, any `RENO_THREADS`, and
-//! runs whose store entries were corrupted (they are quarantined and
-//! recomputed). Everything observable in the report derives from cell
-//! *content* in plan order; cache hit/miss traffic, timings and store
-//! diagnostics go to stderr and [`SweepStats`] only.
+//! re-runs, resumed runs after a kill at any point, any `RENO_THREADS`, runs
+//! whose store entries were corrupted (they are quarantined and recomputed),
+//! concurrent runs sharing one store, and lease-degraded read-only runs.
+//! Everything observable in the report derives from cell *content* in plan
+//! order; cache hit/miss traffic, timings and store diagnostics go to stderr
+//! and [`SweepStats`] only.
 //!
 //! ## Failure handling
 //!
-//! A panicking cell is caught by [`reno_par::try_par_map`], retried once,
-//! and — if it panics again — recorded in the journal and reported in the
-//! `failed cells` section while every other cell completes. A cell that
-//! failed in a *previous* (killed) run stays failed with its recorded
-//! message, without re-running, so the resumed report matches the
-//! uninterrupted one.
+//! A panicking cell is caught by [`reno_par::try_par_map_deadline`], retried
+//! once, and — if it panics again — recorded in the journal and reported in
+//! the `failed cells` section while every other cell completes. A cell that
+//! exceeds its watchdog deadline (fuel-derived, see [`SweepOptions`] and the
+//! `RENO_DSE_CELL_DEADLINE_MS` / `RENO_DSE_DEADLINE_MULT` env knobs) is
+//! abandoned on a detached thread and treated the same way: one retry, then
+//! a journaled `timeout` record and a deterministic failure line — sweeps
+//! always terminate. A cell that failed or timed out in a *previous*
+//! (killed) run stays failed with its recorded outcome, without re-running,
+//! so the resumed report matches the uninterrupted one.
+//!
+//! ## Concurrency
+//!
+//! The journal is opened under its heartbeat lease
+//! ([`Journal::open_leased`]); when a live owner holds it past the wait
+//! budget this run degrades to **read-only**: no journal appends, no store
+//! writes, every uncovered cell computed in memory — and the identical
+//! report. Store writes go through per-object advisory locks, so two
+//! processes racing the same cell do duplicate-compute-last-write-wins
+//! safely. Results are committed from the **caller's** thread as each cell
+//! finishes (via the pool's `on_result` hook), which is what makes the
+//! timeout path race-free: a `done` record can only be written for a cell
+//! the pool did not abandon.
 
 use crate::journal::{Journal, JournalEvent};
+use crate::lock::LeaseConfig;
 use crate::spec::{Mode, SweepSpec};
 use crate::store::{fnv1a64, EntryKind, Store, StoreError};
-use reno_par::try_par_map;
+use reno_par::{try_par_map_deadline, CancelToken, JobError};
 use reno_sample::{run_sampled_with_pass, CheckpointPass, SampleConfig};
 use reno_sim::{MachineConfig, Simulator};
 use reno_workloads::{all_workloads, Workload};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifies the simulator revision in every cache key: bump whenever a
 /// change alters simulated timing or architectural results, so stale store
@@ -38,6 +60,12 @@ pub const SIM_REV: &str = concat!("reno-sim-", env!("CARGO_PKG_VERSION"), "+dse1
 
 /// Cycle cap per detailed simulation (safety net, same as `reno-bench`).
 const MAX_CYCLES: u64 = 1 << 28;
+
+/// The deterministic failure message for a cell that exceeded its watchdog
+/// deadline on both attempts. Deliberately carries no timing numbers: the
+/// report must be byte-identical between the run that timed out and the
+/// resumed run that replays the journaled `timeout` record.
+pub const TIMEOUT_MESSAGE: &str = "exceeded cell deadline (watchdog timeout)";
 
 /// The numeric result of one cell, as cached and reported.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,8 +120,8 @@ impl CellResult {
     }
 }
 
-/// Test hooks for fault injection. Cells are addressed as
-/// `"<workload>/<config-label>"`.
+/// Test hooks for fault injection plus tuning overrides. Cells are
+/// addressed as `"<workload>/<config-label>"`.
 #[derive(Clone, Debug, Default)]
 pub struct SweepOptions {
     /// Cells that panic on **every** attempt (exercises retry-then-
@@ -102,6 +130,20 @@ pub struct SweepOptions {
     /// Cells that panic on the **first** attempt only (exercises
     /// retry-succeeds).
     pub panic_first_attempt: Vec<String>,
+    /// Cells that wedge (spin until cancelled) on **every** attempt
+    /// (exercises watchdog-timeout-then-journal).
+    pub stall_always: Vec<String>,
+    /// Cells that wedge on the **first** attempt only (exercises
+    /// timeout-retry-succeeds).
+    pub stall_first_attempt: Vec<String>,
+    /// Per-cell watchdog deadline override in milliseconds. `None` uses
+    /// `RENO_DSE_CELL_DEADLINE_MS`, else the fuel-derived default scaled
+    /// by `RENO_DSE_DEADLINE_MULT`.
+    pub deadline_ms: Option<u64>,
+    /// Journal lease tuning override. `None` reads the environment
+    /// ([`LeaseConfig::from_env`]); in-process tests inject directly
+    /// because env mutation races under the threaded test runner.
+    pub lease: Option<LeaseConfig>,
 }
 
 /// Counters describing what one `run_sweep` call actually did. Never part
@@ -122,6 +164,22 @@ pub struct SweepStats {
     pub passes_cached: u64,
     /// Store validation failures observed (entries quarantined).
     pub store_corrupt: u64,
+    /// Lock contention events: lease-acquisition backoff sleeps plus
+    /// object writes skipped because another live process held the lock.
+    pub lock_waits: u64,
+    /// 1 when this run broke a stale (crashed/expired-owner) lease to
+    /// take over its journal.
+    pub lease_takeovers: u64,
+    /// Cell attempts abandoned by the watchdog in this call.
+    pub timeouts: u64,
+    /// Objects evicted by GC in this invocation (filled by the `dse`
+    /// binary when `--store-budget` triggers a sweep-side GC; 0 from
+    /// `run_sweep` itself).
+    pub gc_evicted_objects: u64,
+    /// Bytes reclaimed by that GC.
+    pub gc_reclaimed_bytes: u64,
+    /// Committed bytes under `objects/` when this invocation finished.
+    pub store_bytes: u64,
 }
 
 impl SweepStats {
@@ -132,15 +190,23 @@ impl SweepStats {
     /// without scraping stderr.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema\":\"reno-dse-stats-v1\",\"cells\":{},\"computed\":{},\"cached\":{},\
-             \"failed\":{},\"passes_computed\":{},\"passes_cached\":{},\"store_corrupt\":{}}}\n",
+            "{{\"schema\":\"reno-dse-stats-v2\",\"cells\":{},\"computed\":{},\"cached\":{},\
+             \"failed\":{},\"passes_computed\":{},\"passes_cached\":{},\"store_corrupt\":{},\
+             \"lock_waits\":{},\"lease_takeovers\":{},\"timeouts\":{},\
+             \"gc_evicted_objects\":{},\"gc_reclaimed_bytes\":{},\"store_bytes\":{}}}\n",
             self.cells,
             self.computed,
             self.cached,
             self.failed,
             self.passes_computed,
             self.passes_cached,
-            self.store_corrupt
+            self.store_corrupt,
+            self.lock_waits,
+            self.lease_takeovers,
+            self.timeouts,
+            self.gc_evicted_objects,
+            self.gc_reclaimed_bytes,
+            self.store_bytes
         )
     }
 }
@@ -155,12 +221,25 @@ pub struct SweepOutcome {
 }
 
 struct Cell<'a> {
-    workload: &'a Workload,
     wl_idx: usize,
     cfg: &'a MachineConfig,
     key: u64,
     /// `"<workload>/<label>"`, for fault injection and failure reports.
     id: String,
+}
+
+/// The owned, `'static` unit of work the watchdog pool fans out. Everything
+/// a cell needs travels with it (Arc-shared where heavy) because a
+/// timed-out job's thread may outlive the `run_sweep` call that spawned it.
+struct CellJob {
+    spec: Arc<SweepSpec>,
+    workload: Arc<Workload>,
+    cfg: MachineConfig,
+    sc: Option<SampleConfig>,
+    pass: Option<Arc<CheckpointPass>>,
+    id: String,
+    inject_panic: bool,
+    inject_stall: bool,
 }
 
 fn cell_key(spec: &SweepSpec, wl: &str, cfg: &MachineConfig) -> u64 {
@@ -196,18 +275,40 @@ fn sample_config(mode: &Mode) -> Option<SampleConfig> {
     }
 }
 
+/// The per-cell watchdog deadline: explicit override, env override, or the
+/// fuel-derived default (full mode budgets generously against the slowest
+/// plausible host; sampled mode has no fuel, so a flat generous cap) scaled
+/// by `RENO_DSE_DEADLINE_MULT`.
+fn cell_deadline(spec: &SweepSpec, opts: &SweepOptions) -> Duration {
+    if let Some(ms) = opts.deadline_ms {
+        return Duration::from_millis(ms);
+    }
+    if let Some(ms) = std::env::var("RENO_DSE_CELL_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return Duration::from_millis(ms);
+    }
+    let mult = std::env::var("RENO_DSE_DEADLINE_MULT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|m| m.is_finite() && *m >= 0.001)
+        .unwrap_or(1.0);
+    let base_secs = match &spec.mode {
+        // Assume a pathologically slow host still retires 100k inst/s of
+        // detailed simulation; floor of 30s for tiny fuels.
+        Mode::Full => (spec.fuel / 100_000).max(30),
+        Mode::Sampled { .. } => 600,
+    };
+    Duration::from_secs_f64(base_secs as f64 * mult)
+}
+
 /// Computes one cell (no caching, no catching) — the unit of work the pool
 /// fans out. Sampled cells take the shared pass for their workload.
-fn simulate_cell(
-    spec: &SweepSpec,
-    cell: &Cell<'_>,
-    sc: Option<&SampleConfig>,
-    pass: Option<&CheckpointPass>,
-) -> CellResult {
-    match (sc, pass) {
+fn simulate_cell(job: &CellJob) -> CellResult {
+    match (&job.sc, &job.pass) {
         (Some(sc), Some(pass)) => {
-            let r = match run_sampled_with_pass(&cell.workload.program, cell.cfg.clone(), sc, pass)
-            {
+            let r = match run_sampled_with_pass(&job.workload.program, job.cfg.clone(), sc, pass) {
                 Ok(r) => r,
                 Err(e) => {
                     // A mismatched pass should be impossible (the key pins
@@ -216,10 +317,10 @@ fn simulate_cell(
                     // speed.
                     eprintln!(
                         "dse: pass for {} rejected ({e}); recomputing inline",
-                        cell.id
+                        job.id
                     );
-                    let own = CheckpointPass::compute(&cell.workload.program, sc);
-                    run_sampled_with_pass(&cell.workload.program, cell.cfg.clone(), sc, &own)
+                    let own = CheckpointPass::compute(&job.workload.program, sc);
+                    run_sampled_with_pass(&job.workload.program, job.cfg.clone(), sc, &own)
                         .expect("a freshly-computed pass fits its own shape")
                 }
             };
@@ -231,7 +332,7 @@ fn simulate_cell(
             }
         }
         _ => {
-            let r = Simulator::with_fuel(&cell.workload.program, cell.cfg.clone(), spec.fuel)
+            let r = Simulator::with_fuel(&job.workload.program, job.cfg.clone(), job.spec.fuel)
                 .run(MAX_CYCLES);
             CellResult {
                 cycles: r.cycles,
@@ -244,11 +345,13 @@ fn simulate_cell(
 }
 
 /// Loads the per-workload checkpoint passes (sampled mode), store-first.
+/// `persist: false` (read-only mode) skips the write-back.
 fn load_passes(
     spec: &SweepSpec,
     sc: &SampleConfig,
     workloads: &[&Workload],
     store: &Store,
+    persist: bool,
     stats_computed: &AtomicU64,
     stats_cached: &AtomicU64,
 ) -> Vec<CheckpointPass> {
@@ -272,7 +375,7 @@ fn load_passes(
             }
         }
         let pass = CheckpointPass::compute(&wl.program, sc);
-        if pass.error.is_none() {
+        if persist && pass.error.is_none() {
             store.put(EntryKind::Pass, key, &pass.to_bytes());
         }
         stats_computed.fetch_add(1, Ordering::Relaxed);
@@ -280,15 +383,42 @@ fn load_passes(
     })
 }
 
+/// Spin-waits until the watchdog cancels the job (fault injection for the
+/// timeout path). The wall-clock cap turns a broken watchdog into a slow
+/// test failure instead of a hung sweep.
+fn stall(ctx: &CancelToken) {
+    let t0 = std::time::Instant::now();
+    while !ctx.cancelled() && t0.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// Runs (or resumes) the sweep described by `spec` against `store`.
 ///
 /// See the module docs for the determinism and failure-handling contracts.
 pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Result<SweepOutcome> {
     let sweep_hash = fnv1a64(spec.canonical().as_bytes());
-    let (journal, replayed) = Journal::open(store, sweep_hash)?;
+    let lease_cfg = opts.lease.clone().unwrap_or_else(LeaseConfig::from_env);
+    let opened = Journal::open_leased(store, sweep_hash, &lease_cfg)?;
+    let journal: Option<Journal> = opened.journal;
+    let read_only = journal.is_none();
+    if read_only {
+        eprintln!(
+            "dse: sweep {sweep_hash:016x} lease is held by a live process; \
+             degrading to read-only (no store writes, no resume records)"
+        );
+    }
     let mut journaled: HashMap<u64, JournalEvent> = HashMap::new();
-    for ev in replayed {
-        journaled.insert(ev.key(), ev); // later records win
+    let mut journaled_passes: HashSet<u64> = HashSet::new();
+    for ev in opened.events {
+        match ev {
+            JournalEvent::PassUsed { key } => {
+                journaled_passes.insert(key);
+            }
+            ev => {
+                journaled.insert(ev.key(), ev); // later records win
+            }
+        }
     }
 
     let workloads = all_workloads(spec.scale);
@@ -308,7 +438,6 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
         .enumerate()
         .flat_map(|(wl_idx, wl)| {
             spec.configs.iter().map(move |(label, cfg)| Cell {
-                workload: wl,
                 wl_idx,
                 cfg,
                 key: cell_key(spec, wl.name, cfg),
@@ -317,21 +446,24 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
         })
         .collect();
 
-    let computed = AtomicU64::new(0);
     let passes_computed = AtomicU64::new(0);
     let passes_cached = AtomicU64::new(0);
     let sc = sample_config(&spec.mode);
 
-    // Resolve each cell: journaled failure, cached result, or to-run.
+    // Resolve each cell: journaled outcome, cached result, or to-run.
     // `done` journal records whose store entry has gone missing or corrupt
     // fall through to recompute — the journal is an index, the store's
-    // validation is the authority.
+    // validation is the authority. `fail`/`timeout` records stick: the
+    // resumed report must match the uninterrupted one.
     let mut cached = 0u64;
     let mut outcomes: Vec<Option<Result<CellResult, String>>> = Vec::with_capacity(cells.len());
     for cell in &cells {
         match journaled.get(&cell.key) {
             Some(JournalEvent::Fail { message, .. }) => {
                 outcomes.push(Some(Err(message.clone())));
+            }
+            Some(JournalEvent::Timeout { .. }) => {
+                outcomes.push(Some(Err(TIMEOUT_MESSAGE.to_string())));
             }
             _ => match store.get(EntryKind::Cell, cell.key) {
                 Some(bytes) => match CellResult::from_bytes(&bytes) {
@@ -355,65 +487,128 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
     // Sampled mode: one functional checkpointing pass per workload, shared
     // by every config's cell (the pass is machine-config-independent).
     // Only loaded when something actually needs simulating — a fully
-    // cached re-run touches no pass at all.
+    // cached re-run touches no pass at all. Each pass key is journaled as
+    // a `pass` record so GC knows a resumable sweep still needs it.
     let any_pending = outcomes.iter().any(|o| o.is_none());
     let passes: Vec<CheckpointPass> = match &sc {
         Some(sc) if any_pending => {
-            load_passes(spec, sc, &selected, store, &passes_computed, &passes_cached)
+            let passes = load_passes(
+                spec,
+                sc,
+                &selected,
+                store,
+                !read_only,
+                &passes_computed,
+                &passes_cached,
+            );
+            if let Some(j) = &journal {
+                for wl in &selected {
+                    let key = pass_key(spec, wl.name, sc);
+                    if journaled_passes.insert(key) {
+                        let _ = j.append(&JournalEvent::PassUsed { key }).map_err(|e| {
+                            eprintln!("dse: journal append failed ({e}); GC may evict this pass")
+                        });
+                    }
+                }
+            }
+            passes
         }
         _ => Vec::new(),
     };
 
-    // First attempt: fan the pending cells out with per-job panic capture.
-    // Workers commit store entry + journal record as soon as their cell
-    // finishes, so a kill mid-sweep loses at most in-flight cells.
-    let run_one = |cell: &Cell<'_>, attempt: u32| -> CellResult {
-        if opts.panic_always.iter().any(|c| *c == cell.id)
-            || (attempt == 1 && opts.panic_first_attempt.iter().any(|c| *c == cell.id))
-        {
-            panic!("injected panic in cell {}", cell.id);
-        }
-        let pass = sc.as_ref().map(|_| &passes[cell.wl_idx]);
-        simulate_cell(spec, cell, sc.as_ref(), pass)
+    // Owned job state for the watchdog pool: a timed-out job's thread may
+    // outlive this call, so everything it touches is Arc-shared or cloned.
+    let spec_arc = Arc::new(spec.clone());
+    let wl_arcs: Vec<Arc<Workload>> = selected.iter().map(|w| Arc::new((*w).clone())).collect();
+    let pass_arcs: Vec<Option<Arc<CheckpointPass>>> = if passes.is_empty() {
+        vec![None; selected.len()]
+    } else {
+        passes.into_iter().map(|p| Some(Arc::new(p))).collect()
     };
-    let commit_ok = |cell: &Cell<'_>, r: &CellResult| {
-        store.put(EntryKind::Cell, cell.key, &r.to_bytes());
-        let _ = journal
-            .append(&JournalEvent::Done { key: cell.key })
-            .map_err(|e| eprintln!("dse: journal append failed ({e}); resume will recompute"));
+    let deadline = cell_deadline(spec, opts);
+    let make_job = |i: usize, attempt: u32| -> CellJob {
+        let cell = &cells[i];
+        let first = attempt == 1;
+        CellJob {
+            spec: Arc::clone(&spec_arc),
+            workload: Arc::clone(&wl_arcs[cell.wl_idx]),
+            cfg: cell.cfg.clone(),
+            sc: sc.clone(),
+            pass: pass_arcs[cell.wl_idx].clone(),
+            id: cell.id.clone(),
+            inject_panic: opts.panic_always.iter().any(|c| *c == cell.id)
+                || (first && opts.panic_first_attempt.iter().any(|c| *c == cell.id)),
+            inject_stall: opts.stall_always.iter().any(|c| *c == cell.id)
+                || (first && opts.stall_first_attempt.iter().any(|c| *c == cell.id)),
+        }
+    };
+    let job_fn = |job: CellJob, ctx: &CancelToken| -> CellResult {
+        if job.inject_panic {
+            panic!("injected panic in cell {}", job.id);
+        }
+        if job.inject_stall {
+            stall(ctx);
+        }
+        simulate_cell(&job)
+    };
+
+    let mut computed = 0u64;
+    let mut timeouts = 0u64;
+
+    // One watchdog round over the cells at `idxs`. Commits happen in the
+    // `on_result` hook — i.e. on THIS thread, only for cells the pool did
+    // not abandon — so a timed-out cell can never race a `done` record
+    // against its own `timeout` record. A put that didn't commit (lock
+    // held by a live peer, or write error) journals nothing: resume
+    // recomputes, which is always safe.
+    let mut run_round = |idxs: &[usize], attempt: u32| -> Vec<Result<CellResult, JobError>> {
+        let jobs: Vec<CellJob> = idxs.iter().map(|&i| make_job(i, attempt)).collect();
+        try_par_map_deadline(jobs, Some(deadline), job_fn, |k, res| match res {
+            Ok(r) => {
+                computed += 1;
+                if let Some(j) = &journal {
+                    let key = cells[idxs[k]].key;
+                    if store.put(EntryKind::Cell, key, &r.to_bytes()) {
+                        let _ = j.append(&JournalEvent::Done { key }).map_err(|e| {
+                            eprintln!("dse: journal append failed ({e}); resume will recompute")
+                        });
+                    }
+                }
+            }
+            Err(JobError::Timeout { .. }) => timeouts += 1,
+            Err(JobError::Panic(_)) => {}
+        })
     };
 
     let pending: Vec<usize> = (0..cells.len())
         .filter(|&i| outcomes[i].is_none())
         .collect();
-    let first: Vec<Result<CellResult, reno_par::JobPanic>> = try_par_map(&pending, |&i| {
-        let r = run_one(&cells[i], 1);
-        commit_ok(&cells[i], &r);
-        computed.fetch_add(1, Ordering::Relaxed);
-        r
-    });
+    let first = run_round(&pending, 1);
 
-    // Retry pass: each first-attempt panic gets exactly one more try; a
-    // second panic quarantines the cell into the failed section.
-    let panicked: Vec<usize> = pending
+    // Retry pass: each first-attempt panic or timeout gets exactly one
+    // more try; a second failure quarantines the cell into the failed
+    // section.
+    let failed_first: Vec<usize> = pending
         .iter()
         .zip(&first)
         .filter_map(|(&i, r)| r.is_err().then_some(i))
         .collect();
-    let second: Vec<Result<CellResult, reno_par::JobPanic>> = try_par_map(&panicked, |&i| {
-        let r = run_one(&cells[i], 2);
-        commit_ok(&cells[i], &r);
-        computed.fetch_add(1, Ordering::Relaxed);
-        r
-    });
-    for (&i, r) in panicked.iter().zip(&second) {
-        if let Err(p) = r {
-            let _ = journal
-                .append(&JournalEvent::Fail {
+    let second = run_round(&failed_first, 2);
+    if let Some(j) = &journal {
+        for (&i, r) in failed_first.iter().zip(&second) {
+            let record = match r {
+                Ok(_) => None,
+                Err(JobError::Panic(p)) => Some(JournalEvent::Fail {
                     key: cells[i].key,
                     message: p.message.clone(),
-                })
-                .map_err(|e| eprintln!("dse: journal append failed ({e})"));
+                }),
+                Err(JobError::Timeout { .. }) => Some(JournalEvent::Timeout { key: cells[i].key }),
+            };
+            if let Some(record) = record {
+                let _ = j
+                    .append(&record)
+                    .map_err(|e| eprintln!("dse: journal append failed ({e})"));
+            }
         }
     }
 
@@ -423,10 +618,11 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
             outcomes[i] = Some(Ok(*v));
         }
     }
-    for (&i, r) in panicked.iter().zip(&second) {
+    for (&i, r) in failed_first.iter().zip(&second) {
         outcomes[i] = Some(match r {
             Ok(v) => Ok(*v),
-            Err(p) => Err(p.message.clone()),
+            Err(JobError::Panic(p)) => Err(p.message.clone()),
+            Err(JobError::Timeout { .. }) => Err(TIMEOUT_MESSAGE.to_string()),
         });
     }
 
@@ -442,12 +638,18 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
         report,
         stats: SweepStats {
             cells: cells.len() as u64,
-            computed: computed.load(Ordering::Relaxed),
+            computed,
             cached,
             failed,
             passes_computed: passes_computed.load(Ordering::Relaxed),
             passes_cached: passes_cached.load(Ordering::Relaxed),
             store_corrupt: store.stats.corrupt.load(Ordering::Relaxed),
+            lock_waits: opened.lock_waits + store.stats.lock_waits.load(Ordering::Relaxed),
+            lease_takeovers: u64::from(opened.lease_takeover),
+            timeouts,
+            gc_evicted_objects: 0,
+            gc_reclaimed_bytes: 0,
+            store_bytes: store.objects_bytes(),
         },
     })
 }
@@ -469,11 +671,17 @@ mod tests {
             passes_computed: 2,
             passes_cached: 4,
             store_corrupt: 5,
+            lock_waits: 6,
+            lease_takeovers: 1,
+            timeouts: 7,
+            gc_evicted_objects: 8,
+            gc_reclaimed_bytes: 4096,
+            store_bytes: 65536,
         };
         let json = s.to_json();
         assert!(json.ends_with('\n'), "one newline-terminated line");
         reno_trace::validate_json(json.trim_end()).expect("valid JSON");
-        assert!(json.starts_with("{\"schema\":\"reno-dse-stats-v1\","));
+        assert!(json.starts_with("{\"schema\":\"reno-dse-stats-v2\","));
         for (key, value) in [
             ("cells", 12u64),
             ("computed", 3),
@@ -482,6 +690,12 @@ mod tests {
             ("passes_computed", 2),
             ("passes_cached", 4),
             ("store_corrupt", 5),
+            ("lock_waits", 6),
+            ("lease_takeovers", 1),
+            ("timeouts", 7),
+            ("gc_evicted_objects", 8),
+            ("gc_reclaimed_bytes", 4096),
+            ("store_bytes", 65536),
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":{value}")),

@@ -1,9 +1,10 @@
 //! End-to-end fault-tolerance tests for the DSE service: cache-identical
-//! re-runs, hand-corrupted store entries, panicking cells, and — through
-//! the `dse` binary — process kills at every IO point with byte-identical
-//! resumed reports.
+//! re-runs, hand-corrupted store entries, panicking cells, wedged cells
+//! (watchdog timeouts), and — through the `dse` binary — process kills at
+//! every IO point (journal, store, lease, object-lock and GC writes) with
+//! byte-identical resumed reports and no live object lost.
 
-use reno_dse::{parse_spec, run_sweep, Store, SweepOptions, SweepSpec};
+use reno_dse::{parse_spec, run_sweep, Store, SweepOptions, SweepSpec, TIMEOUT_MESSAGE};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -200,6 +201,63 @@ fn sampled_mode_reuses_one_pass_across_configs_and_runs() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn wedged_cell_times_out_is_retried_and_reported_failed() {
+    let dir = tmp_dir("wedge");
+    let store = Store::open(&dir).unwrap();
+    let opts = SweepOptions {
+        stall_always: vec!["gzip.c/RENO".into()],
+        deadline_ms: Some(150),
+        ..SweepOptions::default()
+    };
+    let out = run_sweep(&spec(), &store, &opts).unwrap();
+    assert_eq!(out.stats.failed, 1);
+    assert_eq!(out.stats.computed, 3, "the other three cells completed");
+    assert_eq!(
+        out.stats.timeouts, 2,
+        "first attempt + one retry both expired"
+    );
+    assert!(
+        out.report
+            .contains(&format!("gzip.c/RENO: {TIMEOUT_MESSAGE}")),
+        "failed-cells section names the timeout:\n{}",
+        out.report
+    );
+
+    // Resume without the stall: the journaled timeout is preserved (not
+    // silently re-run), so the report is byte-identical.
+    let store = Store::open(&dir).unwrap();
+    let resumed = run_sweep(&spec(), &store, &SweepOptions::default()).unwrap();
+    assert_eq!(resumed.stats.computed, 0);
+    assert_eq!(resumed.stats.failed, 1);
+    assert_eq!(resumed.stats.timeouts, 0);
+    assert_eq!(out.report, resumed.report);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn first_attempt_stall_is_rescued_by_retry() {
+    let dir = tmp_dir("wedge-retry");
+    let store = Store::open(&dir).unwrap();
+    let opts = SweepOptions {
+        stall_first_attempt: vec!["mcf/BASE".into()],
+        deadline_ms: Some(150),
+        ..SweepOptions::default()
+    };
+    let out = run_sweep(&spec(), &store, &opts).unwrap();
+    assert_eq!(out.stats.failed, 0, "retry rescued the wedged cell");
+    assert_eq!(out.stats.computed, 4);
+    assert_eq!(out.stats.timeouts, 1);
+
+    // The report matches a run that never stalled at all.
+    let clean_dir = tmp_dir("wedge-retry-clean");
+    let clean_store = Store::open(&clean_dir).unwrap();
+    let clean = run_sweep(&spec(), &clean_store, &SweepOptions::default()).unwrap();
+    assert_eq!(out.report, clean.report);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&clean_dir);
+}
+
 // ---------------------------------------------------------------- kill/resume
 
 /// Runs the `dse` binary against `store`, returning (exit-ok, stdout,
@@ -215,6 +273,26 @@ fn run_dse(spec_path: &Path, store: &Path, failpoint: Option<u64>) -> (bool, Str
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Runs `dse gc --store <store> --budget <budget>`, returning (exit-ok,
+/// stderr). `failpoint` arms `RENO_DSE_FAILPOINT=abort-at-io:<n>`.
+fn run_gc_bin(store: &Path, budget: u64, failpoint: Option<u64>) -> (bool, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dse"));
+    cmd.arg("gc")
+        .arg("--store")
+        .arg(store)
+        .arg("--budget")
+        .arg(budget.to_string());
+    cmd.env_remove("RENO_DSE_FAILPOINT");
+    if let Some(n) = failpoint {
+        cmd.env("RENO_DSE_FAILPOINT", format!("abort-at-io:{n}"));
+    }
+    let out = cmd.output().expect("dse binary runs");
+    (
+        out.status.success(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
 }
@@ -296,6 +374,114 @@ fn killed_mid_write_resumes_byte_identical_at_every_io_point() {
 
         n += 1;
         assert!(n < 64, "failpoint never exhausted — runaway IO count");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+const SPEC_B: &str = "\
+sweep crash-test-b
+scale tiny
+fuel 21000
+mode full
+workload gzip.c
+workload mcf
+config BASE four_wide baseline
+config RENO four_wide reno
+";
+
+fn count_bins(store: &Path) -> (usize, usize) {
+    let (mut bins, mut tombs) = (0, 0);
+    let Ok(shards) = fs::read_dir(store.join("objects")) else {
+        return (0, 0);
+    };
+    for shard in shards {
+        for obj in fs::read_dir(shard.unwrap().path()).unwrap() {
+            let path = obj.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.ends_with(".bin") {
+                bins += 1;
+            } else if name.ends_with(".tomb") {
+                tombs += 1;
+            }
+        }
+    }
+    (bins, tombs)
+}
+
+#[test]
+fn gc_killed_at_every_io_point_loses_no_live_object() {
+    let dir = tmp_dir("gc-kill");
+    fs::create_dir_all(&dir).unwrap();
+    let spec_a = dir.join("spec-a.txt");
+    let spec_b = dir.join("spec-b.txt");
+    fs::write(&spec_a, SPEC).unwrap();
+    fs::write(&spec_b, SPEC_B).unwrap();
+
+    // A store holds two sweeps; deleting sweep B's journal makes its four
+    // objects dead. Budget 0 asks GC to evict everything it can — which
+    // must be exactly the dead objects, never sweep A's.
+    // Journals are named `<sweep-hash:016x>.log`, so B's journal is the one
+    // that appears after running B on a store that already holds A's.
+    let setup = |store: &Path| {
+        let (ok, _, _) = run_dse(&spec_a, store, None);
+        assert!(ok);
+        let before: Vec<PathBuf> = fs::read_dir(store.join("journal"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        let (ok, _, _) = run_dse(&spec_b, store, None);
+        assert!(ok);
+        let mut removed = 0;
+        for e in fs::read_dir(store.join("journal")).unwrap() {
+            let path = e.unwrap().path();
+            if path.extension().is_some_and(|x| x == "log") && !before.contains(&path) {
+                fs::remove_file(&path).unwrap();
+                removed += 1;
+            }
+        }
+        assert_eq!(removed, 1, "exactly sweep B's journal deleted");
+    };
+
+    // Uninterrupted reference: report bytes for sweep A.
+    let ref_store = dir.join("store-ref");
+    let (ok, reference, _) = run_dse(&spec_a, &ref_store, None);
+    assert!(ok);
+
+    // Kill GC mid-way through its n-th IO write (eviction-intent and
+    // eviction-done journal appends), for every n until a pass survives.
+    let mut n = 1;
+    loop {
+        let store = dir.join(format!("store-gc-kill-{n}"));
+        setup(&store);
+        let (ok, _) = run_gc_bin(&store, 0, Some(n));
+        if ok {
+            assert!(n > 1, "the failpoint must actually fire at least once");
+            break;
+        }
+
+        // Recovery pass: finishes (or abandons) the interrupted eviction,
+        // leaves no tombstones, and must not have lost a live object.
+        let (ok, stderr) = run_gc_bin(&store, 0, None);
+        assert!(ok, "gc recovery after kill-at-io:{n} succeeds: {stderr}");
+        let (bins, tombs) = count_bins(&store);
+        assert_eq!(tombs, 0, "kill-at-io:{n}: no tombstones survive recovery");
+        assert_eq!(bins, 4, "kill-at-io:{n}: exactly sweep A's objects remain");
+
+        // Sweep A resumes fully cached and byte-identical.
+        let (ok, resumed, stderr) = run_dse(&spec_a, &store, None);
+        assert!(ok);
+        assert_eq!(
+            resumed, reference,
+            "report after kill-at-io:{n} GC is byte-identical"
+        );
+        assert_eq!(
+            stderr_stat(&stderr, "computed"),
+            0,
+            "kill-at-io:{n}: GC evicted no live object"
+        );
+
+        n += 1;
+        assert!(n < 32, "failpoint never exhausted — runaway GC IO count");
     }
     let _ = fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,207 @@
+//! Pinned corpus for the journal and lease parsers: one test per
+//! rejection/acceptance class the fuzzer explores, so any behavior drift
+//! fails loudly here with a named class instead of deep in a fuzz run.
+//!
+//! Contract under test: `replay_journal` replays the longest intact prefix
+//! and never resurrects anything after the first bad byte; `Lease::parse`
+//! accepts only byte-canonical renderings.
+
+use reno_dse::{header_line, replay_journal, sealed_line, ForeignSweep, JournalEvent, Lease};
+
+const SWEEP: u64 = 0x1234_5678_9abc_def0;
+
+fn corpus() -> (Vec<u8>, Vec<JournalEvent>) {
+    let events = vec![
+        JournalEvent::Done { key: 0x11 },
+        JournalEvent::Fail {
+            key: 0x22,
+            message: "panic: boom".into(),
+        },
+        JournalEvent::Timeout { key: 0x33 },
+        JournalEvent::PassUsed { key: 0x44 },
+        JournalEvent::Done { key: 0x55 },
+    ];
+    let mut bytes = header_line(SWEEP).into_bytes();
+    for ev in &events {
+        bytes.extend_from_slice(ev.to_line().as_bytes());
+    }
+    (bytes, events)
+}
+
+#[test]
+fn pristine_journal_replays_every_record_type_in_order() {
+    let (bytes, events) = corpus();
+    let r = replay_journal(&bytes, SWEEP).unwrap();
+    assert_eq!(r.events, events);
+    assert_eq!(r.intact_len, bytes.len(), "the whole file is intact");
+}
+
+#[test]
+fn torn_tail_is_truncated_but_earlier_records_survive() {
+    let (bytes, events) = corpus();
+    // Cut anywhere inside the last line (including its newline): the four
+    // earlier records must survive, the fifth must not half-exist.
+    let last_line_start = bytes.len() - JournalEvent::Done { key: 0x55 }.to_line().len();
+    for cut in last_line_start..bytes.len() {
+        let r = replay_journal(&bytes[..cut], SWEEP).unwrap();
+        assert_eq!(r.events, events[..4], "cut at byte {cut}");
+        assert_eq!(r.intact_len, last_line_start, "cut at byte {cut}");
+    }
+}
+
+#[test]
+fn mid_file_corruption_stops_the_prefix_and_resurrects_nothing() {
+    let (bytes, events) = corpus();
+    // Flip one byte in the *third* line (timeout record): records one and
+    // two survive; three, four and five are gone even though four and five
+    // are still byte-perfect further down the file.
+    let prefix_len =
+        header_line(SWEEP).len() + events[0].to_line().len() + events[1].to_line().len();
+    let mut corrupt = bytes.clone();
+    corrupt[prefix_len + 3] ^= 0x20;
+    let r = replay_journal(&corrupt, SWEEP).unwrap();
+    assert_eq!(r.events, events[..2]);
+    assert_eq!(r.intact_len, prefix_len);
+}
+
+#[test]
+fn interleaved_writer_garbage_stops_the_prefix() {
+    // A second writer's bytes spliced mid-file (even well-formed lines of
+    // another protocol) end the trustworthy prefix: append-only means
+    // nothing after the first foreign byte has ordering guarantees.
+    let (bytes, events) = corpus();
+    let splice_at = header_line(SWEEP).len() + events[0].to_line().len();
+    let mut spliced = bytes[..splice_at].to_vec();
+    spliced.extend_from_slice(b"lock 1234 99999 deadbeefdeadbeef\n");
+    spliced.extend_from_slice(&bytes[splice_at..]);
+    let r = replay_journal(&spliced, SWEEP).unwrap();
+    assert_eq!(r.events, events[..1]);
+    assert_eq!(r.intact_len, splice_at);
+}
+
+#[test]
+fn sealed_but_unknown_record_type_stops_the_prefix() {
+    // Forward-compat is explicit: an unknown record type — even with a
+    // valid seal — is not skippable, because a resuming writer that
+    // ignored it would truncate an in-use extension record.
+    let (bytes, events) = corpus();
+    let splice_at = header_line(SWEEP).len() + events[0].to_line().len();
+    let mut spliced = bytes[..splice_at].to_vec();
+    spliced.extend_from_slice(sealed_line("evict 0000000000000011").as_bytes());
+    spliced.extend_from_slice(&bytes[splice_at..]);
+    let r = replay_journal(&spliced, SWEEP).unwrap();
+    assert_eq!(r.events, events[..1]);
+    assert_eq!(r.intact_len, splice_at);
+}
+
+#[test]
+fn second_header_stops_the_prefix() {
+    let (bytes, events) = corpus();
+    let mut doubled = bytes.clone();
+    doubled.extend_from_slice(header_line(SWEEP).as_bytes());
+    doubled.extend_from_slice(JournalEvent::Done { key: 0x66 }.to_line().as_bytes());
+    let r = replay_journal(&doubled, SWEEP).unwrap();
+    assert_eq!(r.events, events, "records before the rogue header survive");
+    assert_eq!(r.intact_len, bytes.len());
+}
+
+#[test]
+fn foreign_header_is_an_error_not_a_truncation() {
+    let mut bytes = header_line(SWEEP ^ 0xff).into_bytes();
+    bytes.extend_from_slice(JournalEvent::Done { key: 0x11 }.to_line().as_bytes());
+    let err = replay_journal(&bytes, SWEEP).unwrap_err();
+    assert_eq!(
+        err,
+        ForeignSweep {
+            found: SWEEP ^ 0xff
+        }
+    );
+}
+
+#[test]
+fn headerless_or_empty_journal_replays_empty() {
+    assert!(replay_journal(b"", SWEEP).unwrap().events.is_empty());
+    assert_eq!(replay_journal(b"", SWEEP).unwrap().intact_len, 0);
+
+    // Valid records with no header: all ignored (a file that lost its
+    // first line has lost its identity; a fresh header will be written
+    // after truncation to 0).
+    let mut bytes = JournalEvent::Done { key: 0x11 }.to_line().into_bytes();
+    bytes.extend_from_slice(JournalEvent::Done { key: 0x22 }.to_line().as_bytes());
+    let r = replay_journal(&bytes, SWEEP).unwrap();
+    assert!(r.events.is_empty());
+    assert_eq!(r.intact_len, 0);
+}
+
+#[test]
+fn duplicate_records_replay_in_append_order() {
+    // Resolution policy (later record wins for a key) lives in the sweep
+    // layer; replay itself must preserve both occurrences and their order.
+    let mut bytes = header_line(SWEEP).into_bytes();
+    let first = JournalEvent::Timeout { key: 0x77 };
+    let second = JournalEvent::Done { key: 0x77 };
+    bytes.extend_from_slice(first.to_line().as_bytes());
+    bytes.extend_from_slice(second.to_line().as_bytes());
+    let r = replay_journal(&bytes, SWEEP).unwrap();
+    assert_eq!(r.events, vec![first, second]);
+}
+
+#[test]
+fn fail_message_roundtrips_arbitrary_bytes() {
+    for message in ["", "plain", "spaces and\nnewlines\t", "emoji 🦀 seal"] {
+        let ev = JournalEvent::Fail {
+            key: 0x99,
+            message: message.into(),
+        };
+        let mut bytes = header_line(SWEEP).into_bytes();
+        bytes.extend_from_slice(ev.to_line().as_bytes());
+        let r = replay_journal(&bytes, SWEEP).unwrap();
+        assert_eq!(r.events, vec![ev]);
+    }
+}
+
+// ------------------------------------------------------------------- leases
+
+#[test]
+fn lease_accept_implies_byte_exact_rerender() {
+    let lease = Lease {
+        pid: 4321,
+        nonce: 0x0123_4567_89ab_cdef,
+        expires_unix_ms: 1_700_000_000_123,
+    };
+    let rendered = lease.render();
+    let parsed = Lease::parse(rendered.as_bytes()).expect("canonical lease parses");
+    assert_eq!(parsed, lease);
+    assert_eq!(parsed.render(), rendered);
+}
+
+#[test]
+fn lease_rejects_every_non_canonical_class() {
+    let lease = Lease {
+        pid: 4321,
+        nonce: 0x0123_4567_89ab_cdef,
+        expires_unix_ms: 1_700_000_000_123,
+    };
+    let good = lease.render();
+
+    // Field lies a hostile/corrupt writer could plant: each must be
+    // rejected (treated as a torn lease → stale → safely broken), never
+    // trusted as someone else's live claim.
+    let bad: Vec<Vec<u8>> = vec![
+        Vec::new(),                                  // empty
+        good.trim_end().into(),                      // missing newline
+        good.replace("lease", "leash").into_bytes(), // wrong tag
+        good.to_uppercase().into_bytes(),            // uppercase hex
+        good.replace("4321", "04321").into_bytes(),  // zero-padded pid
+        format!("{good}extra\n").into_bytes(),       // trailing garbage
+        good.replacen('1', "2", 1).into_bytes(),     // seal mismatch
+        good.replace(' ', "  ").into_bytes(),        // doubled separators
+    ];
+    for (i, bytes) in bad.iter().enumerate() {
+        assert!(
+            Lease::parse(bytes).is_none(),
+            "class {i} must be rejected: {:?}",
+            String::from_utf8_lossy(bytes)
+        );
+    }
+}

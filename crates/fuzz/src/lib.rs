@@ -28,6 +28,13 @@
 //!   corruption, quote deletion, garbage) must validate-or-reject without
 //!   panicking, and anything accepted must flow through the `check` +
 //!   `render` gate path panic-free.
+//! * [`run_journal_fuzz`] — the sweep-journal and lease-file line formats
+//!   (`reno_dse::replay_journal`, `reno_dse::Lease::parse`): seal flips,
+//!   truncations, line deletions/duplications/swaps, interleaved-writer
+//!   garbage and lease-field lies must replay the longest intact prefix
+//!   (idempotently — replaying the reported prefix reproduces the same
+//!   events) or reject, never panic, never resurrect records past the
+//!   first bad byte; an accepted lease must re-render byte-exactly.
 //! * [`run_asm_fuzz`] — a semi-trusted *text* surface:
 //!   randomized `Asm` builder programs (labels, forward/backward branches,
 //!   deliberate undefined/duplicate labels, a rare out-of-range-branch arm)
@@ -37,17 +44,21 @@
 //!
 //! Everything is seeded (`RENO_FUZZ_SEED`) and iteration-bounded
 //! (`RENO_FUZZ_ITERS`), so a CI smoke run and a long local soak use the same
-//! binaries (`fuzz_decode`, `fuzz_checkpoint`, `fuzz_store`, `fuzz_asm`,
-//! `fuzz_report`) and any finding reproduces exactly. Findings graduate
-//! into plain `#[test]` regression cases under
+//! binaries (`fuzz_decode`, `fuzz_checkpoint`, `fuzz_store`, `fuzz_journal`,
+//! `fuzz_asm`, `fuzz_report`) and any finding reproduces exactly. Findings
+//! graduate into plain `#[test]` regression cases under
 //! `crates/isa/tests/decode_corpus.rs`,
 //! `crates/func/tests/checkpoint_corpus.rs`,
-//! `crates/dse/tests/store_corpus.rs`, `crates/isa/tests/asm_corpus.rs`
+//! `crates/dse/tests/store_corpus.rs`,
+//! `crates/dse/tests/journal_corpus.rs`, `crates/isa/tests/asm_corpus.rs`
 //! and `crates/bench/tests/report_corpus.rs`.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reno_dse::{decode_entry, encode_entry, EntryKind, HEADER_LEN};
+use reno_dse::{
+    decode_entry, encode_entry, header_line, replay_journal, sealed_line, EntryKind, JournalEvent,
+    Lease, HEADER_LEN,
+};
 use reno_func::{Checkpoint, Cpu, PAGE_BYTES};
 use reno_isa::{decode, encode, Asm, AsmError, Program, Reg};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -527,6 +538,265 @@ pub fn check_store_bytes(
     }
 }
 
+// ----------------------------------------------------------------- journal
+//
+// Line-level mutation of `reno-dse` sweep journals and lease files — the
+// two sealed-line formats a resuming process replays after an arbitrary
+// crash (or after a hostile/buggy co-writer scribbled on the store).
+
+/// The sweep hash every journal corpus file is replayed against.
+pub const JOURNAL_FUZZ_SWEEP: u64 = 0xfee1_5afe_c0de_cafe;
+
+/// The journal corpus: realistic journals at several shapes — empty,
+/// header-only, a long mixed-record run (all four record types, duplicate
+/// keys, fail messages with spaces/newlines/UTF-8), and a foreign-sweep
+/// file — so mutations probe every record parser and the header rules.
+pub fn journal_corpus() -> Vec<Vec<u8>> {
+    let ev = |bytes: &mut Vec<u8>, e: JournalEvent| bytes.extend_from_slice(e.to_line().as_bytes());
+    let mut long = header_line(JOURNAL_FUZZ_SWEEP).into_bytes();
+    for k in 0..6u64 {
+        ev(&mut long, JournalEvent::Done { key: k * 0x1111 });
+    }
+    ev(
+        &mut long,
+        JournalEvent::Fail {
+            key: 0x7777,
+            message: "panicked at 'cell blew up':\n  main.rs:42 🦀".into(),
+        },
+    );
+    ev(&mut long, JournalEvent::Timeout { key: 0x8888 });
+    ev(&mut long, JournalEvent::PassUsed { key: 0x9999 });
+    // Duplicate key with a different later verdict (later-wins upstream).
+    ev(&mut long, JournalEvent::Done { key: 0x8888 });
+
+    let mut short = header_line(JOURNAL_FUZZ_SWEEP).into_bytes();
+    ev(&mut short, JournalEvent::Done { key: 0xabcd });
+
+    let mut foreign = header_line(!JOURNAL_FUZZ_SWEEP).into_bytes();
+    ev(&mut foreign, JournalEvent::Done { key: 0xabcd });
+
+    vec![
+        Vec::new(),
+        header_line(JOURNAL_FUZZ_SWEEP).into_bytes(),
+        short,
+        long,
+        foreign,
+    ]
+}
+
+/// Applies one random mutation to journal bytes: byte-level damage, torn
+/// tails, whole-line edits (delete/duplicate/swap — what an interleaved
+/// writer or a bad editor produces), seal-targeted flips, and spliced
+/// foreign-but-sealed lines (a co-writer speaking another protocol).
+fn mutate_journal(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    let lines_of = |b: &[u8]| -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut start = 0usize;
+        for (i, &c) in b.iter().enumerate() {
+            if c == b'\n' {
+                spans.push((start, i + 1));
+                start = i + 1;
+            }
+        }
+        if start < b.len() {
+            spans.push((start, b.len()));
+        }
+        spans
+    };
+    match rng.gen_range(0u32..9) {
+        // Single bit flip anywhere.
+        0 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Overwrite one byte.
+        1 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = rng.gen::<u8>();
+            }
+        }
+        // Truncate to a random prefix (torn append).
+        2 => {
+            let keep = rng.gen_range(0usize..=bytes.len());
+            bytes.truncate(keep);
+        }
+        // Seal-targeted flip: corrupt one of the last 17 bytes of a line
+        // (the checksum field and its separator) — the subtlest tear.
+        3 => {
+            let spans = lines_of(bytes);
+            if let Some(&(s, e)) = spans.get(rng.gen_range(0usize..spans.len().max(1))) {
+                let lo = s.max(e.saturating_sub(18));
+                if lo < e {
+                    let i = rng.gen_range(lo..e);
+                    bytes[i] ^= 1 << rng.gen_range(0u32..8);
+                }
+            }
+        }
+        // Delete a whole line (lost header, lost record).
+        4 => {
+            let spans = lines_of(bytes);
+            if !spans.is_empty() {
+                let (s, e) = spans[rng.gen_range(0usize..spans.len())];
+                bytes.drain(s..e);
+            }
+        }
+        // Duplicate a line in place (replayed append, doubled header).
+        5 => {
+            let spans = lines_of(bytes);
+            if !spans.is_empty() {
+                let (s, e) = spans[rng.gen_range(0usize..spans.len())];
+                let line = bytes[s..e].to_vec();
+                bytes.splice(e..e, line);
+            }
+        }
+        // Swap two lines (records out of order, header displaced).
+        6 => {
+            let spans = lines_of(bytes);
+            if spans.len() >= 2 {
+                let a = rng.gen_range(0usize..spans.len());
+                let b = rng.gen_range(0usize..spans.len());
+                if a != b {
+                    let (a, b) = (a.min(b), a.max(b));
+                    let la = bytes[spans[a].0..spans[a].1].to_vec();
+                    let lb = bytes[spans[b].0..spans[b].1].to_vec();
+                    bytes.splice(spans[b].0..spans[b].1, la);
+                    bytes.splice(spans[a].0..spans[a].1, lb);
+                }
+            }
+        }
+        // Splice a *correctly sealed* line of the wrong shape at a line
+        // boundary: unknown record type, extra field, or a lease line —
+        // bytes an interleaved writer could legitimately produce.
+        7 => {
+            let spans = lines_of(bytes);
+            let at = if spans.is_empty() {
+                0
+            } else {
+                spans[rng.gen_range(0usize..spans.len())].0
+            };
+            let body = match rng.gen_range(0u32..4) {
+                0 => format!("evict {:016x}", rng.gen::<u64>()),
+                1 => format!("done {:016x} extra", rng.gen::<u64>()),
+                2 => format!(
+                    "lease {} {:016x} {}",
+                    rng.gen::<u32>(),
+                    rng.gen::<u64>(),
+                    rng.gen::<u32>()
+                ),
+                _ => "done".to_string(),
+            };
+            let line = sealed_line(&body).into_bytes();
+            bytes.splice(at..at, line);
+        }
+        // Insert raw garbage at a random position.
+        _ => {
+            let at = rng.gen_range(0usize..=bytes.len());
+            let n = rng.gen_range(1usize..=12);
+            let garbage: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
+            bytes.splice(at..at, garbage);
+        }
+    }
+}
+
+/// One journal-contract check: `replay_journal` must accept-or-reject
+/// without panicking, report an `intact_len` within bounds, and be
+/// **prefix-idempotent** — replaying exactly the bytes it called intact
+/// must reproduce the same events and the same length. That is the
+/// property resume correctness rides on: truncate-to-intact + append must
+/// not change the meaning of what survived.
+pub fn check_journal_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        replay_journal(bytes, JOURNAL_FUZZ_SWEEP)
+    })) {
+        Err(_) => report.fail(format!(
+            "replay_journal panicked on {}-byte input, {ctx}",
+            bytes.len()
+        )),
+        Ok(Err(_)) => report.rejected += 1, // foreign sweep: structured error
+        Ok(Ok(r)) => {
+            if r.intact_len > bytes.len() {
+                report.fail(format!(
+                    "intact_len {} exceeds input length {}, {ctx}",
+                    r.intact_len,
+                    bytes.len()
+                ));
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                replay_journal(&bytes[..r.intact_len], JOURNAL_FUZZ_SWEEP)
+            })) {
+                Ok(Ok(again)) if again.events == r.events && again.intact_len == r.intact_len => {
+                    report.accepted += 1;
+                }
+                other => report.fail(format!(
+                    "replay is not prefix-idempotent (intact_len {}): {other:?}, {ctx}",
+                    r.intact_len
+                )),
+            }
+        }
+    }
+}
+
+/// One lease-contract check: `Lease::parse` must accept-or-reject without
+/// panicking, and an accepted lease must re-render to exactly the input
+/// bytes (strict canonical form — a torn or tampered lease must read as
+/// *stale*, never as someone's live claim).
+pub fn check_lease_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) {
+    match catch_unwind(AssertUnwindSafe(|| Lease::parse(bytes))) {
+        Err(_) => report.fail(format!(
+            "Lease::parse panicked on {}-byte input, {ctx}",
+            bytes.len()
+        )),
+        Ok(None) => report.rejected += 1,
+        Ok(Some(lease)) => {
+            if lease.render().as_bytes() != bytes {
+                report.fail(format!(
+                    "accepted lease does not re-render to itself ({:?}), {ctx}",
+                    String::from_utf8_lossy(bytes)
+                ));
+                return;
+            }
+            report.accepted += 1;
+        }
+    }
+}
+
+/// Fuzzes [`reno_dse::replay_journal`] and [`reno_dse::Lease::parse`] for
+/// `iters` iterations from `seed`, mutating realistic journals (seal
+/// flips, torn tails, line deletion/duplication/swap, interleaved sealed
+/// garbage) and rendered lease lines (field lies, byte damage).
+pub fn run_journal_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let corpus = journal_corpus();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let ctx = format!("iter {i} (seed {seed})");
+        if i % 4 == 3 {
+            // Lease arm: mutate a canonical rendering at the byte level.
+            let lease = Lease {
+                pid: rng.gen::<u32>(),
+                nonce: rng.gen::<u64>(),
+                expires_unix_ms: rng.gen_range(0u64..1 << 48),
+            };
+            let mut bytes = lease.render().into_bytes();
+            for _ in 0..rng.gen_range(1u32..=2) {
+                mutate_journal(&mut bytes, &mut rng);
+            }
+            check_lease_bytes(&bytes, &mut report, &ctx);
+        } else {
+            let mut bytes = corpus[rng.gen_range(0usize..corpus.len())].clone();
+            for _ in 0..rng.gen_range(1u32..=3) {
+                mutate_journal(&mut bytes, &mut rng);
+            }
+            check_journal_bytes(&bytes, &mut report, &ctx);
+        }
+    }
+    report
+}
+
 // ------------------------------------------------------------------ report
 //
 // Textual mutation of the repo-root `BENCH_sim.json` perf trajectory fed
@@ -931,6 +1201,26 @@ mod tests {
         let r = run_store_fuzz(DEFAULT_SEED, 2000);
         assert!(r.clean(), "violations: {:?}", r.failures);
         assert!(r.rejected > 0, "mutations mostly break the frame");
+    }
+
+    #[test]
+    fn journal_fuzz_smoke_is_clean() {
+        let r = run_journal_fuzz(DEFAULT_SEED, 3000);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.accepted > 0, "some mutants still replay/parse");
+        assert!(r.rejected > 0, "foreign sweeps and torn leases reject");
+    }
+
+    #[test]
+    fn journal_corpus_replays_cleanly() {
+        // The unmutated corpus must be fully intact (or a structured
+        // foreign-sweep error) — otherwise the fuzzer starts from noise.
+        for (i, bytes) in journal_corpus().iter().enumerate() {
+            match replay_journal(bytes, JOURNAL_FUZZ_SWEEP) {
+                Ok(r) => assert_eq!(r.intact_len, bytes.len(), "corpus file {i} intact"),
+                Err(_) => assert_eq!(i, 4, "only the foreign-sweep file errors"),
+            }
+        }
     }
 
     #[test]
