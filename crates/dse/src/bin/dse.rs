@@ -7,7 +7,7 @@
 //! store diagnostics go to stderr, so two runs of the same spec are
 //! byte-comparable with a plain `diff`. With `--out`, the run's traffic
 //! counters are also written as machine-readable JSON to `stats.json` in
-//! the same directory (schema `reno-dse-stats-v2`, same numbers as the
+//! the same directory (schema `reno-dse-stats-v3`, same numbers as the
 //! stderr line). `--store-budget` triggers a GC pass after the sweep when
 //! `objects/` exceeds the budget; its eviction counters land in the same
 //! stats. Exit status: 0 on success (even with failed cells — they are
@@ -186,7 +186,7 @@ fn main() -> ExitCode {
     eprintln!(
         "dse: cells={} computed={} cached={} failed={} passes_computed={} passes_cached={} \
          store_corrupt={} lock_waits={} lease_takeovers={} timeouts={} gc_evicted={} \
-         gc_reclaimed={} store_bytes={}",
+         gc_reclaimed={} store_bytes={} shared_objects={}",
         s.cells,
         s.computed,
         s.cached,
@@ -199,7 +199,8 @@ fn main() -> ExitCode {
         s.timeouts,
         s.gc_evicted_objects,
         s.gc_reclaimed_bytes,
-        s.store_bytes
+        s.store_bytes,
+        s.shared_objects
     );
 
     if let Some(out) = out_path {

@@ -282,7 +282,8 @@ pub fn run_gc(store: &Store, cfg: &GcConfig) -> io::Result<GcStats> {
                 break;
             }
             // Phase 1: durable intent.
-            Store::journal_write(
+            reno_chaos::write_all(
+                crate::FP_GC_LOG,
                 &mut log,
                 sealed_line(&format!("evict {:016x}", c.key)).as_bytes(),
             )?;
@@ -291,14 +292,16 @@ pub fn run_gc(store: &Store, cfg: &GcConfig) -> io::Result<GcStats> {
             if fs::rename(&c.path, &tomb).is_err() {
                 // Object vanished (concurrent GC?) — record completion so
                 // recovery has nothing pending, and move on.
-                Store::journal_write(
+                reno_chaos::write_all(
+                    crate::FP_GC_LOG,
                     &mut log,
                     sealed_line(&format!("gone {:016x}", c.key)).as_bytes(),
                 )?;
                 continue;
             }
             let _ = fs::remove_file(&tomb);
-            Store::journal_write(
+            reno_chaos::write_all(
+                crate::FP_GC_LOG,
                 &mut log,
                 sealed_line(&format!("gone {:016x}", c.key)).as_bytes(),
             )?;

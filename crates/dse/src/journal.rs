@@ -305,7 +305,11 @@ impl Journal {
         }
         let mut file = OpenOptions::new().append(true).open(&path)?;
         if !saw_header {
-            Store::journal_write(&mut file, header_line(sweep_hash).as_bytes())?;
+            reno_chaos::write_all(
+                crate::FP_JOURNAL_APPEND,
+                &mut file,
+                header_line(sweep_hash).as_bytes(),
+            )?;
         }
 
         Ok((
@@ -372,7 +376,7 @@ impl Journal {
             lease.refresh();
         }
         let mut f = self.file.lock().expect("journal mutex poisoned");
-        Store::journal_write(&mut f, ev.to_line().as_bytes())
+        reno_chaos::write_all(crate::FP_JOURNAL_APPEND, &mut f, ev.to_line().as_bytes())
     }
 }
 

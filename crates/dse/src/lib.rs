@@ -44,6 +44,27 @@ pub mod spec;
 pub mod store;
 pub mod sweep;
 
+/// `reno-chaos` site: the content-addressed object write in [`Store::put`].
+pub const FP_STORE_OBJECT: &str = "dse:store-object";
+/// `reno-chaos` site: journal header + event appends ([`Journal`]).
+pub const FP_JOURNAL_APPEND: &str = "dse:journal-append";
+/// `reno-chaos` site: two-phase GC eviction log records ([`gc::run_gc`]).
+pub const FP_GC_LOG: &str = "dse:gc-log";
+/// `reno-chaos` site: sweep-lease heartbeat writes ([`lock::acquire_lease`]).
+pub const FP_LEASE_WRITE: &str = "dse:lease-write";
+/// `reno-chaos` site: per-object advisory lock files ([`lock`]).
+pub const FP_LOCK_WRITE: &str = "dse:lock-write";
+
+/// Every registered `reno-chaos` failpoint site in this crate. The chaos
+/// test harness enumerates this list to prove each site stays covered.
+pub const FAILPOINT_SITES: &[&str] = &[
+    FP_STORE_OBJECT,
+    FP_JOURNAL_APPEND,
+    FP_GC_LOG,
+    FP_LEASE_WRITE,
+    FP_LOCK_WRITE,
+];
+
 pub use gc::{run_gc, GcConfig, GcStats};
 pub use journal::{
     header_line, replay_journal, sealed_line, ForeignSweep, Journal, JournalEvent, JournalOpen,

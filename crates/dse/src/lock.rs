@@ -262,7 +262,7 @@ fn write_lease_file(path: &Path, tmp_dir: &Path, lease: &Lease) -> io::Result<()
         lease.nonce
     ));
     let mut f = File::create(&tmp)?;
-    let r = crate::store::write_all_with_failpoint(&mut f, lease.render().as_bytes())
+    let r = reno_chaos::write_all(crate::FP_LEASE_WRITE, &mut f, lease.render().as_bytes())
         .and_then(|_| f.sync_all())
         .and_then(|_| fs::rename(&tmp, path));
     if r.is_err() {
@@ -424,7 +424,7 @@ pub fn try_object_lock(path: &Path) -> io::Result<ObjectLock> {
             Ok(mut f) => {
                 // Failpointed so the crash suite covers dying mid-lock-write;
                 // a torn lock file left behind is broken by the next comer.
-                crate::store::write_all_with_failpoint(&mut f, object_lock_line().as_bytes())?;
+                reno_chaos::write_all(crate::FP_LOCK_WRITE, &mut f, object_lock_line().as_bytes())?;
                 return Ok(ObjectLock::Acquired(ObjectLockGuard {
                     path: path.to_path_buf(),
                 }));

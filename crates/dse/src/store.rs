@@ -25,7 +25,7 @@
 //! cache-less operation for that entry.
 
 use std::fs::{self, File};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -197,44 +197,10 @@ pub fn decode_entry(bytes: &[u8], kind: EntryKind, key: u64) -> Result<Vec<u8>, 
     Ok(payload.to_vec())
 }
 
-// ---------------------------------------------------------------------------
-// Failpoint: deterministic crash injection for the crash-resume tests.
-// ---------------------------------------------------------------------------
-
-/// `RENO_DSE_FAILPOINT=abort-at-io:<n>` makes the n-th store/journal write
-/// of the process die *mid-write*: half the bytes are written and flushed,
-/// then the process `abort()`s (the closest in-process stand-in for
-/// `kill -9` between two write syscalls). Parsed once, counted globally.
-fn failpoint_countdown() -> Option<&'static AtomicU64> {
-    use std::sync::OnceLock;
-    static FP: OnceLock<Option<AtomicU64>> = OnceLock::new();
-    FP.get_or_init(|| {
-        let v = std::env::var("RENO_DSE_FAILPOINT").ok()?;
-        let n = v.strip_prefix("abort-at-io:")?.parse::<u64>().ok()?;
-        Some(AtomicU64::new(n))
-    })
-    .as_ref()
-}
-
-/// Returns true when this IO event is the one the failpoint targets.
-fn failpoint_fires() -> bool {
-    match failpoint_countdown() {
-        Some(c) => c.fetch_sub(1, Ordering::Relaxed) == 1,
-        None => false,
-    }
-}
-
-/// Writes `bytes` to `file`; if the armed failpoint fires on this event,
-/// writes only the first half, flushes, and aborts the process.
-pub(crate) fn write_all_with_failpoint(file: &mut File, bytes: &[u8]) -> io::Result<()> {
-    if failpoint_fires() {
-        let _ = file.write_all(&bytes[..bytes.len() / 2]);
-        let _ = file.flush();
-        let _ = file.sync_all();
-        std::process::abort();
-    }
-    file.write_all(bytes)
-}
+// Crash injection lives in `reno-chaos` now: every durable write below goes
+// through `reno_chaos::write_all` under a named site, which preserves the
+// legacy `RENO_DSE_FAILPOINT=abort-at-io:<n>` global IO countdown verbatim
+// and additionally honours per-site `RENO_FAILPOINT` specs.
 
 // ---------------------------------------------------------------------------
 // The store proper.
@@ -429,7 +395,7 @@ impl Store {
             .join("tmp")
             .join(format!("{key:016x}.{}.{seq}.tmp", std::process::id()));
         let mut f = File::create(&tmp)?;
-        let r = write_all_with_failpoint(&mut f, &frame)
+        let r = reno_chaos::write_all(crate::FP_STORE_OBJECT, &mut f, &frame)
             .and_then(|_| f.sync_all())
             .and_then(|_| fs::rename(&tmp, &final_path));
         if r.is_err() {
@@ -464,11 +430,6 @@ impl Store {
             }
         }
         let _ = prune_quarantine(&self.root.join("quarantine"), self.quarantine_keep);
-    }
-
-    /// Appends a journal line honoring the failpoint (see `journal`).
-    pub(crate) fn journal_write(file: &mut File, line: &[u8]) -> io::Result<()> {
-        write_all_with_failpoint(file, line)
     }
 }
 

@@ -11,7 +11,11 @@
 //! concurrent runs sharing one store, and lease-degraded read-only runs.
 //! Everything observable in the report derives from cell *content* in plan
 //! order; cache hit/miss traffic, timings and store diagnostics go to stderr
-//! and [`SweepStats`] only.
+//! and [`SweepStats`] only. The one addition that depends on the store is
+//! the `shared objects` table, and it derives from **durable journal
+//! state** (which sweeps pinned which objects), never from this run's
+//! traffic — re-running or resuming any sweep over the same store renders
+//! it identically, and stores hosting a single sweep render nothing.
 //!
 //! ## Failure handling
 //!
@@ -180,6 +184,10 @@ pub struct SweepStats {
     pub gc_reclaimed_bytes: u64,
     /// Committed bytes under `objects/` when this invocation finished.
     pub store_bytes: u64,
+    /// Distinct committed objects pinned by more than one sweep journal on
+    /// this store (the cross-sweep sharing census; also rendered as the
+    /// report's `shared objects` table when nonzero).
+    pub shared_objects: u64,
 }
 
 impl SweepStats {
@@ -190,10 +198,11 @@ impl SweepStats {
     /// without scraping stderr.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema\":\"reno-dse-stats-v2\",\"cells\":{},\"computed\":{},\"cached\":{},\
+            "{{\"schema\":\"reno-dse-stats-v3\",\"cells\":{},\"computed\":{},\"cached\":{},\
              \"failed\":{},\"passes_computed\":{},\"passes_cached\":{},\"store_corrupt\":{},\
              \"lock_waits\":{},\"lease_takeovers\":{},\"timeouts\":{},\
-             \"gc_evicted_objects\":{},\"gc_reclaimed_bytes\":{},\"store_bytes\":{}}}\n",
+             \"gc_evicted_objects\":{},\"gc_reclaimed_bytes\":{},\"store_bytes\":{},\
+             \"shared_objects\":{}}}\n",
             self.cells,
             self.computed,
             self.cached,
@@ -206,7 +215,8 @@ impl SweepStats {
             self.timeouts,
             self.gc_evicted_objects,
             self.gc_reclaimed_bytes,
-            self.store_bytes
+            self.store_bytes,
+            self.shared_objects
         )
     }
 }
@@ -262,6 +272,88 @@ fn cell_key(spec: &SweepSpec, wl: &str, cfg: &MachineConfig) -> u64 {
 
 fn pass_key(spec: &SweepSpec, wl: &str, sc: &SampleConfig) -> u64 {
     fnv1a64(format!("pass|{SIM_REV}|wl={wl}|scale={:?}|sc={sc:?}", spec.scale).as_bytes())
+}
+
+/// Cross-sweep sharing census (ROADMAP item 1): scans every sweep journal
+/// under `journal/` and counts the committed objects pinned — via `done` or
+/// `pass` records — by **more than one** sweep. Returns the count of
+/// distinct shared objects plus the rendered `shared objects` table (empty
+/// when nothing is shared, so single-sweep stores keep their report bytes).
+///
+/// The census derives from durable journal state only — never from this
+/// run's cache traffic — so a resumed or fully-cached re-run over the same
+/// store renders the identical section. Journals are visited in hash order
+/// and an unreadable journal contributes nothing, exactly like GC's live
+/// set.
+fn shared_objects_census(store: &Store) -> (u64, String) {
+    use std::fmt::Write as _;
+
+    let Ok(entries) = std::fs::read_dir(store.journal_dir()) else {
+        return (0, String::new());
+    };
+    // (sweep hash, keys it pins), sorted by hash for a deterministic table.
+    let mut pins: Vec<(u64, HashSet<u64>)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        // Sweep journals are exactly `<16-hex>.log`; skips gc.log, leases.
+        let Some(hex) = name.strip_suffix(".log") else {
+            continue;
+        };
+        let Ok(hash) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        if hex.len() != 16 {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Ok(replay) = crate::journal::replay_journal(&bytes, hash) else {
+            continue;
+        };
+        let mut keys = HashSet::new();
+        for ev in replay.events {
+            match ev {
+                JournalEvent::Done { key } | JournalEvent::PassUsed { key } => {
+                    keys.insert(key);
+                }
+                JournalEvent::Fail { .. } | JournalEvent::Timeout { .. } => {}
+            }
+        }
+        pins.push((hash, keys));
+    }
+    pins.sort_unstable_by_key(|&(hash, _)| hash);
+
+    let mut owners: HashMap<u64, u64> = HashMap::new();
+    for (_, keys) in &pins {
+        for &k in keys {
+            *owners.entry(k).or_insert(0) += 1;
+        }
+    }
+    let shared: HashSet<u64> = owners
+        .into_iter()
+        .filter_map(|(k, n)| (n > 1).then_some(k))
+        .collect();
+    if shared.is_empty() {
+        return (0, String::new());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "\nshared objects ({}):", shared.len());
+    for (hash, keys) in &pins {
+        let n = keys.iter().filter(|k| shared.contains(k)).count();
+        if n > 0 {
+            let _ = writeln!(
+                out,
+                "  sweep {hash:016x}: {n} of {} pinned objects shared",
+                keys.len()
+            );
+        }
+    }
+    (shared.len() as u64, out)
 }
 
 fn sample_config(mode: &Mode) -> Option<SampleConfig> {
@@ -469,6 +561,23 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
                 Some(bytes) => match CellResult::from_bytes(&bytes) {
                     Ok(r) => {
                         cached += 1;
+                        // Pin a cell served from *another* sweep's object in
+                        // this journal too (mirrors the `pass` records): GC
+                        // must not evict it from under a resumable sweep,
+                        // and the cross-sweep census sees the sharing. Own
+                        // `done` records (a resume) are already journaled.
+                        if !matches!(journaled.get(&cell.key), Some(JournalEvent::Done { .. })) {
+                            if let Some(j) = &journal {
+                                let _ =
+                                    j.append(&JournalEvent::Done { key: cell.key })
+                                        .map_err(|e| {
+                                            eprintln!(
+                                                "dse: journal append failed ({e}); \
+                                             GC may evict this cell"
+                                            )
+                                        });
+                            }
+                        }
                         outcomes.push(Some(Ok(r)));
                     }
                     Err(e) => {
@@ -631,7 +740,13 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
         .zip(outcomes)
         .map(|(c, o)| (c.id.clone(), o.expect("every cell resolved")))
         .collect();
-    let report = crate::report::render(spec, &resolved);
+    let mut report = crate::report::render(spec, &resolved);
+    // Cross-sweep sharing census: reported only when another sweep on this
+    // store pins some of the same objects, so solo stores keep their exact
+    // report bytes. Counted after this run's final journal append, so a
+    // resume renders the same section.
+    let (shared_objects, sharing_table) = shared_objects_census(store);
+    report.push_str(&sharing_table);
 
     let failed = resolved.iter().filter(|(_, r)| r.is_err()).count() as u64;
     Ok(SweepOutcome {
@@ -650,6 +765,7 @@ pub fn run_sweep(spec: &SweepSpec, store: &Store, opts: &SweepOptions) -> io::Re
             gc_evicted_objects: 0,
             gc_reclaimed_bytes: 0,
             store_bytes: store.objects_bytes(),
+            shared_objects,
         },
     })
 }
@@ -677,11 +793,12 @@ mod tests {
             gc_evicted_objects: 8,
             gc_reclaimed_bytes: 4096,
             store_bytes: 65536,
+            shared_objects: 2,
         };
         let json = s.to_json();
         assert!(json.ends_with('\n'), "one newline-terminated line");
         reno_trace::validate_json(json.trim_end()).expect("valid JSON");
-        assert!(json.starts_with("{\"schema\":\"reno-dse-stats-v2\","));
+        assert!(json.starts_with("{\"schema\":\"reno-dse-stats-v3\","));
         for (key, value) in [
             ("cells", 12u64),
             ("computed", 3),
@@ -696,6 +813,7 @@ mod tests {
             ("gc_evicted_objects", 8),
             ("gc_reclaimed_bytes", 4096),
             ("store_bytes", 65536),
+            ("shared_objects", 2),
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":{value}")),

@@ -252,6 +252,69 @@ fn gc_budget_evicts_only_dead_objects_and_resume_stays_cached() {
 }
 
 #[test]
+fn cross_sweep_sharing_is_counted_and_reported_deterministically() {
+    // A second sweep whose grid *overlaps* the first (cell keys pin
+    // content, so the shared workload's cells are the same objects) is
+    // served from the first sweep's cells and pins them in its own
+    // journal; both the report's `shared objects` table and
+    // `stats.shared_objects` must say so.
+    let dir = tmp_dir("sharing");
+    let store = Store::open(&dir).unwrap();
+    let first = run_sweep(&spec_a(), &store, &SweepOptions::default()).unwrap();
+    assert_eq!(first.stats.shared_objects, 0, "solo sweep shares nothing");
+    assert!(
+        !first.report.contains("shared objects"),
+        "a solo store keeps its exact report bytes"
+    );
+
+    // SPEC_A minus the mcf workload: 2 of its 2 cells are also 2 of
+    // sweep A's 4.
+    let sub = SPEC_A
+        .replace("conc-test-a", "conc-test-sub")
+        .replace("workload mcf\n", "");
+    let spec_sub = parse_spec(&sub).unwrap();
+    let store = Store::open(&dir).unwrap();
+    let subset = run_sweep(&spec_sub, &store, &SweepOptions::default()).unwrap();
+    assert_eq!(subset.stats.computed, 0, "overlap fully served from cache");
+    assert_eq!(
+        subset.stats.shared_objects, 2,
+        "the gzip.c cells are pinned by both journals"
+    );
+    assert!(
+        subset.report.contains("\nshared objects (2):\n"),
+        "report carries the sharing table: {}",
+        subset.report
+    );
+    assert!(
+        subset.report.contains(": 2 of 4 pinned objects shared")
+            && subset.report.contains(": 2 of 2 pinned objects shared"),
+        "one table row per pinning sweep: {}",
+        subset.report
+    );
+
+    // The census is durable journal state: re-running the *first* sweep now
+    // renders the identical table, and twice over (cached) stays identical.
+    let store = Store::open(&dir).unwrap();
+    let again = run_sweep(&spec_a(), &store, &SweepOptions::default()).unwrap();
+    assert_eq!(again.stats.shared_objects, 2);
+    let table = subset
+        .report
+        .split("\nshared objects")
+        .nth(1)
+        .map(|s| format!("\nshared objects{s}"))
+        .unwrap();
+    assert_eq!(
+        again.report.strip_suffix(table.as_str()),
+        Some(first.report.as_str()),
+        "the table is purely additive to the solo report"
+    );
+    let store = Store::open(&dir).unwrap();
+    let again2 = run_sweep(&spec_a(), &store, &SweepOptions::default()).unwrap();
+    assert_eq!(again.report, again2.report, "census is deterministic");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sampled_gc_pins_passes_a_resume_still_needs() {
     // Sampled-mode sweeps journal `pass` records precisely so GC treats
     // checkpoint passes as live: evicting the *cells* to meet a budget

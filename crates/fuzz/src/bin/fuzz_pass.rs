@@ -1,0 +1,31 @@
+//! Structure-aware mutational fuzzer for checkpoint-pass deserialization.
+//!
+//! ```text
+//! RENO_FUZZ_SEED=1 RENO_FUZZ_ITERS=100000 cargo run --release -p reno-fuzz --bin fuzz_pass
+//! ```
+//!
+//! Mutates a corpus of serialized `CheckpointPass` images (bit flips,
+//! truncations, count and record-length lies, checkpoint-record swaps) and
+//! exits nonzero if any mutant panics `CheckpointPass::from_bytes` or is
+//! accepted without re-serializing to exactly the input bytes. See the
+//! `reno-fuzz` crate docs.
+
+use reno_fuzz::{iters_from_env, run_pass_fuzz, seed_from_env, DEFAULT_ITERS, DEFAULT_SEED};
+
+fn main() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let iters = iters_from_env(DEFAULT_ITERS);
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_pass_fuzz(seed, iters);
+    let _ = std::panic::take_hook();
+    println!(
+        "fuzz_pass: seed={seed} iters={iters} accepted={} rejected={} violations={}",
+        report.accepted, report.rejected, report.failure_count
+    );
+    for f in &report.failures {
+        eprintln!("VIOLATION: {f}");
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

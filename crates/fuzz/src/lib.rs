@@ -18,6 +18,12 @@
 //!   shuffles. Accepted images must satisfy `to_bytes(from_bytes(x)) == x`,
 //!   and a mutation may never trigger a panic or an attacker-sized
 //!   allocation.
+//! * [`run_pass_fuzz`] — the same contract one container up:
+//!   `reno_sample::CheckpointPass::from_bytes`, the multi-checkpoint
+//!   pass image the DSE store persists. Count and record-length lies,
+//!   record swaps (checkpoint-order violations), header-field lies and
+//!   byte damage must reject as a structured `PassError` without panic or
+//!   attacker-sized allocation; accepted images round-trip byte-exactly.
 //! * [`run_store_fuzz`] — the same contract for `reno-dse`'s store-entry
 //!   frames (`decode_entry`): bit flips, truncations, length/checksum/key
 //!   lies, kind swaps and duplicated frames must be rejected-as-miss, never
@@ -44,11 +50,12 @@
 //!
 //! Everything is seeded (`RENO_FUZZ_SEED`) and iteration-bounded
 //! (`RENO_FUZZ_ITERS`), so a CI smoke run and a long local soak use the same
-//! binaries (`fuzz_decode`, `fuzz_checkpoint`, `fuzz_store`, `fuzz_journal`,
-//! `fuzz_asm`, `fuzz_report`) and any finding reproduces exactly. Findings
-//! graduate into plain `#[test]` regression cases under
+//! binaries (`fuzz_decode`, `fuzz_checkpoint`, `fuzz_pass`, `fuzz_store`,
+//! `fuzz_journal`, `fuzz_asm`, `fuzz_report`) and any finding reproduces
+//! exactly. Findings graduate into plain `#[test]` regression cases under
 //! `crates/isa/tests/decode_corpus.rs`,
 //! `crates/func/tests/checkpoint_corpus.rs`,
+//! `crates/sample/tests/pass_corpus.rs`,
 //! `crates/dse/tests/store_corpus.rs`,
 //! `crates/dse/tests/journal_corpus.rs`, `crates/isa/tests/asm_corpus.rs`
 //! and `crates/bench/tests/report_corpus.rs`.
@@ -61,6 +68,7 @@ use reno_dse::{
 };
 use reno_func::{Checkpoint, Cpu, PAGE_BYTES};
 use reno_isa::{decode, encode, Asm, AsmError, Program, Reg};
+use reno_sample::{CheckpointPass, SampleConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default iteration count: what the acceptance bar asks of a local soak.
@@ -356,6 +364,204 @@ pub fn check_checkpoint_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) 
             report.accepted += 1;
         }
     }
+}
+
+// -------------------------------------------------------------------- pass
+//
+// Structure-aware mutation of serialized `reno_sample::CheckpointPass`
+// images — the multi-checkpoint container the DSE store persists and every
+// sampled sweep cell deserializes. Field layout (see `reno_sample`): magic
+// 0..8, version 8..12, total_insts 12..20, halted 20..28, checksum 28..36,
+// digest 36..44, checkpoint count 44..48, then per-checkpoint records of
+// `u32` length + `Checkpoint` bytes.
+
+/// Byte offset of the checkpoint-count field in a serialized pass.
+pub const PASS_COUNT_OFFSET: usize = 8 + 4 + 8 * 4;
+
+/// Spans of the per-checkpoint records (`(start, end)`, record = length
+/// prefix + checkpoint bytes) as far as the byte stream can back them —
+/// the walker the record-level mutation arms share.
+fn pass_record_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut pos = PASS_COUNT_OFFSET + 4;
+    while pos + 4 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let Some(end) = pos.checked_add(4 + len).filter(|&e| e <= bytes.len()) else {
+            break;
+        };
+        spans.push((pos, end));
+        pos = end;
+    }
+    spans
+}
+
+/// The pass corpus: serialized [`CheckpointPass`] images — a real
+/// zero-checkpoint pass from a single-segment program, plus synthetic
+/// multi-checkpoint passes embedding the real checkpoint corpus (whose
+/// `executed` depths are strictly increasing, as the parser demands) — so
+/// mutations probe the header fields, the count, and the record framing.
+pub fn pass_corpus() -> Vec<Vec<u8>> {
+    let p = corpus_program();
+    let real = CheckpointPass::compute(&p, &SampleConfig::new(64, 128, 4096));
+    assert!(real.error.is_none(), "corpus program runs cleanly");
+
+    let cks = checkpoint_corpus();
+    let synthetic = |checkpoints: Vec<Vec<u8>>| {
+        CheckpointPass {
+            checkpoints,
+            total_insts: 0x1234,
+            halted: true,
+            checksum: 0xdead_beef,
+            digest: 0x0bad_cafe,
+            error: None,
+        }
+        .to_bytes()
+    };
+    vec![
+        real.to_bytes(),
+        synthetic(vec![cks[1].clone()]),
+        synthetic(cks[1..].to_vec()),
+    ]
+}
+
+/// Applies one random structure-aware mutation to pass bytes.
+fn mutate_pass(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..9) {
+        // Single bit flip anywhere (magic, header, or embedded checkpoint).
+        0 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Overwrite one byte.
+        1 => {
+            if !bytes.is_empty() {
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] = rng.gen::<u8>();
+            }
+        }
+        // Truncate to a random prefix (torn store write).
+        2 => {
+            let keep = rng.gen_range(0usize..=bytes.len());
+            bytes.truncate(keep);
+        }
+        // Append garbage (trailing bytes past the last record).
+        3 => {
+            for _ in 0..rng.gen_range(1usize..=16) {
+                bytes.push(rng.gen::<u8>());
+            }
+        }
+        // Count lie: claim up to u32::MAX checkpoints without supplying
+        // them — must reject before the count sizes any allocation.
+        4 => {
+            if bytes.len() >= PASS_COUNT_OFFSET + 4 {
+                let lie: u32 = match rng.gen_range(0u32..3) {
+                    0 => u32::MAX,
+                    1 => rng.gen::<u32>(),
+                    _ => {
+                        let real = u32::from_le_bytes(
+                            bytes[PASS_COUNT_OFFSET..PASS_COUNT_OFFSET + 4]
+                                .try_into()
+                                .expect("4 bytes"),
+                        );
+                        real.wrapping_add(rng.gen_range(1u32..=4))
+                    }
+                };
+                bytes[PASS_COUNT_OFFSET..PASS_COUNT_OFFSET + 4].copy_from_slice(&lie.to_le_bytes());
+            }
+        }
+        // Record-length lie on one checkpoint record.
+        5 => {
+            let spans = pass_record_spans(bytes);
+            if !spans.is_empty() {
+                let (s, _) = spans[rng.gen_range(0usize..spans.len())];
+                let lie: u32 = match rng.gen_range(0u32..3) {
+                    0 => u32::MAX,
+                    1 => rng.gen::<u32>(),
+                    _ => {
+                        let real = u32::from_le_bytes(bytes[s..s + 4].try_into().expect("4 bytes"));
+                        real.wrapping_add(rng.gen_range(1u32..=8))
+                    }
+                };
+                bytes[s..s + 4].copy_from_slice(&lie.to_le_bytes());
+            }
+        }
+        // Swap two whole records (breaks the strictly-increasing
+        // `executed` order while keeping every record individually valid).
+        6 => {
+            let spans = pass_record_spans(bytes);
+            if spans.len() >= 2 {
+                let a = rng.gen_range(0usize..spans.len());
+                let b = rng.gen_range(0usize..spans.len());
+                if a != b {
+                    let (a, b) = (a.min(b), a.max(b));
+                    let ra = bytes[spans[a].0..spans[a].1].to_vec();
+                    let rb = bytes[spans[b].0..spans[b].1].to_vec();
+                    bytes.splice(spans[b].0..spans[b].1, ra);
+                    bytes.splice(spans[a].0..spans[a].1, rb);
+                }
+            }
+        }
+        // Corrupt the halted word with a non-0/1 value.
+        7 => {
+            if bytes.len() >= 28 {
+                let v: u64 = rng.gen_range(2u64..=u64::MAX);
+                bytes[20..28].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Version bump.
+        _ => {
+            if bytes.len() >= 12 {
+                let v = rng.gen::<u32>();
+                bytes[8..12].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// One pass-contract check: parse-or-reject as a structured
+/// [`reno_sample::PassError`] without panic; accepted images re-serialize
+/// byte-exactly — so a mutation can never smuggle a pass that replays
+/// silently-wrong checkpoints while claiming to be the bytes it came from.
+pub fn check_pass_bytes(bytes: &[u8], report: &mut FuzzReport, ctx: &str) {
+    match catch_unwind(AssertUnwindSafe(|| CheckpointPass::from_bytes(bytes))) {
+        Err(_) => report.fail(format!(
+            "CheckpointPass::from_bytes panicked on {}-byte input, {ctx}",
+            bytes.len()
+        )),
+        Ok(Err(_)) => report.rejected += 1,
+        Ok(Ok(pass)) => {
+            if pass.to_bytes() != bytes {
+                report.fail(format!(
+                    "accepted {}-byte pass does not re-serialize to itself, {ctx}",
+                    bytes.len()
+                ));
+                return;
+            }
+            report.accepted += 1;
+        }
+    }
+}
+
+/// Fuzzes [`reno_sample::CheckpointPass::from_bytes`] for `iters`
+/// iterations from `seed`, mutating a corpus of serialized passes: bit
+/// flips, truncations, count and record-length lies, record swaps (order
+/// violations), halted-field and version lies. Same contract as
+/// [`run_checkpoint_fuzz`]: reject-never-panic, never an attacker-sized
+/// allocation, accepted images round-trip byte-exactly.
+pub fn run_pass_fuzz(seed: u64, iters: u64) -> FuzzReport {
+    let corpus = pass_corpus();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for i in 0..iters {
+        let mut bytes = corpus[rng.gen_range(0usize..corpus.len())].clone();
+        for _ in 0..rng.gen_range(1u32..=3) {
+            mutate_pass(&mut bytes, &mut rng);
+        }
+        check_pass_bytes(&bytes, &mut report, &format!("iter {i} (seed {seed})"));
+    }
+    report
 }
 
 // ------------------------------------------------------------------- store
@@ -1194,6 +1400,45 @@ mod tests {
         let r = run_checkpoint_fuzz(DEFAULT_SEED, 300);
         assert!(r.clean(), "violations: {:?}", r.failures);
         assert!(r.rejected > 0, "mutations mostly break the image");
+    }
+
+    #[test]
+    fn pass_fuzz_smoke_is_clean() {
+        let r = run_pass_fuzz(DEFAULT_SEED, 300);
+        assert!(r.clean(), "violations: {:?}", r.failures);
+        assert!(r.rejected > 0, "mutations mostly break the image");
+    }
+
+    #[test]
+    fn pass_corpus_is_valid_and_spans_shapes() {
+        let corpus = pass_corpus();
+        assert!(corpus.len() >= 3);
+        let shapes: Vec<usize> = corpus
+            .iter()
+            .map(|b| {
+                let p = CheckpointPass::from_bytes(b).expect("corpus entries parse");
+                assert_eq!(p.to_bytes(), *b, "corpus entries round-trip");
+                p.checkpoints.len()
+            })
+            .collect();
+        assert!(shapes.contains(&0), "a zero-checkpoint pass is covered");
+        assert!(
+            shapes.iter().any(|&n| n >= 2),
+            "a multi-checkpoint pass is covered: {shapes:?}"
+        );
+    }
+
+    #[test]
+    fn pass_count_offset_matches_format() {
+        for bytes in &pass_corpus() {
+            let p = CheckpointPass::from_bytes(bytes).expect("parses");
+            let n = u32::from_le_bytes(
+                bytes[PASS_COUNT_OFFSET..PASS_COUNT_OFFSET + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            assert_eq!(n as usize, p.checkpoints.len(), "offset constant is right");
+        }
     }
 
     #[test]

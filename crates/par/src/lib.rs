@@ -171,6 +171,14 @@ where
         .collect()
 }
 
+/// Runs `f` on the calling thread with the same panic isolation as a
+/// [`try_par_map`] job: a panic is caught and reduced to a [`JobPanic`].
+/// This is the serial building block for retry ladders — re-run one failed
+/// job in isolation without paying for a pool.
+pub fn run_caught<R>(f: impl FnOnce() -> R) -> Result<R, JobPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| JobPanic::from_payload(p.as_ref()))
+}
+
 /// Why one [`try_par_map_deadline`] job failed: it panicked, or it exceeded
 /// its wall-clock deadline and was abandoned by the watchdog.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,11 +1,36 @@
-use crate::{IntervalStat, SampledResult};
+use crate::{ExactSegment, FaultRecovery, IntervalStat, SampleError, SampledResult, SegmentFault};
 use reno_func::{BlockCursor, Checkpoint, Cpu, DecodedProgram, DynInst, ExecError, Memory};
 use reno_isa::Program;
 use reno_mem::MemHierarchy;
-use reno_par::par_map;
+use reno_par::{run_caught, try_par_map, JobPanic};
 use reno_sim::{classify_control, MachineConfig, Simulator, WarmState};
 use reno_trace::PipelineTrace;
 use reno_uarch::FrontEnd;
+
+/// `reno-chaos` site: phase-1 checkpoint serialization, context = the
+/// 1-based checkpoint ordinal. `corrupt` poisons the stored bytes (caught
+/// later by pass validation or segment restore); `panic` kills the serial
+/// pass itself.
+pub const FP_PASS_CHECKPOINT: &str = "sample:pass-checkpoint";
+/// `reno-chaos` site: checkpoint deserialization at a segment worker's
+/// restore, context = segment index.
+pub const FP_SEGMENT_RESTORE: &str = "sample:segment-restore";
+/// `reno-chaos` site: the warm functional replay before each detailed
+/// window, context = segment index.
+pub const FP_WARM_REPLAY: &str = "sample:warm-replay";
+/// `reno-chaos` site: each detailed measure window (the head stratum
+/// included), context = segment index.
+pub const FP_MEASURE_WINDOW: &str = "sample:measure-window";
+
+/// Every registered `reno-chaos` failpoint site in this crate. The
+/// `crash_sample` suite enumerates this list and proves a fault injected at
+/// each site still yields a deterministic, valid [`SampledResult`].
+pub const FAILPOINT_SITES: &[&str] = &[
+    FP_PASS_CHECKPOINT,
+    FP_SEGMENT_RESTORE,
+    FP_WARM_REPLAY,
+    FP_MEASURE_WINDOW,
+];
 
 /// Extra fuel past the measure-window end so the end-boundary instruction
 /// retires with the pipeline still in full flight (covers the ROB plus the
@@ -610,7 +635,12 @@ fn functional_pass(program: &Program, sc: &SampleConfig, period: u64) -> Checkpo
             break;
         }
         let ck = Checkpoint::take_with_dirty_pages(&cpu, &cpu.mem().dirty_pages_sorted());
-        checkpoints.push(ck.to_bytes());
+        let mut bytes = ck.to_bytes();
+        // `panic` here kills the serial pass (retried, then the full-detail
+        // fallback); `corrupt` poisons this checkpoint's stored bytes, which
+        // pass validation or the owning segment's restore must catch.
+        reno_chaos::failpoint_bytes!(FP_PASS_CHECKPOINT, j, &mut bytes);
+        checkpoints.push(bytes);
         j += 1;
     }
     if error.is_none() {
@@ -697,6 +727,12 @@ fn fast_forward(
 /// assigned, then alternate warming fast-forward and detailed windows over
 /// the segment's strata, closing with a functional run to the segment end
 /// so every owned stratum's shadow features are snapped.
+///
+/// # Errors
+///
+/// [`SampleError::BadCheckpoint`] when the segment's serialized phase-1
+/// checkpoint fails to deserialize — the caller retries once, then takes
+/// the exact-replay fallback for just this segment.
 fn run_segment(
     program: &Program,
     cfg: &MachineConfig,
@@ -705,12 +741,24 @@ fn run_segment(
     base_mem: &Memory,
     total: u64,
     job: &SegmentJob,
-) -> SegmentOut {
+) -> Result<SegmentOut, SampleError> {
     let grid_start = sc.head;
     let mut cpu = match &job.ck {
-        Some(bytes) => Checkpoint::from_bytes(bytes)
-            .expect("phase-1 checkpoint deserializes")
-            .restore_with_base(base_mem),
+        Some(bytes) => {
+            // The chaos copy exists only while a spec is armed or recording
+            // is on; the production path deserializes the shared bytes
+            // directly.
+            let parsed = if reno_chaos::enabled() {
+                let mut poisoned = bytes.clone();
+                reno_chaos::failpoint_bytes!(FP_SEGMENT_RESTORE, job.index, &mut poisoned);
+                Checkpoint::from_bytes(&poisoned)
+            } else {
+                Checkpoint::from_bytes(bytes)
+            };
+            parsed
+                .map_err(|e| SampleError::BadCheckpoint(format!("segment {}: {e}", job.index)))?
+                .restore_with_base(base_mem)
+        }
         None => Cpu::new(program),
     };
     debug_assert_eq!(cpu.executed(), job.start);
@@ -737,6 +785,7 @@ fn run_segment(
     // structures and pipeline fill included — exactly what the full run
     // experiences there.
     if job.measure_head {
+        reno_chaos::failpoint!(FP_MEASURE_WINDOW, job.index);
         let budget = (sc.head + DRAIN_PAD).min(sc.max_insts);
         let end = sc.head.min(budget);
         let sim = Simulator::from_cpu(program, cfg.clone(), Cpu::new(program), budget)
@@ -758,6 +807,7 @@ fn run_segment(
     }
 
     for &(s, pos) in &job.windows {
+        reno_chaos::failpoint!(FP_WARM_REPLAY, job.index);
         if let Err(e) = fast_forward(
             &mut cpu,
             &mut dp,
@@ -770,12 +820,13 @@ fn run_segment(
             warmed_until,
         ) {
             out.error = Some(e);
-            return out;
+            return Ok(out);
         }
         debug_assert_eq!(cpu.executed(), pos, "planner guarantees pos < total");
 
         // Detailed window: warmup + measure + drain pad, clipped to the
         // instruction cap, run from a clone of the live machine.
+        reno_chaos::failpoint!(FP_MEASURE_WINDOW, job.index);
         let budget = (sc.detailed_per_period() + DRAIN_PAD).min(sc.max_insts - pos);
         let end = sc.detailed_per_period().min(budget);
         let start = sc.warmup.min(end);
@@ -823,7 +874,7 @@ fn run_segment(
         u64::MAX,
     ) {
         out.error = Some(e);
-        return out;
+        return Ok(out);
     }
     bounds.cross(cpu.executed(), &shadow.cum);
 
@@ -849,7 +900,79 @@ fn run_segment(
     if job.index == 0 && grid_start > 0 {
         out.head_feat = feat(0, grid_start.min(total));
     }
-    out
+    Ok(out)
+}
+
+/// Deterministic exact-replay fallback for one failed segment: re-simulate
+/// the segment's covered instruction range `[cover0, cover1)` in **full
+/// detail** from the latest phase-1 checkpoint that still deserializes
+/// (walking back past corrupt ones, down to a fresh machine), and charge
+/// those cycles exactly instead of extrapolating. Runs serially on the
+/// caller's thread and touches no failpoint, so a sticky injected fault
+/// cannot chase it — the same failure pattern yields the same bytes at any
+/// `RENO_THREADS`.
+fn exact_segment_fallback(
+    program: &Program,
+    cfg: &MachineConfig,
+    sc: &SampleConfig,
+    period: u64,
+    base_mem: &Memory,
+    pass: &CheckpointPass,
+    job: &SegmentJob,
+) -> (SegmentOut, ExactSegment) {
+    let grid_start = sc.head;
+    let cover0 = if job.index == 0 {
+        0
+    } else {
+        grid_start + job.strata.0 * period
+    };
+    let cover1 = job.seg_end;
+
+    // Latest restorable checkpoint at or before the segment head. The
+    // segment's own checkpoint is pass.checkpoints[job.index - 1]; walk
+    // back from there until one parses cleanly.
+    let mut cpu = Cpu::new(program);
+    if job.index > 0 {
+        for i in (0..job.index as usize).rev() {
+            if let Ok(ck) = Checkpoint::from_bytes(&pass.checkpoints[i]) {
+                cpu = ck.restore_with_base(base_mem);
+                break;
+            }
+        }
+    }
+    let start = cpu.executed();
+    debug_assert!(start <= cover0);
+
+    let budget = (cover1 - start + DRAIN_PAD).min(sc.max_insts.saturating_sub(start));
+    let r = Simulator::from_cpu(program, cfg.clone(), cpu, budget)
+        .with_measure_window(cover0 - start, cover1 - start)
+        .run(u64::MAX);
+    let (insts, cycles) = match r.measured() {
+        Some((s, e)) => (e.retired - s.retired, e.cycles - s.cycles),
+        // The start mark cannot fire past the budget; an empty window only
+        // means the program ended inside the drain pad — charge nothing.
+        None => (0, 0),
+    };
+    let out = SegmentOut {
+        head: None,
+        head_feat: None,
+        windows: Vec::new(),
+        strata_feats: Vec::new(),
+        traces: Vec::new(),
+        detailed_insts: r.retired,
+        error: None,
+    };
+    (
+        out,
+        ExactSegment {
+            segment: job.index,
+            // The window clips at halt/fuel, so the range truly covered is
+            // exactly the instructions that retired inside it.
+            range: (cover0, cover0 + insts),
+            insts,
+            cycles,
+        },
+    )
 }
 
 #[inline]
@@ -926,19 +1049,38 @@ struct FeatureTable {
 /// The per-segment profiles jointly cover every instruction, so phase
 /// structure that never lined up with a window still lands in the estimate
 /// through its features.
-fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: &FeatureTable) {
+fn model_assist(
+    sc: &SampleConfig,
+    period: u64,
+    result: &mut SampledResult,
+    ft: &FeatureTable,
+) -> Result<(), SampleError> {
     if result.intervals.len() < MODEL_MIN_WINDOWS || result.total_insts == 0 || period == 0 {
-        return;
+        return Ok(());
     }
     let total = result.total_insts;
     let mut xs: Vec<[f64; 4]> = Vec::with_capacity(result.intervals.len());
     let mut ys: Vec<f64> = Vec::with_capacity(result.intervals.len());
     for (iv, f) in result.intervals.iter().zip(&ft.windows) {
-        let Some(f) = f else { return };
+        let Some(f) = f else { return Ok(()) };
         xs.push(f.vec());
         ys.push(iv.cycles as f64);
     }
-    let Some(beta) = ls_fit(&xs, &ys) else { return };
+    let Some(beta) = ls_fit(&xs, &ys) else {
+        return Ok(());
+    };
+    if !beta.iter().all(|b| b.is_finite()) {
+        return Err(SampleError::ModelDegenerate("non-finite model fit"));
+    }
+    // Strata (and a missing head) already covered exactly by the replay
+    // fallback are charged their measured cycles at the end instead of a
+    // model extrapolation.
+    let exact_covers = |a: u64, b: u64| {
+        result
+            .exact_segments
+            .iter()
+            .any(|e| e.range.0 <= a && b <= e.range.1)
+    };
 
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     let sst: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
@@ -957,7 +1099,7 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: 
     };
     result.model_r2 = Some(r2);
     if r2 < MODEL_MIN_R2 {
-        return;
+        return Ok(());
     }
 
     let steady = result.steady_cpi();
@@ -973,9 +1115,10 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: 
     let grid_start = sc.head.min(total);
     match &result.head {
         Some(h) => cycles += h.cycles as f64,
+        None if grid_start > 0 && exact_covers(0, grid_start) => {}
         None => {
             if grid_start > 0 {
-                let Some(f) = ft.head else { return };
+                let Some(f) = ft.head else { return Ok(()) };
                 let pred = dot4(&beta, &f.vec());
                 cycles += if pred > 0.0 {
                     pred
@@ -989,14 +1132,19 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: 
     for s in 0..strata {
         let s0 = grid_start + s * period;
         let s1 = (s0 + period).min(total);
+        if exact_covers(s0, s1) {
+            continue;
+        }
         let Some(Some(f)) = ft.strata.get(s as usize) else {
-            return;
+            return Ok(());
         };
         let pred = dot4(&beta, &f.vec());
         let est = match by_stratum.get(&s) {
             Some(&k) => {
                 let iv = &result.intervals[k];
-                let Some(fw) = ft.windows[k] else { return };
+                let Some(fw) = ft.windows[k] else {
+                    return Ok(());
+                };
                 let predw = dot4(&beta, &fw.vec());
                 if pred > 0.0 && predw > 1e-6 {
                     // Local multiplicative correction: how the measured
@@ -1011,7 +1159,16 @@ fn model_assist(sc: &SampleConfig, period: u64, result: &mut SampledResult, ft: 
         };
         cycles += est;
     }
+    cycles += result
+        .exact_segments
+        .iter()
+        .map(|e| e.cycles as f64)
+        .sum::<f64>();
+    if !cycles.is_finite() {
+        return Err(SampleError::ModelDegenerate("non-finite model estimate"));
+    }
     result.model_cycles = Some(cycles);
+    Ok(())
 }
 
 /// Relative shift in the beyond-L1 service mix (L2- and memory-served
@@ -1080,9 +1237,52 @@ fn feature_drift(result: &SampledResult, ft: &FeatureTable) -> Option<f64> {
 /// Panics if `sc` is inconsistent (see [`SampleConfig::new`]).
 pub fn run_sampled(program: &Program, cfg: MachineConfig, sc: &SampleConfig) -> SampledResult {
     sc.validate();
-    let pass = functional_pass(program, sc, sc.period);
-    run_sampled_with_pass(program, cfg, sc, &pass)
-        .expect("a self-computed pass always fits its own sampling shape")
+    // Phase 1 runs under the same isolation discipline as the segment
+    // workers: a panic is caught, retried once, and a persistent failure
+    // degrades the whole run to the deterministic full-detail fallback —
+    // this function never panics on a fault, only on a misused config.
+    let (pass, healed) = match run_caught(|| functional_pass(program, sc, sc.period)) {
+        Ok(p) => (Ok(p), None),
+        Err(p0) => (
+            run_caught(|| functional_pass(program, sc, sc.period)).map_err(|_| p0),
+            Some(FaultRecovery::Retried),
+        ),
+    };
+    let (error, pass) = match pass {
+        Ok(pass) => {
+            match run_sampled_with_pass(program, cfg.clone(), sc, &pass) {
+                Ok(mut r) => {
+                    if let Some(recovery) = healed {
+                        r.segment_faults.insert(
+                            0,
+                            SegmentFault {
+                                segment: u64::MAX,
+                                error: SampleError::SegmentPanic(
+                                    "phase-1 pass panicked; retry succeeded".to_string(),
+                                ),
+                                recovery,
+                            },
+                        );
+                    }
+                    return r;
+                }
+                // A self-computed pass only misfits its own shape when its
+                // serialized checkpoints were corrupted (e.g. an injected
+                // fault at `sample:pass-checkpoint`).
+                Err(e) => (SampleError::BadCheckpoint(e.to_string()), Some(pass)),
+            }
+        }
+        Err(p) => (SampleError::SegmentPanic(p.message), None),
+    };
+    eprintln!("reno-sample: phase-1 pass failed ({error}); exact full-detail fallback");
+    let max = pass.as_ref().map_or(sc.max_insts, |p| p.total_insts);
+    let mut r = full_detail(program, cfg, max.min(sc.max_insts));
+    r.segment_faults.push(SegmentFault {
+        segment: u64::MAX,
+        error,
+        recovery: FaultRecovery::ExactReplay,
+    });
+    r
 }
 
 /// Like [`run_sampled`], but reusing a precomputed (possibly
@@ -1189,9 +1389,53 @@ pub fn run_sampled_with_pass(
     }
 
     let base_mem = Cpu::new(program).mem().clone();
-    let outs = par_map(&jobs, |job| {
+    // Self-healing fan-out: panics are caught per job; a failed segment is
+    // retried once serially (in job order, on this thread — a transient
+    // fault reproduces the healthy bytes exactly), and a segment that fails
+    // its retry too is replaced by the exact-replay fallback. Every path is
+    // schedule-independent, so the result stays byte-identical at any
+    // `RENO_THREADS` for the same failure pattern.
+    let flatten = |r: Result<Result<SegmentOut, SampleError>, JobPanic>| match r {
+        Ok(inner) => inner,
+        Err(p) => Err(SampleError::SegmentPanic(p.message)),
+    };
+    let first = try_par_map(&jobs, |job| {
         run_segment(program, &cfg, sc, period, &base_mem, total, job)
     });
+    let mut segment_faults: Vec<SegmentFault> = Vec::new();
+    let mut exact_segments: Vec<ExactSegment> = Vec::new();
+    let mut outs: Vec<SegmentOut> = Vec::with_capacity(jobs.len());
+    for (job, r) in jobs.iter().zip(first) {
+        match flatten(r) {
+            Ok(out) => outs.push(out),
+            Err(error) => {
+                let retried = flatten(run_caught(|| {
+                    run_segment(program, &cfg, sc, period, &base_mem, total, job)
+                }));
+                match retried {
+                    Ok(out) => {
+                        segment_faults.push(SegmentFault {
+                            segment: job.index,
+                            error,
+                            recovery: FaultRecovery::Retried,
+                        });
+                        outs.push(out);
+                    }
+                    Err(_persistent) => {
+                        let (out, exact) =
+                            exact_segment_fallback(program, &cfg, sc, period, &base_mem, pass, job);
+                        segment_faults.push(SegmentFault {
+                            segment: job.index,
+                            error,
+                            recovery: FaultRecovery::ExactReplay,
+                        });
+                        exact_segments.push(exact);
+                        outs.push(out);
+                    }
+                }
+            }
+        }
+    }
 
     // Merge, in segment order (== program order).
     let mut head = None;
@@ -1250,8 +1494,17 @@ pub fn run_sampled_with_pass(
         model_r2: None,
         feature_drift: None,
         trace,
+        segment_faults,
+        exact_segments,
     };
-    model_assist(sc, period, &mut result, &ft);
+    if let Err(error) = model_assist(sc, period, &mut result, &ft) {
+        result.model_cycles = None;
+        result.segment_faults.push(SegmentFault {
+            segment: u64::MAX,
+            error,
+            recovery: FaultRecovery::Disabled,
+        });
+    }
     result.feature_drift = feature_drift(&result, &ft);
     Ok(result)
 }
@@ -1264,9 +1517,22 @@ fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> Sampled
     let r = Simulator::with_fuel(program, cfg, max_insts)
         .with_measure_window(0, u64::MAX)
         .run(u64::MAX);
-    let (s, e) = r.measured().expect("the start mark fires at cycle 0");
+    // The start mark fires at cycle 0, so a missing window is a simulator
+    // contract violation — record it as a fault on an estimate-less result
+    // instead of panicking.
+    let (head, fault) = match r.measured() {
+        Some((s, e)) => (Some(IntervalStat::from_marks(0, 0, &s, &e)), None),
+        None => (
+            None,
+            Some(SegmentFault {
+                segment: u64::MAX,
+                error: SampleError::WindowInvalid("full-detail run produced no start mark"),
+                recovery: FaultRecovery::Disabled,
+            }),
+        ),
+    };
     SampledResult {
-        head: Some(IntervalStat::from_marks(0, 0, &s, &e)),
+        head,
         intervals: Vec::new(),
         grid_start: r.retired,
         period: 1,
@@ -1280,6 +1546,8 @@ fn full_detail(program: &Program, cfg: MachineConfig, max_insts: u64) -> Sampled
         model_r2: None,
         feature_drift: None,
         trace: r.trace,
+        segment_faults: fault.into_iter().collect(),
+        exact_segments: Vec::new(),
     }
 }
 

@@ -96,5 +96,8 @@ mod result;
 
 pub use engine::{
     run_sampled, run_sampled_auto, run_sampled_with_pass, CheckpointPass, PassError, SampleConfig,
+    FAILPOINT_SITES, FP_MEASURE_WINDOW, FP_PASS_CHECKPOINT, FP_SEGMENT_RESTORE, FP_WARM_REPLAY,
 };
-pub use result::{IntervalStat, SampledResult};
+pub use result::{
+    ExactSegment, FaultRecovery, IntervalStat, SampleError, SampledResult, SegmentFault,
+};

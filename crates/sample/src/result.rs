@@ -71,6 +71,88 @@ fn stats_delta(e: &SimStats, s: &SimStats) -> SimStats {
     }
 }
 
+/// Why a piece of a sampled run failed. The taxonomy replaces the engine's
+/// former hot-path `expect()`s: every variant is recoverable (retry, then
+/// the deterministic exact-replay fallback) and ends up recorded in
+/// [`SampledResult::segment_faults`], never as a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// A serialized phase-1 checkpoint failed to deserialize or validate
+    /// (bit rot, torn write, or an injected corruption).
+    BadCheckpoint(String),
+    /// A segment worker panicked; the payload message is captured.
+    SegmentPanic(String),
+    /// A measure window never produced both of its marks (the detailed
+    /// simulation ended before the window closed).
+    WindowInvalid(&'static str),
+    /// The shadow-profile cycle model produced a non-finite fit and was
+    /// discarded.
+    ModelDegenerate(&'static str),
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::BadCheckpoint(m) => write!(f, "bad checkpoint: {m}"),
+            SampleError::SegmentPanic(m) => write!(f, "segment panicked: {m}"),
+            SampleError::WindowInvalid(m) => write!(f, "invalid measure window: {m}"),
+            SampleError::ModelDegenerate(m) => write!(f, "degenerate cycle model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// How the engine recovered from one [`SampleError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultRecovery {
+    /// The serial retry from the serialized checkpoint succeeded; the
+    /// segment's windows are identical to a healthy run's.
+    Retried,
+    /// Retry failed too; the segment was re-simulated in full detail from
+    /// the previous good checkpoint (exact, slower, still deterministic).
+    ExactReplay,
+    /// The faulty component was switched off (e.g. the cycle model); the
+    /// estimate falls back to the purely stratified path.
+    Disabled,
+}
+
+/// One recovered fault, recorded in [`SampledResult::segment_faults`] so a
+/// degraded run is distinguishable from a healthy one even when the
+/// estimates agree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentFault {
+    /// Index of the faulty segment job, or [`u64::MAX`] for whole-run
+    /// faults (phase-1 checkpointing, the cycle model).
+    pub segment: u64,
+    /// What went wrong.
+    pub error: SampleError,
+    /// How the run recovered.
+    pub recovery: FaultRecovery,
+}
+
+/// A segment re-simulated in full detail by the exact-replay fallback: its
+/// instruction range contributes **measured** cycles to the whole-run
+/// estimate instead of an extrapolation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactSegment {
+    /// Index of the segment job this replay replaced.
+    pub segment: u64,
+    /// Dynamic instruction range `[start, end)` covered exactly.
+    pub range: (u64, u64),
+    /// Instructions retired inside the range.
+    pub insts: u64,
+    /// Cycles the range took in full-detail simulation.
+    pub cycles: u64,
+}
+
+impl ExactSegment {
+    /// Width of the exactly-covered instruction range.
+    pub fn width(&self) -> u64 {
+        self.range.1.saturating_sub(self.range.0)
+    }
+}
+
 /// The outcome of a sampled run: exact architectural results (the whole
 /// program executed functionally) plus timing *estimates* extrapolated from
 /// the measurement intervals.
@@ -120,6 +202,12 @@ pub struct SampledResult {
     /// rebased onto the end of the previous one, so the merged timeline is
     /// continuous and deterministic — byte-identical at any `RENO_THREADS`.
     pub trace: Option<Box<PipelineTrace>>,
+    /// Every fault the run recovered from, in deterministic order (segment
+    /// index, then discovery order). Empty for a healthy run.
+    pub segment_faults: Vec<SegmentFault>,
+    /// Instruction ranges covered exactly by the replay fallback, in
+    /// segment order. Their cycles are charged exactly by the estimators.
+    pub exact_segments: Vec<ExactSegment>,
 }
 
 impl SampledResult {
@@ -169,15 +257,20 @@ impl SampledResult {
         if let Some(mc) = self.model_cycles {
             return mc;
         }
+        let exact_cycles: u64 = self.exact_segments.iter().map(|e| e.cycles).sum();
+        let exact_width: u64 = self.exact_segments.iter().map(ExactSegment::width).sum();
         if self.period == 0 {
-            // Pooled ratio fallback (head still exact when present).
+            // Pooled ratio fallback (head and exact replays still exact).
             let rest = self
                 .total_insts
-                .saturating_sub(self.head.map_or(0, |h| h.insts));
-            return self.head.map_or(0.0, |h| h.cycles as f64) + self.steady_cpi() * rest as f64;
+                .saturating_sub(self.head.map_or(0, |h| h.insts))
+                .saturating_sub(exact_width);
+            return self.head.map_or(0.0, |h| h.cycles as f64)
+                + exact_cycles as f64
+                + self.steady_cpi() * rest as f64;
         }
-        let mut cycles = 0.0f64;
-        let mut covered = 0u64;
+        let mut cycles = exact_cycles as f64;
+        let mut covered = exact_width.min(self.total_insts);
         if let Some(h) = &self.head {
             cycles += h.cycles as f64;
             covered += h.insts.min(self.total_insts);
@@ -321,7 +414,35 @@ mod tests {
             model_r2: None,
             feature_drift: None,
             trace: None,
+            segment_faults: Vec::new(),
+            exact_segments: Vec::new(),
         }
+    }
+
+    #[test]
+    fn exact_segments_are_charged_exactly_not_extrapolated() {
+        // Steady windows say CPI 0.5; the exact replay covers 2000 insts at
+        // CPI 2.0 (a pathological phase sampling would have mispriced).
+        let mut r = sampled(
+            vec![interval(2000, 400, 200), interval(6000, 400, 200)],
+            10_000,
+        );
+        r.exact_segments.push(ExactSegment {
+            segment: 3,
+            range: (8000, 10_000),
+            insts: 2000,
+            cycles: 4000,
+        });
+        // est = 4000 (exact) + 0.5 * 8000 (pooled rest) = 8000.
+        assert_eq!(r.est_cycles(), 8000);
+        // The stratified path charges the same range exactly as well.
+        r.grid_start = 0;
+        r.period = 1000;
+        let strat = r.est_cycles();
+        assert!(
+            strat >= 4000 + 400 + 400,
+            "exact + measured strata: {strat}"
+        );
     }
 
     #[test]
